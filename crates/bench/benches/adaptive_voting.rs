@@ -1,0 +1,42 @@
+//! E12 (future work §4): adaptive voting — the precision versus fault
+//! tolerance trade-off of \[32\], implemented as an epsilon ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_giop::types::Value;
+use itdos_vote::adaptive::AdaptiveVoter;
+use itdos_vote::vote::{Candidate, SenderId};
+
+fn candidates(divergence: f64) -> Vec<Candidate> {
+    (0..4)
+        .map(|i| Candidate {
+            sender: SenderId(i),
+            value: Value::Double(100.0 * (1.0 + divergence * i as f64)),
+        })
+        .collect()
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let voter = AdaptiveVoter::default_ladder();
+    let mut group = c.benchmark_group("adaptive_vote");
+    // tight agreement decides at the first rung; platform-level divergence
+    // walks the ladder; hopeless disagreement exhausts it
+    for (label, divergence) in [("tight_1e-13", 1e-13), ("platform_1e-8", 1e-8), ("loose_1e-4", 1e-4)]
+    {
+        let cs = candidates(divergence);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cs, |b, cs| {
+            b.iter(|| voter.vote(cs, 3));
+        });
+        if let Some(d) = voter.vote(&cs, 3) {
+            println!(
+                "[E12-adaptive] divergence {divergence:e}: decided at eps {:e} after {} widenings",
+                d.epsilon, d.widenings
+            );
+        } else {
+            println!("[E12-adaptive] divergence {divergence:e}: no consensus on the ladder");
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

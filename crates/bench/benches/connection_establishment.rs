@@ -1,0 +1,48 @@
+//! E3: connection establishment (Figure 3) versus reuse (§3.4:
+//! "connection-establishment is a fairly heavyweight process; connection
+//! reuse enhances performance").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_bench::{deploy, establishment_cost, measure_invocation, DeployOptions};
+
+fn bench_establishment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("cold_open_plus_invoke", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            // a fresh system every iteration: pays GM keying + first order
+            let mut system = deploy(&DeployOptions {
+                seed,
+                ..DeployOptions::default()
+            });
+            measure_invocation(&mut system, 1)
+        });
+    });
+    group.bench_function("warm_reused_invoke", |b| {
+        let mut system = deploy(&DeployOptions {
+            seed: 77,
+            ..DeployOptions::default()
+        });
+        measure_invocation(&mut system, 1);
+        b.iter(|| measure_invocation(&mut system, 1));
+    });
+    group.finish();
+    // print the simulated-network shape once for the record
+    let row = establishment_cost(7);
+    println!(
+        "\n[E3] cold: {}us / {} msgs / {} B — warm: {}us / {} msgs / {} B",
+        row.cold.latency.as_micros(),
+        row.cold.messages,
+        row.cold.bytes,
+        row.warm.latency.as_micros(),
+        row.warm.messages,
+        row.warm.bytes,
+    );
+}
+
+criterion_group!(benches, bench_establishment);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E6: voting on unmarshalled values (the Voting Virtual Machine) versus
+//! the byte-by-byte baseline (Immune-style), on heterogeneous frames.
+//!
+//! Two questions: (1) what does middleware voting *cost* relative to raw
+//! byte comparison, and (2) what does each *decide* when correct replicas
+//! marshal on different platforms — the correctness half is asserted here
+//! and tabulated by `exp_report`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_giop::giop::{encode_message, GiopMessage, ReplyBody, ReplyMessage};
+use itdos_giop::platform::PlatformProfile;
+use itdos_giop::types::Value;
+use itdos_vote::byte::{byte_vote, ByteVoteOutcome};
+use itdos_vote::comparator::Comparator;
+use itdos_vote::folding::reply_to_value;
+use itdos_vote::vote::{vote, Candidate, SenderId, VoteOutcome};
+
+/// Builds the four heterogeneous replies (per platform profile) for one
+/// float result, as (raw frame, unmarshalled folded value) pairs.
+fn heterogeneous_replies() -> Vec<(Vec<u8>, Value)> {
+    let repo = itdos_bench::repo();
+    PlatformProfile::ALL
+        .iter()
+        .map(|platform| {
+            let value = platform.perturb_f64(20.166_666_666);
+            let reply = ReplyMessage {
+                request_id: 1,
+                interface: "Sensor".into(),
+                operation: "fuse".into(),
+                body: ReplyBody::Result(Value::Double(value)),
+            };
+            let frame =
+                encode_message(&GiopMessage::Reply(reply.clone()), &repo, platform.endianness)
+                    .expect("encodes");
+            (frame, reply_to_value(&reply))
+        })
+        .collect()
+}
+
+fn bench_voting(c: &mut Criterion) {
+    let replies = heterogeneous_replies();
+    let frames: Vec<(SenderId, Vec<u8>)> = replies
+        .iter()
+        .enumerate()
+        .map(|(i, (f, _))| (SenderId(i as u32), f.clone()))
+        .collect();
+    let candidates: Vec<Candidate> = replies
+        .iter()
+        .enumerate()
+        .map(|(i, (_, v))| Candidate {
+            sender: SenderId(i as u32),
+            value: v.clone(),
+        })
+        .collect();
+    let comparator = itdos_vote::folding::folded_comparator(Comparator::InexactRel(1e-6));
+
+    // correctness shape (the paper's claim): byte voting starves on
+    // correct heterogeneous replicas, the VVM decides
+    assert_eq!(
+        byte_vote(&frames, 2),
+        ByteVoteOutcome::Pending,
+        "byte voting cannot find 2 identical frames across platforms"
+    );
+    assert!(
+        matches!(vote(&candidates, &comparator, 2), VoteOutcome::Decided(_)),
+        "the VVM decides on unmarshalled values"
+    );
+
+    c.bench_function("byte_vote_4_frames", |b| {
+        b.iter(|| byte_vote(&frames, 2));
+    });
+    c.bench_function("vvm_vote_4_unmarshalled", |b| {
+        b.iter(|| vote(&candidates, &comparator, 2));
+    });
+    // the VVM's extra cost includes unmarshalling: measure the full path
+    let repo = itdos_bench::repo();
+    c.bench_function("vvm_vote_including_unmarshal", |b| {
+        b.iter(|| {
+            let candidates: Vec<Candidate> = frames
+                .iter()
+                .map(|(s, f)| {
+                    let GiopMessage::Reply(reply) =
+                        itdos_giop::giop::decode_message(f, &repo).expect("decodes")
+                    else {
+                        unreachable!("reply frames");
+                    };
+                    Candidate {
+                        sender: *s,
+                        value: reply_to_value(&reply),
+                    }
+                })
+                .collect();
+            vote(&candidates, &comparator, 2)
+        });
+    });
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4: BFT total-ordering cost versus group size (§3.2: "the number of
+//! messages exchanged is directly related to the number of members in the
+//! ordering group" with "non-linear performance penalties in large
+//! ordering groups").
+//!
+//! Wall-clock here measures the *work* of one ordered invocation at each
+//! group size; the simulated message/byte/latency shape is printed by
+//! `exp_report`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_bench::{deploy, measure_invocation, DeployOptions};
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_invocation_by_f");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for f in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            // keep one warm system per measurement batch
+            let mut system = deploy(&DeployOptions {
+                f,
+                seed: 1000 + f as u64,
+                ..DeployOptions::default()
+            });
+            measure_invocation(&mut system, 1); // connection warm-up
+            b.iter(|| measure_invocation(&mut system, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2: per-layer cost of the SMIOP stack (Figure 2) — marshalling, CDR,
+//! sealing, signing, BFT framing — measured in isolation so the composite
+//! invocation cost can be attributed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_crypto::keys::SymmetricKey;
+use itdos_crypto::sign::SigningKey;
+use itdos_crypto::symmetric::{open, seal};
+use itdos_giop::cdr::Endianness;
+use itdos_giop::giop::{decode_message, encode_message, GiopMessage, RequestMessage};
+use itdos_giop::types::Value;
+
+fn sample_request() -> GiopMessage {
+    GiopMessage::Request(RequestMessage {
+        request_id: 1,
+        response_expected: true,
+        object_key: b"counter".to_vec(),
+        interface: "Counter".into(),
+        operation: "add".into(),
+        args: vec![Value::LongLong(5)],
+    })
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let repo = itdos_bench::repo();
+    let msg = sample_request();
+    let frame = encode_message(&msg, &repo, Endianness::Little).expect("encodes");
+    let key = SymmetricKey::derive(b"conn", b"bench");
+    let sealed = seal(&key, [1u8; 16], &frame);
+    let sk = SigningKey::from_seed(b"element");
+    let signature = sk.sign(&frame);
+    let pk = sk.verifying_key();
+
+    c.bench_function("layer_marshal_giop", |b| {
+        b.iter(|| encode_message(&msg, &repo, Endianness::Little).expect("encodes"));
+    });
+    c.bench_function("layer_unmarshal_giop", |b| {
+        b.iter(|| decode_message(&frame, &repo).expect("decodes"));
+    });
+    c.bench_function("layer_seal", |b| {
+        b.iter(|| seal(&key, [1u8; 16], &frame));
+    });
+    c.bench_function("layer_open", |b| {
+        b.iter(|| open(&key, &sealed).expect("valid"));
+    });
+    c.bench_function("layer_sign", |b| {
+        b.iter(|| sk.sign(&frame));
+    });
+    c.bench_function("layer_verify", |b| {
+        b.iter(|| assert!(pk.verify(&frame, &signature)));
+    });
+    c.bench_function("layer_bft_frame", |b| {
+        b.iter(|| {
+            let op = itdos_bft::queue::QueueOp::Deliver(frame.clone()).encode();
+            itdos_bft::queue::QueueOp::decode(&op).expect("round trips")
+        });
+    });
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E7: threshold (DPRF) communication-key generation versus the
+//! traditional whole-key Group Manager baseline (§3.5).
+//!
+//! Cost side: share evaluation + verification + combination against a
+//! single keyed-hash derivation. Exposure side is tabulated by
+//! `exp_report` (and asserted in `itdos-groupmgr`'s tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_crypto::dprf::{combine, Dprf, KeyShare};
+use itdos_groupmgr::keying::TraditionalKeying;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("communication_keygen");
+    for f in [1usize, 2, 3] {
+        let n = 3 * f + 1;
+        let mut rng = SmallRng::seed_from_u64(f as u64);
+        let dprf = Dprf::deal(f, n, &mut rng);
+        let traditional = TraditionalKeying::new(n, &mut rng);
+        let input = b"connection-7-epoch-0";
+        let shares: Vec<KeyShare> = dprf
+            .holders()
+            .iter()
+            .map(|h| h.evaluate(input))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("dprf_share_eval", f), &f, |b, _| {
+            b.iter(|| dprf.holders()[0].evaluate(input));
+        });
+        group.bench_with_input(BenchmarkId::new("dprf_verify_combine", f), &f, |b, _| {
+            b.iter(|| combine(dprf.verifier(), input, &shares[..f + 1]).expect("combines"));
+        });
+        group.bench_with_input(BenchmarkId::new("traditional_whole_key", f), &f, |b, _| {
+            b.iter(|| traditional.key_for(input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keygen);
+criterion_main!(benches);

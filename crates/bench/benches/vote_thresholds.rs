@@ -1,0 +1,55 @@
+//! E5: the 2f+1 decision rule — reply latency with healthy, slow, and
+//! silent straggler elements (§3.6: the voter "does not wait for all 3f+1
+//! messages to arrive … that would cause the system to be vulnerable to
+//! network delays and faulty processes that may be deliberately slow").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itdos::fault::Behavior;
+use itdos_bench::straggler_latency;
+use itdos_vote::collator::Collator;
+use itdos_vote::comparator::Comparator;
+use itdos_vote::vote::{SenderId, Thresholds};
+use itdos_giop::types::Value;
+use simnet::SimDuration;
+
+fn bench_collator(c: &mut Criterion) {
+    // the voter object itself: cost of collating one full round (f = 1)
+    c.bench_function("collator_round_f1", |b| {
+        b.iter(|| {
+            let mut voter = Collator::new(Thresholds::new(1), Comparator::Exact);
+            voter.begin(1);
+            for i in 0..4u32 {
+                voter.offer(1, SenderId(i), Value::LongLong(42));
+            }
+            assert!(voter.decision().is_some());
+        });
+    });
+    c.bench_function("collator_round_f3", |b| {
+        b.iter(|| {
+            let mut voter = Collator::new(Thresholds::new(3), Comparator::Exact);
+            voter.begin(1);
+            for i in 0..10u32 {
+                voter.offer(1, SenderId(i), Value::LongLong(42));
+            }
+            assert!(voter.decision().is_some());
+        });
+    });
+
+    // the headline table: decision latency is immune to one straggler
+    let healthy = straggler_latency(None, 501);
+    let slow = straggler_latency(Some(Behavior::Slow(SimDuration::from_millis(250))), 502);
+    let silent = straggler_latency(Some(Behavior::Silent), 503);
+    println!(
+        "\n[E5] decision latency — healthy: {}us, one slow(250ms): {}us, one silent: {}us",
+        healthy.as_micros(),
+        slow.as_micros(),
+        silent.as_micros()
+    );
+    assert!(
+        slow.as_micros() < 50_000,
+        "2f+1 rule keeps the slow element off the critical path"
+    );
+}
+
+criterion_group!(benches, bench_collator);
+criterion_main!(benches);

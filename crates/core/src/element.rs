@@ -1,0 +1,914 @@
+//! The server replication domain element.
+//!
+//! One simulated process hosting the full Figure 2 stack: the
+//! Castro–Liskov transport (a PBFT replica whose state machine is the
+//! ITDOS message queue), the SMIOP layer (per-connection keys, sealing,
+//! signing), a per-connection voter bank, the IT-ORB with its servants,
+//! and the two-logical-threads execution model — the replica delivery
+//! path feeds decided messages to the ORB path, which may suspend on
+//! nested invocations (§3.1).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use bytes::Bytes;
+use itdos_bft::auth::{AuthContext, Envelope, Peer};
+use itdos_bft::config::SeqNo;
+use itdos_bft::message::Message;
+use itdos_bft::queue::{ElementId, QueueMachine, QueueOp};
+use itdos_bft::replica::{Output, Replica};
+use itdos_crypto::hash::Digest;
+use itdos_crypto::keys::CommunicationKey;
+use itdos_crypto::sign::SigningKey;
+use itdos_crypto::symmetric::{open, seal, Sealed};
+use itdos_giop::giop::{GiopMessage, ReplyBody, ReplyMessage, RequestMessage};
+use itdos_giop::platform::PlatformProfile;
+use itdos_giop::types::Value;
+use itdos_groupmgr::manager::ConnectionId;
+use itdos_groupmgr::membership::DomainId;
+use itdos_orb::object::ObjectKey;
+use itdos_orb::orb::{Dispatch, Orb};
+use itdos_orb::servant::{NestedCall, Servant, ServantException};
+use itdos_vote::collator::{Accept, Collator};
+use itdos_vote::detector::SignedReply;
+use itdos_vote::vote::SenderId;
+use simnet::{Context, NodeId, Process, Timer};
+
+use crate::codes::{element_code, pack_timer, unpack_timer, TimerTag, ELEMENT_CODE_BASE};
+use crate::fabric::Fabric;
+use crate::fault::Behavior;
+use crate::outbound::Outbound;
+use itdos_vote::folding::{
+    folded_comparator, reply_to_value, request_to_value, value_to_reply, value_to_request,
+};
+use crate::wire::{ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame};
+
+/// Static configuration of one element.
+#[derive(Debug, Clone)]
+pub struct ElementConfig {
+    /// The element's domain.
+    pub domain: DomainId,
+    /// Its replica index within the domain.
+    pub index: usize,
+    /// Its global element id.
+    pub element: SenderId,
+    /// The platform it "runs on" (endianness + float lane).
+    pub platform: PlatformProfile,
+    /// Its (mis)behaviour.
+    pub behavior: Behavior,
+    /// Queue-consumption acknowledgements are sent every this many
+    /// delivered messages.
+    pub ack_interval: u64,
+    /// Capacity of the replicated message queue in payload bytes (§3.1:
+    /// "the size of this message queue is limited by the size of the
+    /// contiguous block of memory").
+    pub queue_capacity: usize,
+}
+
+/// The vote-sender id used for an endpoint code.
+pub fn vote_sender(code: u64) -> SenderId {
+    if code >= ELEMENT_CODE_BASE {
+        SenderId((code - ELEMENT_CODE_BASE) as u32)
+    } else {
+        SenderId(code as u32)
+    }
+}
+
+struct ConnState {
+    meta: ConnectionMeta,
+    key: CommunicationKey,
+    next_request_id: u64,
+}
+
+struct VoterEntry {
+    request_id: u64,
+    collator: Collator,
+    frames: BTreeMap<SenderId, SignedReply>,
+}
+
+struct Current {
+    meta: ConnectionMeta,
+    request_id: u64,
+}
+
+enum NestedPhase {
+    AwaitingConnection { target: DomainId, call: NestedCall },
+    AwaitingReply { connection: ConnectionId, request_id: u64 },
+}
+
+enum DelayedSend {
+    Direct { node: NodeId, msg: DirectReplyMsg },
+    Domain { target: DomainId, frame: SmiopFrame },
+}
+
+/// A server replication domain element (one simnet process).
+pub struct ServerElement {
+    fabric: Fabric,
+    cfg: ElementConfig,
+    replica: Replica<QueueMachine>,
+    bft_auth: AuthContext,
+    orb: Orb,
+    signing: SigningKey,
+    sequence: u64,
+    conns: BTreeMap<ConnectionId, ConnState>,
+    shares: crate::keying::ShareBank,
+    stalled: BTreeMap<ConnectionId, VecDeque<SmiopFrame>>,
+    voters: BTreeMap<(ConnectionId, u8), VoterEntry>,
+    outbound: BTreeMap<DomainId, Outbound>,
+    inbox: VecDeque<(ConnectionMeta, RequestMessage)>,
+    current: Option<Current>,
+    nested: Option<NestedPhase>,
+    processed: u64,
+    acked_index: u64,
+    notices: BTreeMap<SenderId, BTreeSet<u64>>,
+    reported: BTreeSet<SenderId>,
+    expel_submitted: BTreeSet<SenderId>,
+    delayed: Vec<Option<DelayedSend>>,
+    /// Requests this element's ORB executed (observability).
+    pub requests_handled: u64,
+    /// Replies this element emitted.
+    pub replies_sent: u64,
+}
+
+impl std::fmt::Debug for ServerElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerElement")
+            .field("element", &self.cfg.element)
+            .field("domain", &self.cfg.domain)
+            .field("connections", &self.conns.len())
+            .field("handled", &self.requests_handled)
+            .finish()
+    }
+}
+
+impl ServerElement {
+    /// Creates an element hosting the given servants.
+    pub fn new(
+        fabric: Fabric,
+        cfg: ElementConfig,
+        servants: Vec<(ObjectKey, Box<dyn Servant>)>,
+    ) -> ServerElement {
+        let spec = fabric.domain(cfg.domain);
+        let members: Vec<ElementId> = spec.elements.iter().map(|e| ElementId(e.0)).collect();
+        let queue = QueueMachine::new(cfg.queue_capacity, members);
+        let replica = Replica::new(
+            spec.config.clone(),
+            itdos_bft::config::ReplicaId(cfg.index as u32),
+            queue,
+        );
+        let bft_auth = fabric.bft_auth_replica(cfg.domain, cfg.index);
+        let mut orb = Orb::new(fabric.repo.clone(), cfg.platform);
+        for (key, servant) in servants {
+            orb.activate(key, servant);
+        }
+        let signing = fabric.signing_key(cfg.element);
+        let my_code = element_code(cfg.element);
+        let mut outbound = BTreeMap::new();
+        outbound.insert(
+            fabric.gm_domain,
+            Outbound::new(&fabric, fabric.gm_domain, my_code),
+        );
+        outbound.insert(cfg.domain, Outbound::new(&fabric, cfg.domain, my_code));
+        ServerElement {
+            fabric,
+            cfg,
+            replica,
+            bft_auth,
+            orb,
+            signing,
+            sequence: 0,
+            conns: BTreeMap::new(),
+            shares: crate::keying::ShareBank::new(my_code),
+            stalled: BTreeMap::new(),
+            voters: BTreeMap::new(),
+            outbound,
+            inbox: VecDeque::new(),
+            current: None,
+            nested: None,
+            processed: 0,
+            acked_index: 0,
+            notices: BTreeMap::new(),
+            reported: BTreeSet::new(),
+            expel_submitted: BTreeSet::new(),
+            delayed: Vec::new(),
+            requests_handled: 0,
+            replies_sent: 0,
+        }
+    }
+
+    /// This element's global id.
+    pub fn element(&self) -> SenderId {
+        self.cfg.element
+    }
+
+    /// The wrapped replica (tests / benches).
+    pub fn replica(&self) -> &Replica<QueueMachine> {
+        &self.replica
+    }
+
+    /// Mutable replica access (fault injection / proactive recovery in
+    /// tests and experiments).
+    pub fn replica_mut(&mut self) -> &mut Replica<QueueMachine> {
+        &mut self.replica
+    }
+
+    /// Established connections count (tests).
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The element's endpoint code.
+    fn my_code(&self) -> u64 {
+        element_code(self.cfg.element)
+    }
+
+    fn next_sequence(&mut self) -> u64 {
+        self.sequence += 1;
+        self.sequence
+    }
+
+    // --------------------------------------------------------- bft plumbing
+
+    fn send_bft(&self, ctx: &mut Context<'_>, node: NodeId, envelope: Envelope, label: &'static str) {
+        let msg = CoreMsg::Bft {
+            domain: self.cfg.domain,
+            envelope: envelope.encode(),
+        };
+        ctx.send_labeled(node, Bytes::from(msg.encode()), label);
+    }
+
+    fn envelope_for(&self, message: &Message) -> Envelope {
+        let payload = message.encode();
+        match message {
+            Message::ViewChange(_)
+            | Message::NewView(_)
+            | Message::Checkpoint(_)
+            | Message::StateData(_) => self.bft_auth.signed_envelope(payload),
+            _ => self.bft_auth.mac_envelope(payload),
+        }
+    }
+
+    fn drain_replica(&mut self, ctx: &mut Context<'_>) {
+        for output in self.replica.take_outputs() {
+            match output {
+                Output::ToReplica(to, message) => {
+                    let node = self.fabric.domain(self.cfg.domain).nodes[to.0 as usize];
+                    let envelope = self.envelope_for(&message);
+                    self.send_bft(ctx, node, envelope, message.label());
+                }
+                Output::ToAllReplicas(message) => {
+                    let envelope = self.envelope_for(&message);
+                    let msg = CoreMsg::Bft {
+                        domain: self.cfg.domain,
+                        envelope: envelope.encode(),
+                    };
+                    ctx.multicast_labeled(
+                        self.fabric.domain(self.cfg.domain).mcast,
+                        Bytes::from(msg.encode()),
+                        message.label(),
+                    );
+                }
+                Output::ToClient(client, message) => {
+                    if let Some(node) = self.fabric.node_of(client.0) {
+                        let envelope = self
+                            .bft_auth
+                            .mac_envelope_for_client(client, message.encode());
+                        self.send_bft(ctx, node, envelope, message.label());
+                    }
+                }
+                Output::Executed {
+                    seq,
+                    request,
+                    result,
+                } => {
+                    self.on_executed(ctx, seq, &request.operation, &result);
+                }
+                Output::StartViewTimer { epoch, attempt } => {
+                    let timeout = self
+                        .fabric
+                        .domain(self.cfg.domain)
+                        .config
+                        .view_timeout
+                        .saturating_mul(1 << attempt.min(16));
+                    ctx.set_timer(timeout, pack_timer(TimerTag::View, epoch));
+                }
+                Output::EnteredView(_) | Output::StateTransferred(_) => {}
+            }
+        }
+    }
+
+    // ----------------------------------------------------- ordered delivery
+
+    fn on_executed(&mut self, ctx: &mut Context<'_>, _seq: SeqNo, op_bytes: &[u8], result: &[u8]) {
+        let Ok(op) = QueueOp::decode(op_bytes) else {
+            return;
+        };
+        match op {
+            QueueOp::Deliver(frame_bytes) => {
+                if result.first() == Some(&1) {
+                    // the bounded queue refused this message (§3.1): it was
+                    // never enqueued, so it must not reach the ORB either —
+                    // identically on every element
+                    self.check_laggards(ctx);
+                    return;
+                }
+                self.processed += 1;
+                if let Ok(frame) = SmiopFrame::decode(&frame_bytes) {
+                    self.process_frame(ctx, frame);
+                }
+                self.maybe_ack(ctx);
+                self.check_laggards(ctx);
+            }
+            QueueOp::Ack { .. } | QueueOp::Expel(_) | QueueOp::Join(_) => {}
+        }
+    }
+
+    fn maybe_ack(&mut self, ctx: &mut Context<'_>) {
+        let head = self.replica.app().next_index();
+        if head.saturating_sub(self.acked_index) >= self.cfg.ack_interval {
+            self.acked_index = head;
+            let op = QueueOp::Ack {
+                element: ElementId(self.cfg.element.0),
+                up_to: head,
+            };
+            let own = self.cfg.domain;
+            self.submit_op(ctx, own, op.encode());
+        }
+    }
+
+    fn check_laggards(&mut self, ctx: &mut Context<'_>) {
+        let window = self.cfg.ack_interval * 4;
+        let laggards = self.replica.app().laggards(window);
+        for laggard in laggards {
+            let sender = SenderId(laggard.0);
+            if sender != self.cfg.element && self.reported.insert(sender) {
+                self.accuse(ctx, sender);
+            }
+        }
+    }
+
+    fn accuse(&mut self, ctx: &mut Context<'_>, accused: SenderId) {
+        let op = GmOp::ChangeVote {
+            accuser: self.cfg.element,
+            accused,
+        };
+        let gm = self.fabric.gm_domain;
+        self.submit_op(ctx, gm, op.encode());
+    }
+
+    fn submit_op(&mut self, ctx: &mut Context<'_>, target: DomainId, op: Vec<u8>) {
+        let fabric = self.fabric.clone();
+        let code = self.my_code();
+        let outbound = self
+            .outbound
+            .entry(target)
+            .or_insert_with(|| Outbound::new(&fabric, target, code));
+        outbound.submit(ctx, &fabric, op);
+    }
+
+    // ------------------------------------------------------------ SMIOP rx
+
+    fn process_frame(&mut self, ctx: &mut Context<'_>, frame: SmiopFrame) {
+        let Some(conn) = self.conns.get(&frame.connection) else {
+            self.stall(frame);
+            return;
+        };
+        if conn.meta.epoch != frame.epoch {
+            if frame.epoch > conn.meta.epoch {
+                self.stall(frame);
+            }
+            // older epoch: sender was keyed out — drop (§3.5 expulsion)
+            return;
+        }
+        let key = conn.key;
+        let meta = conn.meta;
+        let Some(sealed) = Sealed::from_bytes(&frame.sealed) else {
+            return;
+        };
+        let Ok(giop_bytes) = open(&key.0, &sealed) else {
+            return;
+        };
+        let sender = vote_sender(frame.sender_code);
+        let signed = SignedReply {
+            sender,
+            sequence: frame.sequence,
+            frame: giop_bytes.clone(),
+            signature: frame.signature,
+        };
+        let verifying = self.fabric.verifying_key_code(frame.sender_code);
+        if !signed.verify(&verifying) {
+            return;
+        }
+        let Ok(message) = self.orb.unmarshal(&giop_bytes) else {
+            return;
+        };
+        match (frame.kind, message) {
+            (FrameKind::Request, GiopMessage::Request(request)) => {
+                if request.request_id != frame.request_id {
+                    return;
+                }
+                let value = request_to_value(&request);
+                self.offer(
+                    ctx,
+                    meta,
+                    FrameKind::Request,
+                    frame.request_id,
+                    sender,
+                    value,
+                    signed,
+                    &request.interface,
+                );
+            }
+            (FrameKind::Reply, GiopMessage::Reply(reply)) => {
+                if reply.request_id != frame.request_id {
+                    return;
+                }
+                let value = reply_to_value(&reply);
+                let interface = reply.interface.clone();
+                self.offer(
+                    ctx,
+                    meta,
+                    FrameKind::Reply,
+                    frame.request_id,
+                    sender,
+                    value,
+                    signed,
+                    &interface,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn stall(&mut self, frame: SmiopFrame) {
+        let queue = self.stalled.entry(frame.connection).or_default();
+        if queue.len() < 64 {
+            queue.push_back(frame);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        meta: ConnectionMeta,
+        kind: FrameKind,
+        request_id: u64,
+        sender: SenderId,
+        value: Value,
+        signed: SignedReply,
+        interface: &str,
+    ) {
+        let kind_tag = match kind {
+            FrameKind::Request => 0u8,
+            FrameKind::Reply => 1u8,
+        };
+        let key = (meta.connection, kind_tag);
+        let thresholds = self.fabric.sender_thresholds(&meta, kind);
+        let comparator = folded_comparator(self.fabric.comparators.for_interface(interface).clone());
+        let entry = self.voters.entry(key).or_insert_with(|| {
+            let mut collator = Collator::new(thresholds, comparator.clone());
+            collator.begin(request_id);
+            VoterEntry {
+                request_id,
+                collator,
+                frames: BTreeMap::new(),
+            }
+        });
+        if request_id > entry.request_id {
+            // new outstanding request: garbage-collect the old round (§3.6)
+            let mut collator = Collator::new(thresholds, comparator);
+            collator.begin(request_id);
+            *entry = VoterEntry {
+                request_id,
+                collator,
+                frames: BTreeMap::new(),
+            };
+        }
+        entry.frames.insert(sender, signed);
+        match entry.collator.offer(request_id, sender, value) {
+            Accept::Decided(decision) => {
+                let suspects = decision.dissenters.clone();
+                self.on_decided(ctx, meta, kind, request_id, decision.value);
+                self.report_suspects(ctx, &suspects);
+            }
+            Accept::Late { suspect: Some(s) } => {
+                self.report_suspects(ctx, &[s]);
+            }
+            _ => {}
+        }
+    }
+
+    fn report_suspects(&mut self, ctx: &mut Context<'_>, suspects: &[SenderId]) {
+        for &s in suspects {
+            // only accuse real domain elements (never singleton codes) and
+            // only once per element
+            if self.fabric.domain_of_element(s).is_some()
+                && s != self.cfg.element
+                && self.reported.insert(s)
+            {
+                self.accuse(ctx, s);
+            }
+        }
+    }
+
+    fn on_decided(
+        &mut self,
+        ctx: &mut Context<'_>,
+        meta: ConnectionMeta,
+        kind: FrameKind,
+        request_id: u64,
+        value: Value,
+    ) {
+        match kind {
+            FrameKind::Request => {
+                if let Some(request) = value_to_request(request_id, &value) {
+                    self.inbox.push_back((meta, request));
+                    self.try_process(ctx);
+                }
+            }
+            FrameKind::Reply => {
+                let awaiting = matches!(
+                    self.nested,
+                    Some(NestedPhase::AwaitingReply {
+                        connection,
+                        request_id: rid,
+                    }) if connection == meta.connection && rid == request_id
+                );
+                if awaiting {
+                    self.nested = None;
+                    if let Some(reply) = value_to_reply(request_id, &value) {
+                        let result = match reply.body {
+                            ReplyBody::Result(v) => Ok(v),
+                            ReplyBody::UserException { name } => {
+                                Err(ServantException::new(name))
+                            }
+                            ReplyBody::SystemException { minor } => {
+                                Err(ServantException::new(format!("SYSTEM:{minor}")))
+                            }
+                        };
+                        let dispatch = self.orb.handle_nested_reply(result);
+                        self.continue_dispatch(ctx, dispatch);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- ORB thread
+
+    fn try_process(&mut self, ctx: &mut Context<'_>) {
+        while self.current.is_none() && !self.orb.is_suspended() {
+            let Some((meta, request)) = self.inbox.pop_front() else {
+                return;
+            };
+            self.current = Some(Current {
+                meta,
+                request_id: request.request_id,
+            });
+            self.requests_handled += 1;
+            let dispatch = self.orb.handle_request(&request);
+            self.continue_dispatch(ctx, dispatch);
+        }
+    }
+
+    fn continue_dispatch(&mut self, ctx: &mut Context<'_>, dispatch: Dispatch) {
+        match dispatch {
+            Dispatch::Reply(reply) => {
+                let current = self.current.take().expect("reply concludes a request");
+                self.emit_reply(ctx, current, reply);
+                self.try_process(ctx);
+            }
+            Dispatch::Suspended(call) => {
+                let target = DomainId(call.target.domain.0);
+                let existing = self.conns.iter().find(|(_, c)| {
+                    c.meta.server_domain == target
+                        && c.meta.client_domain == Some(self.cfg.domain)
+                });
+                match existing {
+                    Some((&conn_id, _)) => self.send_nested_request(ctx, conn_id, call),
+                    None => {
+                        let op = GmOp::Open {
+                            client: itdos_groupmgr::membership::Endpoint::Element(
+                                self.cfg.element,
+                            ),
+                            client_domain: Some(self.cfg.domain),
+                            target,
+                        };
+                        self.nested = Some(NestedPhase::AwaitingConnection { target, call });
+                        let gm = self.fabric.gm_domain;
+                        self.submit_op(ctx, gm, op.encode());
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_nested_request(&mut self, ctx: &mut Context<'_>, conn_id: ConnectionId, call: NestedCall) {
+        let conn = self.conns.get_mut(&conn_id).expect("connection exists");
+        let request_id = conn.next_request_id;
+        conn.next_request_id += 1;
+        let meta = conn.meta;
+        let key = conn.key;
+        let request = RequestMessage {
+            request_id,
+            response_expected: true,
+            object_key: call.target.key.0.clone(),
+            interface: call.target.interface.clone(),
+            operation: call.operation.clone(),
+            args: call.args.clone(),
+        };
+        let Ok(giop_bytes) = self.orb.marshal(&GiopMessage::Request(request)) else {
+            // a servant asked for an un-marshallable call: surface as a
+            // nested system exception so the suspended request concludes
+            let dispatch = self
+                .orb
+                .handle_nested_reply(Err(ServantException::new("SYSTEM:marshal")));
+            self.continue_dispatch(ctx, dispatch);
+            return;
+        };
+        let sequence = self.next_sequence();
+        let signature = SignedReply::sign(
+            &self.signing,
+            self.cfg.element,
+            sequence,
+            giop_bytes.clone(),
+        )
+        .signature;
+        let nonce = self.nonce(meta.connection, meta.epoch, request_id, sequence);
+        let sealed = seal(&key.0, nonce, &giop_bytes);
+        let frame = SmiopFrame {
+            connection: meta.connection,
+            epoch: meta.epoch,
+            kind: FrameKind::Request,
+            sender_code: self.my_code(),
+            request_id,
+            sequence,
+            sealed: sealed.to_bytes(),
+            signature,
+        };
+        self.nested = Some(NestedPhase::AwaitingReply {
+            connection: conn_id,
+            request_id,
+        });
+        let target = meta.server_domain;
+        self.submit_op(ctx, target, QueueOp::Deliver(frame.encode()).encode());
+    }
+
+    fn nonce(&self, conn: ConnectionId, epoch: u32, request_id: u64, sequence: u64) -> [u8; 16] {
+        let d = Digest::of_parts(&[
+            b"itdos-nonce",
+            &self.my_code().to_le_bytes(),
+            &conn.0.to_le_bytes(),
+            &epoch.to_le_bytes(),
+            &request_id.to_le_bytes(),
+            &sequence.to_le_bytes(),
+        ]);
+        d.0[..16].try_into().expect("16 bytes")
+    }
+
+    fn emit_reply(&mut self, ctx: &mut Context<'_>, current: Current, mut reply: ReplyMessage) {
+        if self.cfg.behavior.is_silent() {
+            return;
+        }
+        if let ReplyBody::Result(value) = &reply.body {
+            if let Some(corrupted) = self.cfg.behavior.corrupt(current.request_id, value) {
+                reply.body = ReplyBody::Result(corrupted);
+            }
+        }
+        let Some(conn) = self.conns.get(&current.meta.connection) else {
+            return;
+        };
+        let meta = conn.meta;
+        let key = conn.key;
+        let Ok(giop_bytes) = self.orb.marshal(&GiopMessage::Reply(reply)) else {
+            return;
+        };
+        let sequence = self.next_sequence();
+        let signature = SignedReply::sign(
+            &self.signing,
+            self.cfg.element,
+            sequence,
+            giop_bytes.clone(),
+        )
+        .signature;
+        let nonce = self.nonce(meta.connection, meta.epoch, current.request_id, sequence);
+        let sealed = seal(&key.0, nonce, &giop_bytes);
+        self.replies_sent += 1;
+        let send = if let Some(client_domain) = meta.client_domain {
+            DelayedSend::Domain {
+                target: client_domain,
+                frame: SmiopFrame {
+                    connection: meta.connection,
+                    epoch: meta.epoch,
+                    kind: FrameKind::Reply,
+                    sender_code: self.my_code(),
+                    request_id: current.request_id,
+                    sequence,
+                    sealed: sealed.to_bytes(),
+                    signature,
+                },
+            }
+        } else {
+            let Some(node) = self.fabric.node_of(meta.client_code) else {
+                return;
+            };
+            DelayedSend::Direct {
+                node,
+                msg: DirectReplyMsg {
+                    connection: meta.connection,
+                    epoch: meta.epoch,
+                    sender: self.cfg.element,
+                    sequence,
+                    sealed: sealed.to_bytes(),
+                    signature,
+                },
+            }
+        };
+        match self.cfg.behavior.delay() {
+            Some(delay) => {
+                let slot = self.delayed.len() as u64;
+                self.delayed.push(Some(send));
+                ctx.set_timer(delay, pack_timer(TimerTag::DelayedSend, slot));
+            }
+            None => self.dispatch_send(ctx, send),
+        }
+    }
+
+    fn dispatch_send(&mut self, ctx: &mut Context<'_>, send: DelayedSend) {
+        match send {
+            DelayedSend::Direct { node, msg } => {
+                ctx.send_labeled(
+                    node,
+                    Bytes::from(CoreMsg::DirectReply(msg).encode()),
+                    "smiop-reply",
+                );
+            }
+            DelayedSend::Domain { target, frame } => {
+                self.submit_op(ctx, target, QueueOp::Deliver(frame.encode()).encode());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- keying
+
+    fn handle_key_share(&mut self, ctx: &mut Context<'_>, msg: crate::wire::KeyShareMsg) {
+        let Some((meta, key)) = self.shares.offer(&self.fabric, &msg) else {
+            return;
+        };
+        let is_new_or_newer = self
+            .conns
+            .get(&meta.connection)
+            .map_or(true, |c| meta.epoch >= c.meta.epoch);
+        if !is_new_or_newer {
+            return;
+        }
+        let next_request_id = self
+            .conns
+            .get(&meta.connection)
+            .map(|c| c.next_request_id)
+            .unwrap_or(1);
+        self.conns.insert(
+            meta.connection,
+            ConnState {
+                meta,
+                key,
+                next_request_id,
+            },
+        );
+        // retry frames that arrived before the key
+        if let Some(mut frames) = self.stalled.remove(&meta.connection) {
+            while let Some(frame) = frames.pop_front() {
+                self.process_frame(ctx, frame);
+            }
+        }
+        // fire a nested call waiting on this connection
+        if let Some(NestedPhase::AwaitingConnection { target, .. }) = &self.nested {
+            if *target == meta.server_domain && meta.client_domain == Some(self.cfg.domain) {
+                let Some(NestedPhase::AwaitingConnection { call, .. }) = self.nested.take()
+                else {
+                    unreachable!("matched above");
+                };
+                self.send_nested_request(ctx, meta.connection, call);
+            }
+        }
+    }
+
+    fn handle_notice(&mut self, ctx: &mut Context<'_>, msg: crate::wire::NoticeMsg) {
+        let pairwise = self.fabric.pairwise(msg.gm_code, self.my_code());
+        let Some(sealed) = Sealed::from_bytes(&msg.sealed) else {
+            return;
+        };
+        let Ok(plain) = open(&pairwise, &sealed) else {
+            return;
+        };
+        let expect = notice_plaintext(msg.domain, msg.expelled);
+        if plain != expect {
+            return;
+        }
+        let votes = self.notices.entry(msg.expelled).or_default();
+        votes.insert(msg.gm_code);
+        let gm_f = self.fabric.domain(self.fabric.gm_domain).f;
+        if votes.len() > gm_f
+            && msg.domain == self.cfg.domain
+            && self.expel_submitted.insert(msg.expelled)
+        {
+            // unblock queue GC: the expelled element no longer gates acks
+            let op = QueueOp::Expel(ElementId(msg.expelled.0));
+            let own = self.cfg.domain;
+            self.submit_op(ctx, own, op.encode());
+        }
+    }
+}
+
+/// Canonical plaintext of an expulsion notice (sealed pairwise per GM
+/// element → recipient).
+pub fn notice_plaintext(domain: DomainId, expelled: SenderId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(b"expel");
+    out.extend_from_slice(&domain.0.to_le_bytes());
+    out.extend_from_slice(&expelled.0.to_le_bytes());
+    out
+}
+
+impl Process for ServerElement {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join(self.fabric.domain(self.cfg.domain).mcast);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        let Ok(msg) = CoreMsg::decode(&payload) else {
+            return;
+        };
+        match msg {
+            CoreMsg::Bft { domain, envelope } => {
+                if domain == self.cfg.domain {
+                    // could be replica traffic or an ACK for our own-group
+                    // control ops: peek at the decoded message
+                    let Ok(env) = Envelope::decode(&envelope) else {
+                        return;
+                    };
+                    if let Ok(Message::Reply(r)) = Message::decode(&env.payload) {
+                        if r.client.0 == self.my_code() {
+                            if let Some(outbound) = self.outbound.get_mut(&domain) {
+                                let fabric = self.fabric.clone();
+                                outbound.on_reply(ctx, &fabric, &envelope);
+                                outbound.take_accepted();
+                            }
+                            return;
+                        }
+                    }
+                    if !self.bft_auth.verify(&env) {
+                        return;
+                    }
+                    let Ok(message) = Message::decode(&env.payload) else {
+                        return;
+                    };
+                    match env.sender {
+                        Peer::Replica(sender) => self.replica.on_message(sender, message),
+                        Peer::Client(_) => {
+                            if let Message::Request(request) = message {
+                                self.replica.on_request(request);
+                            }
+                        }
+                    }
+                    self.drain_replica(ctx);
+                } else if let Some(outbound) = self.outbound.get_mut(&domain) {
+                    let fabric = self.fabric.clone();
+                    outbound.on_reply(ctx, &fabric, &envelope);
+                    outbound.take_accepted();
+                }
+            }
+            CoreMsg::KeyShare(m) => self.handle_key_share(ctx, m),
+            CoreMsg::Notice(m) => self.handle_notice(ctx, m),
+            CoreMsg::DirectReply(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        let Some((tag, param)) = unpack_timer(timer.kind) else {
+            return;
+        };
+        match tag {
+            TimerTag::View => {
+                self.replica.on_view_timeout(param);
+                self.drain_replica(ctx);
+            }
+            TimerTag::Retransmit => {
+                let fabric = self.fabric.clone();
+                if let Some(outbound) = self.outbound.get_mut(&DomainId(param)) {
+                    outbound.on_retransmit_timer(ctx, &fabric);
+                }
+            }
+            TimerTag::DelayedSend => {
+                if let Some(send) = self
+                    .delayed
+                    .get_mut(param as usize)
+                    .and_then(Option::take)
+                {
+                    self.dispatch_send(ctx, send);
+                }
+            }
+            TimerTag::AckFlush | TimerTag::ClientRetry => {}
+        }
+    }
+}

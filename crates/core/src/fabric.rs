@@ -1,0 +1,261 @@
+//! The fabric: static deployment wiring shared by every process.
+//!
+//! A deployment is fixed at configuration time (the paper's §2.2
+//! assumption that "authentication tokens for each process are adequately
+//! protected" plus "ITDOS relies upon configuration inputs for its
+//! pseudo-random functions"): which domains exist, which simulated node
+//! hosts which element, every group's BFT provisioning seed, the global
+//! pairwise-key seed, element signing keys, the DPRF verifier, the
+//! interface repository, and the comparator registry.
+
+use std::collections::BTreeMap;
+
+use itdos_bft::auth::{AuthContext, KeyProvisioner};
+use itdos_bft::config::GroupConfig;
+use itdos_crypto::dprf::Verifier;
+use itdos_crypto::keys::SymmetricKey;
+use itdos_crypto::sign::{SigningKey, VerifyingKey};
+use itdos_giop::idl::InterfaceRepository;
+use itdos_groupmgr::membership::DomainId;
+use itdos_vote::vote::{SenderId, Thresholds};
+use simnet::{GroupId, NodeId};
+
+use crate::codes::{bft_client_id, element_code};
+use crate::registry::ComparatorRegistry;
+use crate::wire::ConnectionMeta;
+
+/// One replication domain's wiring.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Domain id.
+    pub id: DomainId,
+    /// Faults tolerated.
+    pub f: usize,
+    /// BFT group configuration.
+    pub config: GroupConfig,
+    /// BFT key-provisioning seed for this group.
+    pub seed: [u8; 32],
+    /// The domain's multicast group (one address per domain, §3.4).
+    pub mcast: GroupId,
+    /// Hosting node per replica index.
+    pub nodes: Vec<NodeId>,
+    /// Global element id per replica index.
+    pub elements: Vec<SenderId>,
+}
+
+impl DomainSpec {
+    /// The replica index of a global element id, if it belongs here.
+    pub fn replica_index(&self, element: SenderId) -> Option<usize> {
+        self.elements.iter().position(|e| *e == element)
+    }
+}
+
+/// The full static wiring.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// All domains (servers, clients-as-domains, and the GM domain).
+    pub domains: BTreeMap<DomainId, DomainSpec>,
+    /// Endpoint code → hosting node (covers singletons and all elements).
+    pub endpoint_nodes: BTreeMap<u64, NodeId>,
+    /// The Group Manager's domain id.
+    pub gm_domain: DomainId,
+    /// The shared interface repository.
+    pub repo: InterfaceRepository,
+    /// Voting comparator programs.
+    pub comparators: ComparatorRegistry,
+    /// Public verifier for GM key shares.
+    pub dprf_verifier: Verifier,
+    /// Seed for pairwise keys and element signing keys.
+    pub global_seed: [u8; 32],
+}
+
+impl Fabric {
+    /// The spec of a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown domain — fabric wiring is static, so an
+    /// unknown id is a deployment bug.
+    pub fn domain(&self, id: DomainId) -> &DomainSpec {
+        self.domains.get(&id).expect("domain wired in fabric")
+    }
+
+    /// The domain containing a global element id.
+    pub fn domain_of_element(&self, element: SenderId) -> Option<&DomainSpec> {
+        self.domains
+            .values()
+            .find(|d| d.elements.contains(&element))
+    }
+
+    /// The node hosting an endpoint code.
+    pub fn node_of(&self, code: u64) -> Option<NodeId> {
+        self.endpoint_nodes.get(&code).copied()
+    }
+
+    /// The symmetric pairwise key between two endpoint codes (used for GM
+    /// share distribution and notices).
+    pub fn pairwise(&self, a: u64, b: u64) -> SymmetricKey {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut label = Vec::with_capacity(24);
+        label.extend_from_slice(b"pairwise");
+        label.extend_from_slice(&lo.to_le_bytes());
+        label.extend_from_slice(&hi.to_le_bytes());
+        SymmetricKey::derive(&self.global_seed, &label)
+    }
+
+    /// The signing key of any endpoint code (elements and singletons).
+    pub fn signing_key_code(&self, code: u64) -> SigningKey {
+        SigningKey::from_seed(&[&self.global_seed[..], b"sign", &code.to_le_bytes()].concat())
+    }
+
+    /// The verifying key of any endpoint code.
+    pub fn verifying_key_code(&self, code: u64) -> VerifyingKey {
+        self.signing_key_code(code).verifying_key()
+    }
+
+    /// The signing key of a global element.
+    pub fn signing_key(&self, element: SenderId) -> SigningKey {
+        self.signing_key_code(element_code(element))
+    }
+
+    /// The verifying key of a global element.
+    pub fn verifying_key(&self, element: SenderId) -> VerifyingKey {
+        self.signing_key(element).verifying_key()
+    }
+
+    /// BFT auth context for replica `index` of `domain`.
+    pub fn bft_auth_replica(&self, domain: DomainId, index: usize) -> AuthContext {
+        let spec = self.domain(domain);
+        AuthContext::for_replica(
+            KeyProvisioner::new(spec.seed),
+            itdos_bft::config::ReplicaId(index as u32),
+            spec.config.n,
+        )
+    }
+
+    /// BFT auth context for endpoint `code` acting as a client of
+    /// `domain`'s ordering group.
+    pub fn bft_auth_client(&self, domain: DomainId, code: u64) -> AuthContext {
+        let spec = self.domain(domain);
+        AuthContext::for_client(
+            KeyProvisioner::new(spec.seed),
+            bft_client_id(code),
+            spec.config.n,
+        )
+    }
+
+    /// Voting thresholds for traffic arriving over `meta` in the given
+    /// direction: requests carry the *client side's* f, replies the
+    /// *server side's* (§3.6 — the voter masks faults of the sending
+    /// domain).
+    pub fn sender_thresholds(&self, meta: &ConnectionMeta, kind: crate::wire::FrameKind) -> Thresholds {
+        let f = match kind {
+            crate::wire::FrameKind::Request => meta
+                .client_domain
+                .map(|d| self.domain(d).f)
+                .unwrap_or(0),
+            crate::wire::FrameKind::Reply => self.domain(meta.server_domain).f,
+        };
+        Thresholds::new(f)
+    }
+
+    /// The endpoint codes of a domain's elements, in replica order.
+    pub fn element_codes(&self, domain: DomainId) -> Vec<u64> {
+        self.domain(domain)
+            .elements
+            .iter()
+            .map(|e| element_code(*e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itdos_crypto::dprf::Dprf;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fabric() -> Fabric {
+        let mut domains = BTreeMap::new();
+        let spec = DomainSpec {
+            id: DomainId(1),
+            f: 1,
+            config: GroupConfig::for_f(1),
+            seed: [1u8; 32],
+            mcast: GroupId::from_raw(0),
+            nodes: (0..4).map(NodeId::from_raw).collect(),
+            elements: (0..4).map(SenderId).collect(),
+        };
+        domains.insert(DomainId(1), spec);
+        let mut endpoint_nodes = BTreeMap::new();
+        for i in 0..4u32 {
+            endpoint_nodes.insert(element_code(SenderId(i)), NodeId::from_raw(i));
+        }
+        endpoint_nodes.insert(9, NodeId::from_raw(9));
+        let dprf = Dprf::deal(1, 4, &mut SmallRng::seed_from_u64(1));
+        Fabric {
+            domains,
+            endpoint_nodes,
+            gm_domain: DomainId(1),
+            repo: InterfaceRepository::new(),
+            comparators: ComparatorRegistry::new(),
+            dprf_verifier: dprf.verifier().clone(),
+            global_seed: [9u8; 32],
+        }
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_and_distinct() {
+        let f = fabric();
+        assert_eq!(f.pairwise(1, 2), f.pairwise(2, 1));
+        assert_ne!(f.pairwise(1, 2), f.pairwise(1, 3));
+    }
+
+    #[test]
+    fn element_lookup() {
+        let f = fabric();
+        assert_eq!(f.domain_of_element(SenderId(2)).unwrap().id, DomainId(1));
+        assert!(f.domain_of_element(SenderId(99)).is_none());
+        assert_eq!(f.domain(DomainId(1)).replica_index(SenderId(3)), Some(3));
+    }
+
+    #[test]
+    fn signing_keys_are_per_element() {
+        let f = fabric();
+        assert_ne!(f.verifying_key(SenderId(0)), f.verifying_key(SenderId(1)));
+        // deterministic
+        assert_eq!(f.verifying_key(SenderId(0)), f.verifying_key(SenderId(0)));
+    }
+
+    #[test]
+    fn thresholds_follow_sender_side() {
+        let f = fabric();
+        let meta = ConnectionMeta {
+            connection: itdos_groupmgr::manager::ConnectionId(0),
+            epoch: 0,
+            client_code: 9,
+            client_domain: None,
+            server_domain: DomainId(1),
+        };
+        assert_eq!(
+            f.sender_thresholds(&meta, crate::wire::FrameKind::Request).f,
+            0,
+            "singleton client"
+        );
+        assert_eq!(
+            f.sender_thresholds(&meta, crate::wire::FrameKind::Reply).f,
+            1,
+            "replicated server"
+        );
+    }
+
+    #[test]
+    fn auth_contexts_interoperate() {
+        let f = fabric();
+        let replica = f.bft_auth_replica(DomainId(1), 2);
+        let client = f.bft_auth_client(DomainId(1), 9);
+        let env = client.mac_envelope(vec![1, 2, 3]);
+        assert!(replica.verify(&env));
+    }
+}

@@ -1,0 +1,648 @@
+//! The Group Manager element process.
+//!
+//! GM elements form their own replication domain (§3.3): every element
+//! processes the same totally-ordered stream of [`GmOp`]s through a PBFT
+//! replica whose state machine is the deterministic
+//! [`itdos_groupmgr::GroupManager`]. The *only* per-element divergence is
+//! each element's private DPRF share: when the ordered state machine emits
+//! a [`Directive::KeyDist`], each element evaluates **its own** share on
+//! the common input and sends it, over its pairwise-secure channel, to
+//! every recipient (§3.5 — no element ever sees a whole key).
+
+use bytes::Bytes;
+use itdos_bft::auth::{AuthContext, Envelope, Peer};
+use itdos_bft::message::Message;
+use itdos_bft::replica::{Output, Replica};
+use itdos_bft::state::StateMachine;
+use itdos_crypto::dprf::Shareholder;
+use itdos_crypto::hash::Digest;
+use itdos_crypto::symmetric::seal;
+use itdos_giop::giop::{decode_message, GiopMessage};
+use itdos_giop::idl::InterfaceRepository;
+use itdos_groupmgr::manager::GroupManager;
+use itdos_groupmgr::membership::{DomainId, Membership};
+use itdos_vote::vote::SenderId;
+use simnet::{Context, NodeId, Process, Timer};
+
+use crate::codes::{element_code, endpoint_code, pack_timer, unpack_timer, TimerTag};
+use crate::element::notice_plaintext;
+use crate::fabric::Fabric;
+use crate::registry::ComparatorRegistry;
+use crate::wire::{
+    encode_directives, ConnectionMeta, CoreMsg, Directive, GmOp, KeyShareMsg, NoticeMsg,
+};
+
+/// Refusal reason codes carried in [`Directive::Refused`].
+pub mod refusal {
+    /// Operation bytes were malformed.
+    pub const MALFORMED: u32 = 0;
+    /// Connection open refused (unknown client or target).
+    pub const OPEN: u32 = 1;
+    /// A change proof failed validation.
+    pub const PROOF: u32 = 2;
+    /// A change vote was invalid (foreign accuser / inactive accused).
+    pub const VOTE: u32 = 3;
+}
+
+/// The deterministic replicated state machine of the GM domain.
+pub struct GmMachine {
+    manager: GroupManager,
+    initial_membership: Membership,
+    seed: [u8; 32],
+    repo: InterfaceRepository,
+    comparators: ComparatorRegistry,
+    oplog: Vec<Vec<u8>>,
+    chain: Digest,
+}
+
+impl std::fmt::Debug for GmMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GmMachine")
+            .field("ops_applied", &self.oplog.len())
+            .finish()
+    }
+}
+
+impl GmMachine {
+    /// Creates the machine over an initial membership registry.
+    pub fn new(
+        membership: Membership,
+        seed: [u8; 32],
+        repo: InterfaceRepository,
+        comparators: ComparatorRegistry,
+    ) -> GmMachine {
+        GmMachine {
+            manager: GroupManager::new(membership.clone(), seed),
+            initial_membership: membership,
+            seed,
+            repo,
+            comparators,
+            oplog: Vec::new(),
+            chain: Digest::of(b"gm-genesis"),
+        }
+    }
+
+    /// The wrapped manager (tests / observability).
+    pub fn manager(&self) -> &GroupManager {
+        &self.manager
+    }
+
+    fn apply(&mut self, op: &GmOp) -> Vec<Directive> {
+        match op {
+            GmOp::Open {
+                client,
+                client_domain,
+                target,
+            } => match self.manager.open_request(*client, *client_domain, *target) {
+                Ok(dist) => vec![self.key_dist_directive(dist)],
+                Err(_) => vec![Directive::Refused(refusal::OPEN)],
+            },
+            GmOp::ChangeProof(proof) => {
+                // the comparator comes from the interface named inside the
+                // proof's frames — reachable outside an ORB only because
+                // the ITDOS GIOP extension carries the interface name
+                let comparator = proof
+                    .messages
+                    .first()
+                    .and_then(|m| decode_message(&m.frame, &self.repo).ok())
+                    .and_then(|m| match m {
+                        GiopMessage::Reply(r) => Some(
+                            itdos_vote::folding::folded_comparator(
+                                self.comparators.for_interface(&r.interface).clone(),
+                            ),
+                        ),
+                        _ => None,
+                    });
+                let Some(comparator) = comparator else {
+                    return vec![Directive::Refused(refusal::PROOF)];
+                };
+                // proof frames hold raw replies; the detector unmarshals and
+                // votes on folded values
+                match self.manager.change_request_with_proof(
+                    proof,
+                    &self.repo,
+                    &comparator,
+                ) {
+                    Ok(expulsions) => expulsions
+                        .into_iter()
+                        .flat_map(|e| self.expulsion_directives(e))
+                        .collect(),
+                    Err(_) => vec![Directive::Refused(refusal::PROOF)],
+                }
+            }
+            GmOp::ChangeVote { accuser, accused } => {
+                match self.manager.change_request_from_domain(*accuser, *accused) {
+                    Ok(Some(expulsion)) => self.expulsion_directives(expulsion),
+                    Ok(None) => vec![Directive::VoteRecorded],
+                    Err(_) => vec![Directive::Refused(refusal::VOTE)],
+                }
+            }
+            GmOp::Close(id) => {
+                self.manager.close_connection(*id);
+                Vec::new()
+            }
+        }
+    }
+
+    fn key_dist_directive(&self, dist: itdos_groupmgr::manager::KeyDistribution) -> Directive {
+        let rec = self
+            .manager
+            .connection(dist.connection)
+            .expect("distribution names a live connection");
+        Directive::KeyDist {
+            meta: ConnectionMeta {
+                connection: dist.connection,
+                epoch: dist.epoch,
+                client_code: endpoint_code(rec.client),
+                client_domain: rec.client_domain,
+                server_domain: rec.server,
+            },
+            input: dist.input,
+            recipients: dist.recipients.iter().map(|e| endpoint_code(*e)).collect(),
+        }
+    }
+
+    fn expulsion_directives(
+        &self,
+        expulsion: itdos_groupmgr::manager::Expulsion,
+    ) -> Vec<Directive> {
+        let mut out = vec![Directive::Expelled {
+            domain: expulsion.domain,
+            element: expulsion.expelled,
+        }];
+        for rekey in expulsion.rekeys {
+            out.push(self.key_dist_directive(rekey));
+        }
+        out
+    }
+}
+
+impl StateMachine for GmMachine {
+    fn execute(&mut self, operation: &[u8]) -> Vec<u8> {
+        self.oplog.push(operation.to_vec());
+        self.chain = Digest::of_parts(&[b"gm-link", self.chain.as_bytes(), operation]);
+        let directives = match GmOp::decode(operation) {
+            Ok(op) => self.apply(&op),
+            Err(_) => vec![Directive::Refused(refusal::MALFORMED)],
+        };
+        encode_directives(&directives)
+    }
+
+    fn digest(&self) -> Digest {
+        self.chain
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // the op log *is* the state: deterministic replay reconstructs the
+        // manager exactly (the GM equivalent of the message-queue model)
+        let mut w = itdos_bft::wire::Writer::new();
+        w.u32(self.oplog.len() as u32);
+        for op in &self.oplog {
+            w.bytes(op);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut r = itdos_bft::wire::Reader::new(snapshot);
+        let Ok(n) = r.u32() else {
+            return;
+        };
+        let mut ops = Vec::with_capacity(n.min(4096) as usize);
+        for _ in 0..n {
+            let Ok(op) = r.bytes() else {
+                return;
+            };
+            ops.push(op.to_vec());
+        }
+        self.manager = GroupManager::new(self.initial_membership.clone(), self.seed);
+        self.oplog.clear();
+        self.chain = Digest::of(b"gm-genesis");
+        for op in ops {
+            self.execute(&op);
+        }
+    }
+}
+
+/// One Group Manager element (a simnet process).
+pub struct GmElement {
+    fabric: Fabric,
+    domain: DomainId,
+    index: usize,
+    element: SenderId,
+    replica: Replica<GmMachine>,
+    bft_auth: AuthContext,
+    shareholder: Shareholder,
+    /// Set true to model a *compromised* GM element that leaks its share
+    /// (experiment E7/E11 reads [`GmElement::leaked_share`]).
+    pub compromised: bool,
+    /// Set true to make this element distribute **corrupt key shares**
+    /// (evaluated on a tampered input while claiming the real one) — the
+    /// §3.5 attack the per-share verification information defeats.
+    pub corrupt_shares: bool,
+}
+
+impl std::fmt::Debug for GmElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GmElement")
+            .field("element", &self.element)
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+impl GmElement {
+    /// Creates a GM element.
+    pub fn new(
+        fabric: Fabric,
+        domain: DomainId,
+        index: usize,
+        element: SenderId,
+        machine: GmMachine,
+        shareholder: Shareholder,
+    ) -> GmElement {
+        let spec = fabric.domain(domain);
+        let replica = Replica::new(
+            spec.config.clone(),
+            itdos_bft::config::ReplicaId(index as u32),
+            machine,
+        );
+        let bft_auth = fabric.bft_auth_replica(domain, index);
+        GmElement {
+            fabric,
+            domain,
+            index,
+            element,
+            replica,
+            bft_auth,
+            shareholder,
+            compromised: false,
+            corrupt_shares: false,
+        }
+    }
+
+    /// The wrapped replica (tests / observability).
+    pub fn replica(&self) -> &Replica<GmMachine> {
+        &self.replica
+    }
+
+    /// What an attacker controlling this element learns: its DPRF share.
+    /// Meaningful only when [`GmElement::compromised`] is set by the
+    /// experiment harness.
+    pub fn leaked_share(&self) -> itdos_crypto::shamir::Share {
+        self.shareholder.leak_share()
+    }
+
+    fn my_code(&self) -> u64 {
+        element_code(self.element)
+    }
+
+    fn drain(&mut self, ctx: &mut Context<'_>) {
+        for output in self.replica.take_outputs() {
+            match output {
+                Output::ToReplica(to, message) => {
+                    let node = self.fabric.domain(self.domain).nodes[to.0 as usize];
+                    let envelope = self.envelope_for(&message);
+                    let msg = CoreMsg::Bft {
+                        domain: self.domain,
+                        envelope: envelope.encode(),
+                    };
+                    ctx.send_labeled(node, Bytes::from(msg.encode()), message.label());
+                }
+                Output::ToAllReplicas(message) => {
+                    let envelope = self.envelope_for(&message);
+                    let msg = CoreMsg::Bft {
+                        domain: self.domain,
+                        envelope: envelope.encode(),
+                    };
+                    ctx.multicast_labeled(
+                        self.fabric.domain(self.domain).mcast,
+                        Bytes::from(msg.encode()),
+                        message.label(),
+                    );
+                }
+                Output::ToClient(client, message) => {
+                    if let Some(node) = self.fabric.node_of(client.0) {
+                        let envelope = self
+                            .bft_auth
+                            .mac_envelope_for_client(client, message.encode());
+                        let msg = CoreMsg::Bft {
+                            domain: self.domain,
+                            envelope: envelope.encode(),
+                        };
+                        ctx.send_labeled(node, Bytes::from(msg.encode()), message.label());
+                    }
+                }
+                Output::Executed { result, .. } => {
+                    self.act_on_directives(ctx, &result);
+                }
+                Output::StartViewTimer { epoch, attempt } => {
+                    let timeout = self
+                        .fabric
+                        .domain(self.domain)
+                        .config
+                        .view_timeout
+                        .saturating_mul(1 << attempt.min(16));
+                    ctx.set_timer(timeout, pack_timer(TimerTag::View, epoch));
+                }
+                Output::EnteredView(_) | Output::StateTransferred(_) => {}
+            }
+        }
+    }
+
+    fn envelope_for(&self, message: &Message) -> Envelope {
+        let payload = message.encode();
+        match message {
+            Message::ViewChange(_)
+            | Message::NewView(_)
+            | Message::Checkpoint(_)
+            | Message::StateData(_) => self.bft_auth.signed_envelope(payload),
+            _ => self.bft_auth.mac_envelope(payload),
+        }
+    }
+
+    fn act_on_directives(&mut self, ctx: &mut Context<'_>, result: &[u8]) {
+        let Ok(directives) = crate::wire::decode_directives(result) else {
+            return;
+        };
+        for directive in directives {
+            match directive {
+                Directive::KeyDist {
+                    meta,
+                    input,
+                    recipients,
+                } => {
+                    let share = if self.corrupt_shares {
+                        // Byzantine GM element: a share for a different
+                        // input, claimed as the real one — the recipient's
+                        // DLEQ check against the Feldman commitment fails
+                        let mut tampered = input;
+                        tampered[0] ^= 0xFF;
+                        self.shareholder.evaluate(&tampered)
+                    } else {
+                        self.shareholder.evaluate(&input)
+                    };
+                    let mut plain = Vec::with_capacity(60);
+                    plain.extend_from_slice(&input);
+                    plain.extend_from_slice(&share.to_bytes());
+                    for recipient in recipients {
+                        let Some(node) = self.fabric.node_of(recipient) else {
+                            continue;
+                        };
+                        let pairwise = self.fabric.pairwise(self.my_code(), recipient);
+                        let nonce = share_nonce(self.my_code(), recipient, &meta);
+                        let sealed = seal(&pairwise, nonce, &plain);
+                        let msg = CoreMsg::KeyShare(KeyShareMsg {
+                            meta,
+                            gm_code: self.my_code(),
+                            sealed: sealed.to_bytes(),
+                        });
+                        ctx.send_labeled(node, Bytes::from(msg.encode()), "gm-keyshare");
+                    }
+                }
+                Directive::Expelled { domain, element } => {
+                    let plain = notice_plaintext(domain, element);
+                    for code in self.fabric.element_codes(domain) {
+                        let Some(node) = self.fabric.node_of(code) else {
+                            continue;
+                        };
+                        let pairwise = self.fabric.pairwise(self.my_code(), code);
+                        let nonce = notice_nonce(self.my_code(), code, element);
+                        let sealed = seal(&pairwise, nonce, &plain);
+                        let msg = CoreMsg::Notice(NoticeMsg {
+                            gm_code: self.my_code(),
+                            domain,
+                            expelled: element,
+                            sealed: sealed.to_bytes(),
+                        });
+                        ctx.send_labeled(node, Bytes::from(msg.encode()), "gm-notice");
+                    }
+                }
+                Directive::Refused(_) | Directive::VoteRecorded => {}
+            }
+        }
+    }
+}
+
+fn share_nonce(gm: u64, recipient: u64, meta: &ConnectionMeta) -> [u8; 16] {
+    let d = Digest::of_parts(&[
+        b"share-nonce",
+        &gm.to_le_bytes(),
+        &recipient.to_le_bytes(),
+        &meta.connection.0.to_le_bytes(),
+        &meta.epoch.to_le_bytes(),
+    ]);
+    d.0[..16].try_into().expect("16 bytes")
+}
+
+fn notice_nonce(gm: u64, recipient: u64, expelled: SenderId) -> [u8; 16] {
+    let d = Digest::of_parts(&[
+        b"notice-nonce",
+        &gm.to_le_bytes(),
+        &recipient.to_le_bytes(),
+        &expelled.0.to_le_bytes(),
+    ]);
+    d.0[..16].try_into().expect("16 bytes")
+}
+
+impl Process for GmElement {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join(self.fabric.domain(self.domain).mcast);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        let Ok(CoreMsg::Bft { domain, envelope }) = CoreMsg::decode(&payload) else {
+            return;
+        };
+        if domain != self.domain {
+            return;
+        }
+        let Ok(env) = Envelope::decode(&envelope) else {
+            return;
+        };
+        if !self.bft_auth.verify(&env) {
+            return;
+        }
+        let Ok(message) = Message::decode(&env.payload) else {
+            return;
+        };
+        match env.sender {
+            Peer::Replica(sender) => self.replica.on_message(sender, message),
+            Peer::Client(_) => {
+                if let Message::Request(request) = message {
+                    self.replica.on_request(request);
+                }
+            }
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        if let Some((TimerTag::View, epoch)) = unpack_timer(timer.kind) {
+            self.replica.on_view_timeout(epoch);
+            self.drain(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itdos_bft::state::StateMachine;
+    use itdos_crypto::sign::SigningKey;
+    use itdos_groupmgr::manager::ConnectionId;
+    use itdos_groupmgr::membership::{DomainRecord, ElementRecord, Endpoint};
+
+    fn membership() -> Membership {
+        let mut m = Membership::new();
+        m.register_domain(DomainRecord::new(
+            DomainId(1),
+            1,
+            (0..4)
+                .map(|i| ElementRecord {
+                    id: SenderId(i),
+                    verifying_key: SigningKey::from_seed(&i.to_le_bytes()).verifying_key(),
+                })
+                .collect(),
+        ));
+        m.register_singleton(9, SigningKey::from_seed(b"c").verifying_key());
+        m
+    }
+
+    fn machine() -> GmMachine {
+        GmMachine::new(
+            membership(),
+            [5u8; 32],
+            InterfaceRepository::new(),
+            ComparatorRegistry::new(),
+        )
+    }
+
+    fn open_op() -> Vec<u8> {
+        GmOp::Open {
+            client: Endpoint::Singleton(9),
+            client_domain: None,
+            target: DomainId(1),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn open_emits_key_distribution() {
+        let mut m = machine();
+        let out = m.execute(&open_op());
+        let directives = crate::wire::decode_directives(&out).unwrap();
+        assert_eq!(directives.len(), 1);
+        let Directive::KeyDist { meta, recipients, .. } = &directives[0] else {
+            panic!("expected key distribution, got {directives:?}");
+        };
+        assert_eq!(meta.connection, ConnectionId(0));
+        assert_eq!(recipients.len(), 5, "4 elements + the client");
+    }
+
+    #[test]
+    fn reopen_reuses_connection_and_input() {
+        let mut m = machine();
+        let first = m.execute(&open_op());
+        let second = m.execute(&open_op());
+        let d1 = crate::wire::decode_directives(&first).unwrap();
+        let d2 = crate::wire::decode_directives(&second).unwrap();
+        assert_eq!(d1, d2, "same association, same connection, same input");
+    }
+
+    #[test]
+    fn change_votes_expel_at_threshold() {
+        let mut m = machine();
+        m.execute(&open_op());
+        let vote = |a: u32, b: u32| {
+            GmOp::ChangeVote {
+                accuser: SenderId(a),
+                accused: SenderId(b),
+            }
+            .encode()
+        };
+        let out = m.execute(&vote(0, 3));
+        assert_eq!(
+            crate::wire::decode_directives(&out).unwrap(),
+            vec![Directive::VoteRecorded]
+        );
+        let out = m.execute(&vote(1, 3));
+        let directives = crate::wire::decode_directives(&out).unwrap();
+        assert!(matches!(
+            directives[0],
+            Directive::Expelled {
+                element: SenderId(3),
+                ..
+            }
+        ));
+        // the rekey excludes the expelled element and bumps the epoch
+        let Directive::KeyDist { meta, recipients, .. } = &directives[1] else {
+            panic!("expected rekey");
+        };
+        assert_eq!(meta.epoch, 1);
+        assert!(!recipients.contains(&crate::codes::element_code(SenderId(3))));
+    }
+
+    #[test]
+    fn malformed_op_is_refused_deterministically() {
+        let mut a = machine();
+        let mut b = machine();
+        assert_eq!(a.execute(&[99, 99]), b.execute(&[99, 99]));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(
+            crate::wire::decode_directives(&a.execute(&[1, 2, 3])).unwrap(),
+            vec![Directive::Refused(refusal::MALFORMED)]
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_replays_the_op_log() {
+        let mut a = machine();
+        a.execute(&open_op());
+        a.execute(
+            &GmOp::ChangeVote {
+                accuser: SenderId(0),
+                accused: SenderId(3),
+            }
+            .encode(),
+        );
+        let snap = a.snapshot();
+        let mut b = machine();
+        b.restore(&snap);
+        assert_eq!(a.digest(), b.digest(), "replayed state converges");
+        // both continue identically
+        let va = a.execute(
+            &GmOp::ChangeVote {
+                accuser: SenderId(1),
+                accused: SenderId(3),
+            }
+            .encode(),
+        );
+        let vb = b.execute(
+            &GmOp::ChangeVote {
+                accuser: SenderId(1),
+                accused: SenderId(3),
+            }
+            .encode(),
+        );
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn close_drops_the_connection() {
+        let mut m = machine();
+        m.execute(&open_op());
+        assert_eq!(m.manager().connections().count(), 1);
+        m.execute(&GmOp::Close(ConnectionId(0)).encode());
+        assert_eq!(m.manager().connections().count(), 0);
+    }
+
+    #[test]
+    fn corrupt_restore_is_a_noop_for_bad_bytes() {
+        let mut m = machine();
+        m.execute(&open_op());
+        let digest = m.digest();
+        m.restore(&[1, 2, 3]);
+        assert_eq!(m.digest(), digest, "garbage snapshot rejected");
+    }
+}

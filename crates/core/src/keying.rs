@@ -1,0 +1,89 @@
+//! Endpoint-side key-share assembly.
+//!
+//! §3.5: "The clients and server replication domain elements each decrypt
+//! the messages from the Group Manager replication domain, verify the
+//! correctness of the key shares they receive, and combine the shares to
+//! form the communication key." Shares are grouped by the common input
+//! they claim (so up to f corrupt GM elements announcing a bogus input
+//! cannot stall the honest majority's assembly), verified against the
+//! public DPRF commitments, and combined once `f_gm + 1` verified shares
+//! agree.
+
+use std::collections::BTreeMap;
+
+use itdos_crypto::dprf::{combine, KeyShare};
+use itdos_crypto::keys::CommunicationKey;
+use itdos_crypto::symmetric::{open, Sealed};
+use itdos_groupmgr::manager::ConnectionId;
+
+use crate::fabric::Fabric;
+use crate::wire::{ConnectionMeta, KeyShareMsg};
+
+#[derive(Default)]
+struct Assembly {
+    by_input: BTreeMap<[u8; 32], BTreeMap<u64, KeyShare>>,
+}
+
+/// Collects and combines key shares addressed to one endpoint.
+#[derive(Default)]
+pub struct ShareBank {
+    my_code: u64,
+    assemblies: BTreeMap<(ConnectionId, u32), Assembly>,
+}
+
+impl std::fmt::Debug for ShareBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShareBank")
+            .field("pending", &self.assemblies.len())
+            .finish()
+    }
+}
+
+impl ShareBank {
+    /// Creates a bank for the endpoint with the given code.
+    pub fn new(my_code: u64) -> ShareBank {
+        ShareBank {
+            my_code,
+            assemblies: BTreeMap::new(),
+        }
+    }
+
+    /// Offers one share message. Returns the assembled communication key
+    /// the first time `f_gm + 1` verified, input-consistent shares are
+    /// present for this `(connection, epoch)`.
+    pub fn offer(
+        &mut self,
+        fabric: &Fabric,
+        msg: &KeyShareMsg,
+    ) -> Option<(ConnectionMeta, CommunicationKey)> {
+        let pairwise = fabric.pairwise(msg.gm_code, self.my_code);
+        let sealed = Sealed::from_bytes(&msg.sealed)?;
+        let plain = open(&pairwise, &sealed).ok()?;
+        if plain.len() != 32 + 28 {
+            return None;
+        }
+        let input: [u8; 32] = plain[..32].try_into().expect("32 bytes");
+        let share = KeyShare::from_bytes(plain[32..].try_into().expect("28 bytes"))?;
+        if !fabric.dprf_verifier.verify(&input, &share) {
+            return None; // corrupt GM element's share: discarded (§3.5)
+        }
+        let assembly = self
+            .assemblies
+            .entry((msg.meta.connection, msg.meta.epoch))
+            .or_default();
+        assembly
+            .by_input
+            .entry(input)
+            .or_default()
+            .insert(msg.gm_code, share);
+        let needed = fabric.dprf_verifier.threshold();
+        let group = assembly.by_input.get(&input)?;
+        if group.len() < needed {
+            return None;
+        }
+        let shares: Vec<KeyShare> = group.values().take(needed).copied().collect();
+        let key = combine(&fabric.dprf_verifier, &input, &shares).ok()?;
+        self.assemblies.remove(&(msg.meta.connection, msg.meta.epoch));
+        Some((msg.meta, CommunicationKey(key)))
+    }
+}

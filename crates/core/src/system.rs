@@ -1,0 +1,514 @@
+//! Deployment builder: assemble a whole ITDOS system on the simulator.
+//!
+//! A system is the Figure 1 picture generalized: one Group Manager
+//! replication domain, any number of server replication domains (each
+//! `3f+1` elements on heterogeneous platforms), and singleton clients.
+//! The builder wires the fabric (nodes, seeds, keys, DPRF deal,
+//! membership) and hands back a [`System`] that can run invocations and
+//! inspect every process.
+
+use std::collections::BTreeMap;
+
+use itdos_bft::config::GroupConfig;
+use itdos_crypto::dprf::Dprf;
+use itdos_giop::idl::InterfaceRepository;
+use itdos_giop::platform::PlatformProfile;
+use itdos_giop::types::Value;
+use itdos_groupmgr::membership::{DomainId, DomainRecord, ElementRecord, Membership};
+use itdos_orb::object::ObjectKey;
+use itdos_orb::servant::Servant;
+use itdos_vote::comparator::Comparator;
+use itdos_vote::vote::SenderId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simnet::{GroupId, NodeId, Simulator};
+
+use crate::client::{encode_command, ClientConfig, Completed, SingletonClient};
+use crate::codes::{element_code, singleton_code};
+use crate::element::{ElementConfig, ServerElement};
+use crate::fabric::{DomainSpec, Fabric};
+use crate::fault::Behavior;
+use crate::gm::{GmElement, GmMachine};
+use crate::registry::ComparatorRegistry;
+
+/// Builds the servants hosted by one replica of a domain. Called once per
+/// replica index so heterogeneous *implementations* are possible (§2:
+/// "implementation diversity in both language and platform").
+pub type ServantFactory = Box<dyn Fn(usize) -> Vec<(ObjectKey, Box<dyn Servant>)>>;
+
+struct DomainPlan {
+    id: DomainId,
+    f: usize,
+    factory: ServantFactory,
+    behaviors: BTreeMap<usize, Behavior>,
+    platforms: Option<Vec<PlatformProfile>>,
+}
+
+struct ClientPlan {
+    id: u64,
+    platform: PlatformProfile,
+    auto_proof: bool,
+}
+
+/// The deployment builder.
+pub struct SystemBuilder {
+    seed: u64,
+    gm_f: usize,
+    repo: InterfaceRepository,
+    comparators: ComparatorRegistry,
+    domains: Vec<DomainPlan>,
+    clients: Vec<ClientPlan>,
+    ack_interval: u64,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("domains", &self.domains.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+/// The Group Manager's reserved domain id.
+pub const GM_DOMAIN: DomainId = DomainId(0);
+
+impl SystemBuilder {
+    /// Starts a deployment with the given determinism seed.
+    pub fn new(seed: u64) -> SystemBuilder {
+        SystemBuilder {
+            seed,
+            gm_f: 1,
+            repo: InterfaceRepository::new(),
+            comparators: ComparatorRegistry::new(),
+            domains: Vec::new(),
+            clients: Vec::new(),
+            ack_interval: 8,
+            queue_capacity: 1 << 20,
+        }
+    }
+
+    /// Sets the interface repository (shared by every process).
+    pub fn repository(&mut self, repo: InterfaceRepository) -> &mut SystemBuilder {
+        self.repo = repo;
+        self
+    }
+
+    /// Registers a voting comparator for an interface.
+    pub fn comparator(
+        &mut self,
+        interface: impl Into<String>,
+        comparator: Comparator,
+    ) -> &mut SystemBuilder {
+        self.comparators.register(interface, comparator);
+        self
+    }
+
+    /// Sets the Group Manager's fault tolerance (GM domain has `3f+1`
+    /// elements).
+    pub fn gm_faults(&mut self, f: usize) -> &mut SystemBuilder {
+        self.gm_f = f;
+        self
+    }
+
+    /// Sets the queue acknowledgement interval for all elements.
+    pub fn ack_interval(&mut self, interval: u64) -> &mut SystemBuilder {
+        self.ack_interval = interval.max(1);
+        self
+    }
+
+    /// Sets the replicated message-queue capacity (bytes) for all
+    /// elements — small capacities force queue GC and laggard expulsion
+    /// (experiment E8).
+    pub fn queue_capacity(&mut self, bytes: usize) -> &mut SystemBuilder {
+        self.queue_capacity = bytes;
+        self
+    }
+
+    /// Adds a server replication domain of `3f+1` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the reserved [`GM_DOMAIN`] or already used.
+    pub fn add_domain(&mut self, id: DomainId, f: usize, factory: ServantFactory) -> &mut SystemBuilder {
+        assert!(id != GM_DOMAIN, "domain id 0 is reserved for the Group Manager");
+        assert!(
+            self.domains.iter().all(|d| d.id != id),
+            "duplicate domain id"
+        );
+        self.domains.push(DomainPlan {
+            id,
+            f,
+            factory,
+            behaviors: BTreeMap::new(),
+            platforms: None,
+        });
+        self
+    }
+
+    /// Overrides the behaviour of one element (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain was not added first.
+    pub fn behavior(&mut self, domain: DomainId, index: usize, behavior: Behavior) -> &mut SystemBuilder {
+        let plan = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .expect("behavior targets a declared domain");
+        plan.behaviors.insert(index, behavior);
+        self
+    }
+
+    /// Overrides the per-replica platform profiles of a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain was not added first.
+    pub fn platforms(&mut self, domain: DomainId, platforms: Vec<PlatformProfile>) -> &mut SystemBuilder {
+        let plan = self
+            .domains
+            .iter_mut()
+            .find(|d| d.id == domain)
+            .expect("platforms target a declared domain");
+        plan.platforms = Some(platforms);
+        self
+    }
+
+    /// Adds a singleton client (ids must be unique and below 1,000,000).
+    pub fn add_client(&mut self, id: u64) -> &mut SystemBuilder {
+        self.add_client_with(id, PlatformProfile::X86_LINUX, true)
+    }
+
+    /// Adds a singleton client with explicit platform and proof policy.
+    pub fn add_client_with(
+        &mut self,
+        id: u64,
+        platform: PlatformProfile,
+        auto_proof: bool,
+    ) -> &mut SystemBuilder {
+        assert!(
+            self.clients.iter().all(|c| c.id != id),
+            "duplicate client id"
+        );
+        self.clients.push(ClientPlan {
+            id,
+            platform,
+            auto_proof,
+        });
+        self
+    }
+
+    /// Builds the system: allocates nodes, deals keys, spawns processes.
+    pub fn build(self) -> System {
+        let mut sim = Simulator::new(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x1717_1717);
+        let gm_n = 3 * self.gm_f + 1;
+
+        // -- global element id allocation: GM first, then server domains
+        let mut next_element = 0u32;
+        let gm_elements: Vec<SenderId> = (0..gm_n)
+            .map(|_| {
+                let e = SenderId(next_element);
+                next_element += 1;
+                e
+            })
+            .collect();
+        let domain_elements: Vec<Vec<SenderId>> = self
+            .domains
+            .iter()
+            .map(|d| {
+                (0..3 * d.f + 1)
+                    .map(|_| {
+                        let e = SenderId(next_element);
+                        next_element += 1;
+                        e
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // -- node allocation (placeholders replaced after fabric exists)
+        let gm_nodes: Vec<NodeId> = (0..gm_n).map(|_| sim.add_process(Box::new(Idle))).collect();
+        let domain_nodes: Vec<Vec<NodeId>> = self
+            .domains
+            .iter()
+            .map(|d| {
+                (0..3 * d.f + 1)
+                    .map(|_| sim.add_process(Box::new(Idle)))
+                    .collect()
+            })
+            .collect();
+        let client_nodes: Vec<NodeId> = self
+            .clients
+            .iter()
+            .map(|_| sim.add_process(Box::new(Idle)))
+            .collect();
+
+        // -- fabric
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&self.seed.to_le_bytes());
+        let dprf = Dprf::deal(self.gm_f, gm_n, &mut rng);
+        let (holders, verifier) = dprf.into_parts();
+
+        let mut domains = BTreeMap::new();
+        let group_seed = |tag: u64| {
+            let mut s = seed_bytes;
+            s[8..16].copy_from_slice(&tag.to_le_bytes());
+            s
+        };
+        domains.insert(
+            GM_DOMAIN,
+            DomainSpec {
+                id: GM_DOMAIN,
+                f: self.gm_f,
+                config: GroupConfig::for_f(self.gm_f),
+                seed: group_seed(u64::MAX),
+                mcast: GroupId::from_raw(0),
+                nodes: gm_nodes.clone(),
+                elements: gm_elements.clone(),
+            },
+        );
+        for (i, plan) in self.domains.iter().enumerate() {
+            domains.insert(
+                plan.id,
+                DomainSpec {
+                    id: plan.id,
+                    f: plan.f,
+                    config: GroupConfig::for_f(plan.f),
+                    seed: group_seed(plan.id.0),
+                    mcast: GroupId::from_raw(1 + i as u32),
+                    nodes: domain_nodes[i].clone(),
+                    elements: domain_elements[i].clone(),
+                },
+            );
+        }
+        let mut endpoint_nodes = BTreeMap::new();
+        for (e, n) in gm_elements.iter().zip(&gm_nodes) {
+            endpoint_nodes.insert(element_code(*e), *n);
+        }
+        for (elems, nodes) in domain_elements.iter().zip(&domain_nodes) {
+            for (e, n) in elems.iter().zip(nodes) {
+                endpoint_nodes.insert(element_code(*e), *n);
+            }
+        }
+        for (c, n) in self.clients.iter().zip(&client_nodes) {
+            endpoint_nodes.insert(singleton_code(c.id), *n);
+        }
+        let fabric = Fabric {
+            domains,
+            endpoint_nodes,
+            gm_domain: GM_DOMAIN,
+            repo: self.repo.clone(),
+            comparators: self.comparators.clone(),
+            dprf_verifier: verifier,
+            global_seed: seed_bytes,
+        };
+
+        // -- GM membership (covers every server domain and client)
+        let mut membership = Membership::new();
+        for (i, plan) in self.domains.iter().enumerate() {
+            membership.register_domain(DomainRecord::new(
+                plan.id,
+                plan.f,
+                domain_elements[i]
+                    .iter()
+                    .map(|e| ElementRecord {
+                        id: *e,
+                        verifying_key: fabric.verifying_key(*e),
+                    })
+                    .collect(),
+            ));
+        }
+        for c in &self.clients {
+            membership.register_singleton(
+                c.id,
+                fabric.verifying_key_code(singleton_code(c.id)),
+            );
+        }
+        let gm_seed = {
+            let mut s = seed_bytes;
+            s[16] = 0xAB; // domain-separate the GM's connection-input seed
+            s
+        };
+
+        // -- spawn GM elements
+        for (index, (&node, holder)) in gm_nodes.iter().zip(holders).enumerate() {
+            let machine = GmMachine::new(
+                membership.clone(),
+                gm_seed,
+                self.repo.clone(),
+                self.comparators.clone(),
+            );
+            let element = GmElement::new(
+                fabric.clone(),
+                GM_DOMAIN,
+                index,
+                gm_elements[index],
+                machine,
+                holder,
+            );
+            sim.replace_process(node, Box::new(element));
+            sim.join_group(node, fabric.domain(GM_DOMAIN).mcast);
+        }
+
+        // -- spawn server elements
+        for (i, plan) in self.domains.iter().enumerate() {
+            for (index, &node) in domain_nodes[i].iter().enumerate() {
+                let platform = plan
+                    .platforms
+                    .as_ref()
+                    .map(|p| p[index % p.len()])
+                    .unwrap_or_else(|| PlatformProfile::for_replica(index));
+                let cfg = ElementConfig {
+                    domain: plan.id,
+                    index,
+                    element: domain_elements[i][index],
+                    platform,
+                    behavior: plan
+                        .behaviors
+                        .get(&index)
+                        .cloned()
+                        .unwrap_or(Behavior::Honest),
+                    ack_interval: self.ack_interval,
+                    queue_capacity: self.queue_capacity,
+                };
+                let servants = (plan.factory)(index);
+                let element = ServerElement::new(fabric.clone(), cfg, servants);
+                sim.replace_process(node, Box::new(element));
+                sim.join_group(node, fabric.domain(plan.id).mcast);
+            }
+        }
+
+        // -- spawn clients
+        let mut client_node_map = BTreeMap::new();
+        for (plan, &node) in self.clients.iter().zip(&client_nodes) {
+            let cfg = ClientConfig {
+                id: plan.id,
+                platform: plan.platform,
+                auto_proof: plan.auto_proof,
+            };
+            let client = SingletonClient::new(fabric.clone(), cfg);
+            sim.replace_process(node, Box::new(client));
+            client_node_map.insert(plan.id, node);
+        }
+
+        System {
+            sim,
+            fabric,
+            client_nodes: client_node_map,
+        }
+    }
+}
+
+/// A built, running system.
+pub struct System {
+    /// The simulator (exposed for clock, stats, adversary control).
+    pub sim: Simulator,
+    /// The deployment wiring.
+    pub fabric: Fabric,
+    client_nodes: BTreeMap<u64, NodeId>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("clients", &self.client_nodes.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl System {
+    /// Starts an invocation from `client` without running the simulation.
+    pub fn invoke_async(
+        &mut self,
+        client: u64,
+        target: DomainId,
+        object_key: &[u8],
+        interface: &str,
+        operation: &str,
+        args: Vec<Value>,
+    ) {
+        let cmd = encode_command(&self.fabric, target, object_key, interface, operation, args);
+        let node = self.client_nodes[&client];
+        self.sim.inject(node, cmd);
+    }
+
+    /// Runs an invocation to completion and returns its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce or the invocation never
+    /// completes — both indicate a protocol bug under test.
+    pub fn invoke(
+        &mut self,
+        client: u64,
+        target: DomainId,
+        object_key: &[u8],
+        interface: &str,
+        operation: &str,
+        args: Vec<Value>,
+    ) -> Completed {
+        let before = self.client(client).completed.len();
+        self.invoke_async(client, target, object_key, interface, operation, args);
+        self.settle();
+        let completed = &self.client(client).completed;
+        assert!(
+            completed.len() > before,
+            "invocation did not complete (client {client})"
+        );
+        completed[before].clone()
+    }
+
+    /// Runs until the network is quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on livelock (step budget exhausted).
+    pub fn settle(&mut self) {
+        self.sim
+            .run_steps(20_000_000)
+            .expect("system did not quiesce");
+    }
+
+    /// Immutable access to a client process.
+    pub fn client(&self, id: u64) -> &SingletonClient {
+        self.sim
+            .process_ref::<SingletonClient>(self.client_nodes[&id])
+    }
+
+    /// Immutable access to a server element.
+    pub fn element(&self, domain: DomainId, index: usize) -> &ServerElement {
+        let node = self.fabric.domain(domain).nodes[index];
+        self.sim.process_ref::<ServerElement>(node)
+    }
+
+    /// Immutable access to a GM element.
+    pub fn gm_element(&self, index: usize) -> &GmElement {
+        let node = self.fabric.domain(self.fabric.gm_domain).nodes[index];
+        self.sim.process_ref::<GmElement>(node)
+    }
+
+    /// Mutable access to a GM element (compromise injection).
+    pub fn gm_element_mut(&mut self, index: usize) -> &mut GmElement {
+        let node = self.fabric.domain(self.fabric.gm_domain).nodes[index];
+        self.sim.process_mut::<GmElement>(node)
+    }
+}
+
+/// Placeholder process used during two-phase wiring.
+#[derive(Debug)]
+struct Idle;
+
+impl simnet::Process for Idle {
+    fn on_message(
+        &mut self,
+        _ctx: &mut simnet::Context<'_>,
+        _from: NodeId,
+        _payload: bytes::Bytes,
+    ) {
+    }
+}

@@ -1,0 +1,674 @@
+//! Core wire formats: fabric-level messages, SMIOP frames, Group Manager
+//! operations and directives, and fault-proof serialization.
+
+use itdos_bft::wire::{Reader, WireError, Writer};
+use itdos_crypto::sign::Signature;
+use itdos_groupmgr::manager::ConnectionId;
+use itdos_groupmgr::membership::{DomainId, Endpoint};
+use itdos_vote::detector::{FaultProof, SignedReply};
+use itdos_vote::vote::SenderId;
+
+use crate::codes::{code_endpoint, endpoint_code};
+
+/// A message traveling on the simulated network between core processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreMsg {
+    /// A BFT protocol envelope belonging to `domain`'s group.
+    Bft {
+        /// Whose ordering group this envelope belongs to.
+        domain: DomainId,
+        /// Encoded [`itdos_bft::auth::Envelope`].
+        envelope: Vec<u8>,
+    },
+    /// One Group Manager element's key share for a connection keying.
+    KeyShare(KeyShareMsg),
+    /// A reply sent directly from a server element to a singleton client.
+    DirectReply(DirectReplyMsg),
+    /// A Group Manager notice (e.g. expulsion), authenticated per GM
+    /// element via the pairwise channel.
+    Notice(NoticeMsg),
+}
+
+/// Connection metadata carried with every key distribution so endpoints
+/// can configure their voters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionMeta {
+    /// Connection id.
+    pub connection: ConnectionId,
+    /// Keying epoch.
+    pub epoch: u32,
+    /// Endpoint code of the client side.
+    pub client_code: u64,
+    /// The client's domain when replicated.
+    pub client_domain: Option<DomainId>,
+    /// The serving domain.
+    pub server_domain: DomainId,
+}
+
+/// One GM element's (encrypted) key share delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyShareMsg {
+    /// Connection metadata.
+    pub meta: ConnectionMeta,
+    /// Which GM element sent this (its endpoint code).
+    pub gm_code: u64,
+    /// `seal(pairwise(gm, recipient), nonce, share.to_bytes())`.
+    pub sealed: Vec<u8>,
+}
+
+/// A server element's reply to a singleton client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectReplyMsg {
+    /// Connection the reply belongs to.
+    pub connection: ConnectionId,
+    /// Keying epoch used for the seal.
+    pub epoch: u32,
+    /// Sending element.
+    pub sender: SenderId,
+    /// Per-sender signing sequence (replay protection in proofs).
+    pub sequence: u64,
+    /// `seal(conn_key, nonce, giop_frame)`.
+    pub sealed: Vec<u8>,
+    /// Signature over `(sender, sequence, giop_frame)` (the raw frame, so
+    /// the client can forward it in a fault proof).
+    pub signature: Signature,
+}
+
+/// Group Manager notices pushed to domain elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoticeMsg {
+    /// Which GM element sent it.
+    pub gm_code: u64,
+    /// The affected domain.
+    pub domain: DomainId,
+    /// The expelled element.
+    pub expelled: SenderId,
+    /// `seal(pairwise(gm, recipient), nonce, notice-bytes)` — integrity tag.
+    pub sealed: Vec<u8>,
+}
+
+/// The kind of GIOP traffic inside an SMIOP frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A CORBA request flowing client → server domain.
+    Request,
+    /// A CORBA reply flowing server domain → client domain (nested
+    /// invocations; singleton clients get [`DirectReplyMsg`] instead).
+    Reply,
+}
+
+/// An SMIOP frame: what travels as the BFT operation payload
+/// (`QueueOp::Deliver` bytes) through a domain's ordering group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmiopFrame {
+    /// Connection id.
+    pub connection: ConnectionId,
+    /// Keying epoch.
+    pub epoch: u32,
+    /// Request or reply.
+    pub kind: FrameKind,
+    /// Endpoint code of the logical sender.
+    pub sender_code: u64,
+    /// Per-connection request id (strictly increasing, §3.6).
+    pub request_id: u64,
+    /// Per-sender signing sequence.
+    pub sequence: u64,
+    /// `seal(conn_key, nonce, giop_frame)`.
+    pub sealed: Vec<u8>,
+    /// Signature over `(sender, sequence, giop_frame)`.
+    pub signature: Signature,
+}
+
+/// Operations submitted to the Group Manager's ordering group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmOp {
+    /// Open (or reuse) a connection (Figure 3 step 1).
+    Open {
+        /// Requesting endpoint.
+        client: Endpoint,
+        /// The client's domain when replicated.
+        client_domain: Option<DomainId>,
+        /// Target domain.
+        target: DomainId,
+    },
+    /// A singleton's change_request with proof (§3.6).
+    ChangeProof(FaultProof),
+    /// A domain element's change_request (no proof; GM votes).
+    ChangeVote {
+        /// Accusing element.
+        accuser: SenderId,
+        /// Accused element.
+        accused: SenderId,
+    },
+    /// Close a connection.
+    Close(ConnectionId),
+}
+
+/// Directives the deterministic GM state machine emits; every GM element
+/// acts on them identically (plus its private share evaluation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Distribute key shares for a connection keying.
+    KeyDist {
+        /// Connection metadata for the recipients.
+        meta: ConnectionMeta,
+        /// The common DPRF input.
+        input: [u8; 32],
+        /// Recipient endpoint codes.
+        recipients: Vec<u64>,
+    },
+    /// The request was refused (reason code for diagnostics).
+    Refused(u32),
+    /// An element was expelled.
+    Expelled {
+        /// Its domain.
+        domain: DomainId,
+        /// The element.
+        element: SenderId,
+    },
+    /// A change vote was recorded but the threshold is not yet reached.
+    VoteRecorded,
+}
+
+// --------------------------------------------------------------- encoding
+
+fn write_option_domain(w: &mut Writer, d: Option<DomainId>) {
+    match d {
+        Some(d) => {
+            w.u8(1);
+            w.u64(d.0);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+}
+
+fn read_option_domain(r: &mut Reader<'_>) -> Result<Option<DomainId>, WireError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(DomainId(r.u64()?)),
+        _ => return Err(WireError),
+    })
+}
+
+fn write_meta(w: &mut Writer, m: &ConnectionMeta) {
+    w.u64(m.connection.0);
+    w.u32(m.epoch);
+    w.u64(m.client_code);
+    write_option_domain(w, m.client_domain);
+    w.u64(m.server_domain.0);
+}
+
+fn read_meta(r: &mut Reader<'_>) -> Result<ConnectionMeta, WireError> {
+    Ok(ConnectionMeta {
+        connection: ConnectionId(r.u64()?),
+        epoch: r.u32()?,
+        client_code: r.u64()?,
+        client_domain: read_option_domain(r)?,
+        server_domain: DomainId(r.u64()?),
+    })
+}
+
+impl CoreMsg {
+    /// Encodes for the network.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            CoreMsg::Bft { domain, envelope } => {
+                w.u8(1);
+                w.u64(domain.0);
+                w.bytes(envelope);
+            }
+            CoreMsg::KeyShare(m) => {
+                w.u8(2);
+                write_meta(&mut w, &m.meta);
+                w.u64(m.gm_code);
+                w.bytes(&m.sealed);
+            }
+            CoreMsg::DirectReply(m) => {
+                w.u8(3);
+                w.u64(m.connection.0);
+                w.u32(m.epoch);
+                w.u32(m.sender.0);
+                w.u64(m.sequence);
+                w.bytes(&m.sealed);
+                w.raw(&m.signature.to_bytes());
+            }
+            CoreMsg::Notice(m) => {
+                w.u8(4);
+                w.u64(m.gm_code);
+                w.u64(m.domain.0);
+                w.u32(m.expelled.0);
+                w.bytes(&m.sealed);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from the network.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<CoreMsg, WireError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8()? {
+            1 => CoreMsg::Bft {
+                domain: DomainId(r.u64()?),
+                envelope: r.bytes()?.to_vec(),
+            },
+            2 => CoreMsg::KeyShare(KeyShareMsg {
+                meta: read_meta(&mut r)?,
+                gm_code: r.u64()?,
+                sealed: r.bytes()?.to_vec(),
+            }),
+            3 => CoreMsg::DirectReply(DirectReplyMsg {
+                connection: ConnectionId(r.u64()?),
+                epoch: r.u32()?,
+                sender: SenderId(r.u32()?),
+                sequence: r.u64()?,
+                sealed: r.bytes()?.to_vec(),
+                signature: Signature::from_bytes(r.raw(16)?.try_into().expect("16 bytes")),
+            }),
+            4 => CoreMsg::Notice(NoticeMsg {
+                gm_code: r.u64()?,
+                domain: DomainId(r.u64()?),
+                expelled: SenderId(r.u32()?),
+                sealed: r.bytes()?.to_vec(),
+            }),
+            _ => return Err(WireError),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+impl SmiopFrame {
+    /// Encodes the frame (the BFT operation payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.connection.0);
+        w.u32(self.epoch);
+        w.u8(match self.kind {
+            FrameKind::Request => 0,
+            FrameKind::Reply => 1,
+        });
+        w.u64(self.sender_code);
+        w.u64(self.request_id);
+        w.u64(self.sequence);
+        w.bytes(&self.sealed);
+        w.raw(&self.signature.to_bytes());
+        w.finish()
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<SmiopFrame, WireError> {
+        let mut r = Reader::new(bytes);
+        let frame = SmiopFrame {
+            connection: ConnectionId(r.u64()?),
+            epoch: r.u32()?,
+            kind: match r.u8()? {
+                0 => FrameKind::Request,
+                1 => FrameKind::Reply,
+                _ => return Err(WireError),
+            },
+            sender_code: r.u64()?,
+            request_id: r.u64()?,
+            sequence: r.u64()?,
+            sealed: r.bytes()?.to_vec(),
+            signature: Signature::from_bytes(r.raw(16)?.try_into().expect("16 bytes")),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+fn write_signed_reply(w: &mut Writer, m: &SignedReply) {
+    w.u32(m.sender.0);
+    w.u64(m.sequence);
+    w.bytes(&m.frame);
+    w.raw(&m.signature.to_bytes());
+}
+
+fn read_signed_reply(r: &mut Reader<'_>) -> Result<SignedReply, WireError> {
+    Ok(SignedReply {
+        sender: SenderId(r.u32()?),
+        sequence: r.u64()?,
+        frame: r.bytes()?.to_vec(),
+        signature: Signature::from_bytes(r.raw(16)?.try_into().expect("16 bytes")),
+    })
+}
+
+/// Encodes a fault proof for transport to the Group Manager.
+pub fn encode_proof(proof: &FaultProof) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(proof.accused.len() as u32);
+    for a in &proof.accused {
+        w.u32(a.0);
+    }
+    w.u64(proof.request_id);
+    w.u32(proof.messages.len() as u32);
+    for m in &proof.messages {
+        write_signed_reply(&mut w, m);
+    }
+    w.finish()
+}
+
+const MAX_PROOF_ITEMS: u32 = 1024;
+
+/// Decodes a fault proof.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed bytes or hostile lengths.
+pub fn decode_proof(bytes: &[u8]) -> Result<FaultProof, WireError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()?;
+    if n > MAX_PROOF_ITEMS {
+        return Err(WireError);
+    }
+    let mut accused = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        accused.push(SenderId(r.u32()?));
+    }
+    let request_id = r.u64()?;
+    let n = r.u32()?;
+    if n > MAX_PROOF_ITEMS {
+        return Err(WireError);
+    }
+    let mut messages = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        messages.push(read_signed_reply(&mut r)?);
+    }
+    r.expect_end()?;
+    Ok(FaultProof {
+        accused,
+        request_id,
+        messages,
+    })
+}
+
+impl GmOp {
+    /// Encodes for the GM ordering group.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            GmOp::Open {
+                client,
+                client_domain,
+                target,
+            } => {
+                w.u8(1);
+                w.u64(endpoint_code(*client));
+                write_option_domain(&mut w, *client_domain);
+                w.u64(target.0);
+            }
+            GmOp::ChangeProof(proof) => {
+                w.u8(2);
+                w.bytes(&encode_proof(proof));
+            }
+            GmOp::ChangeVote { accuser, accused } => {
+                w.u8(3);
+                w.u32(accuser.0);
+                w.u32(accused.0);
+            }
+            GmOp::Close(c) => {
+                w.u8(4);
+                w.u64(c.0);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a GM operation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<GmOp, WireError> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            1 => GmOp::Open {
+                client: code_endpoint(r.u64()?),
+                client_domain: read_option_domain(&mut r)?,
+                target: DomainId(r.u64()?),
+            },
+            2 => GmOp::ChangeProof(decode_proof(r.bytes()?)?),
+            3 => GmOp::ChangeVote {
+                accuser: SenderId(r.u32()?),
+                accused: SenderId(r.u32()?),
+            },
+            4 => GmOp::Close(ConnectionId(r.u64()?)),
+            _ => return Err(WireError),
+        };
+        r.expect_end()?;
+        Ok(op)
+    }
+}
+
+/// Encodes a directive list (the GM state machine's execution result).
+pub fn encode_directives(directives: &[Directive]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(directives.len() as u32);
+    for d in directives {
+        match d {
+            Directive::KeyDist {
+                meta,
+                input,
+                recipients,
+            } => {
+                w.u8(1);
+                write_meta(&mut w, meta);
+                w.raw(input);
+                w.u32(recipients.len() as u32);
+                for r in recipients {
+                    w.u64(*r);
+                }
+            }
+            Directive::Refused(code) => {
+                w.u8(2);
+                w.u32(*code);
+            }
+            Directive::Expelled { domain, element } => {
+                w.u8(3);
+                w.u64(domain.0);
+                w.u32(element.0);
+            }
+            Directive::VoteRecorded => {
+                w.u8(4);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a directive list.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed bytes.
+pub fn decode_directives(bytes: &[u8]) -> Result<Vec<Directive>, WireError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()?;
+    if n > MAX_PROOF_ITEMS {
+        return Err(WireError);
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            1 => {
+                let meta = read_meta(&mut r)?;
+                let input: [u8; 32] = r.raw(32)?.try_into().expect("32 bytes");
+                let k = r.u32()?;
+                if k > MAX_PROOF_ITEMS {
+                    return Err(WireError);
+                }
+                let mut recipients = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    recipients.push(r.u64()?);
+                }
+                Directive::KeyDist {
+                    meta,
+                    input,
+                    recipients,
+                }
+            }
+            2 => Directive::Refused(r.u32()?),
+            3 => Directive::Expelled {
+                domain: DomainId(r.u64()?),
+                element: SenderId(r.u32()?),
+            },
+            4 => Directive::VoteRecorded,
+            _ => return Err(WireError),
+        });
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itdos_crypto::sign::SigningKey;
+
+    fn sig() -> Signature {
+        SigningKey::from_seed(b"s").sign(b"m")
+    }
+
+    fn meta() -> ConnectionMeta {
+        ConnectionMeta {
+            connection: ConnectionId(7),
+            epoch: 2,
+            client_code: 42,
+            client_domain: Some(DomainId(3)),
+            server_domain: DomainId(1),
+        }
+    }
+
+    #[test]
+    fn core_msgs_round_trip() {
+        let msgs = vec![
+            CoreMsg::Bft {
+                domain: DomainId(1),
+                envelope: vec![1, 2, 3],
+            },
+            CoreMsg::KeyShare(KeyShareMsg {
+                meta: meta(),
+                gm_code: 1_000_050,
+                sealed: vec![9; 60],
+            }),
+            CoreMsg::DirectReply(DirectReplyMsg {
+                connection: ConnectionId(7),
+                epoch: 0,
+                sender: SenderId(3),
+                sequence: 11,
+                sealed: vec![8; 50],
+                signature: sig(),
+            }),
+            CoreMsg::Notice(NoticeMsg {
+                gm_code: 1_000_051,
+                domain: DomainId(1),
+                expelled: SenderId(3),
+                sealed: vec![2; 48],
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(CoreMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn smiop_frame_round_trips() {
+        for kind in [FrameKind::Request, FrameKind::Reply] {
+            let f = SmiopFrame {
+                connection: ConnectionId(1),
+                epoch: 3,
+                kind,
+                sender_code: 1_000_002,
+                request_id: 5,
+                sequence: 77,
+                sealed: vec![1, 2, 3],
+                signature: sig(),
+            };
+            assert_eq!(SmiopFrame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn gm_ops_round_trip() {
+        let proof = FaultProof {
+            accused: vec![SenderId(3)],
+            request_id: 9,
+            messages: vec![SignedReply {
+                sender: SenderId(0),
+                sequence: 1,
+                frame: vec![5, 5],
+                signature: sig(),
+            }],
+        };
+        let ops = vec![
+            GmOp::Open {
+                client: Endpoint::Singleton(9),
+                client_domain: None,
+                target: DomainId(1),
+            },
+            GmOp::Open {
+                client: Endpoint::Element(SenderId(4)),
+                client_domain: Some(DomainId(2)),
+                target: DomainId(1),
+            },
+            GmOp::ChangeProof(proof),
+            GmOp::ChangeVote {
+                accuser: SenderId(0),
+                accused: SenderId(3),
+            },
+            GmOp::Close(ConnectionId(2)),
+        ];
+        for op in ops {
+            assert_eq!(GmOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn directives_round_trip() {
+        let ds = vec![
+            Directive::KeyDist {
+                meta: meta(),
+                input: [7u8; 32],
+                recipients: vec![1, 1_000_000],
+            },
+            Directive::Refused(2),
+            Directive::Expelled {
+                domain: DomainId(1),
+                element: SenderId(3),
+            },
+            Directive::VoteRecorded,
+        ];
+        assert_eq!(decode_directives(&encode_directives(&ds)).unwrap(), ds);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(CoreMsg::decode(&[]).is_err());
+        assert!(CoreMsg::decode(&[99]).is_err());
+        assert!(SmiopFrame::decode(&[1]).is_err());
+        assert!(GmOp::decode(&[9]).is_err());
+        assert!(decode_directives(&[0, 0, 0]).is_err());
+        // hostile length
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        assert!(decode_proof(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = GmOp::Close(ConnectionId(1)).encode();
+        bytes.push(0);
+        assert!(GmOp::decode(&bytes).is_err());
+    }
+}

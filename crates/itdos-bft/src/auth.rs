@@ -1,0 +1,397 @@
+//! Message authentication: envelopes, key provisioning, and verification.
+//!
+//! Normal-case messages use MAC authenticators \[8\] (one MAC per receiver
+//! under pairwise keys); view-change/checkpoint/state messages are signed
+//! so they remain verifiable when embedded in third-party proofs.
+//!
+//! Key provisioning is deterministic from a per-domain seed — the paper
+//! assumes "authentication tokens for each process are adequately
+//! protected" (§2.2) and does not describe a key-exchange protocol, so we
+//! provision pairwise keys at configuration time.
+
+use std::collections::BTreeMap;
+
+use itdos_crypto::keys::SymmetricKey;
+use itdos_crypto::mac::Authenticator;
+use itdos_crypto::sign::{Signature, SigningKey, VerifyingKey};
+
+use crate::config::{ClientId, ReplicaId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// A protocol participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Peer {
+    /// A group replica.
+    Replica(ReplicaId),
+    /// An external client.
+    Client(ClientId),
+}
+
+/// Authentication attached to an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthProof {
+    /// MAC authenticator: entry `i` verifies under the pairwise key between
+    /// the sender and replica `i`.
+    Macs(Authenticator),
+    /// Digital signature over the payload.
+    Signature(Signature),
+}
+
+/// An authenticated protocol envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Who sent it (claimed; verified via `auth`).
+    pub sender: Peer,
+    /// Encoded [`crate::message::Message`].
+    pub payload: Vec<u8>,
+    /// MAC authenticator or signature.
+    pub auth: AuthProof,
+}
+
+impl Envelope {
+    /// Serializes the envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self.sender {
+            Peer::Replica(id) => {
+                w.u8(0);
+                w.u64(id.0 as u64);
+            }
+            Peer::Client(id) => {
+                w.u8(1);
+                w.u64(id.0);
+            }
+        }
+        w.bytes(&self.payload);
+        match &self.auth {
+            AuthProof::Macs(a) => {
+                w.u8(0);
+                w.bytes(&a.to_bytes());
+            }
+            AuthProof::Signature(s) => {
+                w.u8(1);
+                w.raw(&s.to_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes an envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on any malformation.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope, WireError> {
+        let mut r = Reader::new(bytes);
+        let sender = match r.u8()? {
+            0 => Peer::Replica(ReplicaId(r.u64()? as u32)),
+            1 => Peer::Client(ClientId(r.u64()?)),
+            _ => return Err(WireError),
+        };
+        let payload = r.bytes()?.to_vec();
+        let auth = match r.u8()? {
+            0 => {
+                let raw = r.bytes()?;
+                let (a, used) = Authenticator::from_bytes(raw).ok_or(WireError)?;
+                if used != raw.len() {
+                    return Err(WireError);
+                }
+                AuthProof::Macs(a)
+            }
+            1 => AuthProof::Signature(Signature::from_bytes(
+                r.raw(16)?.try_into().expect("16 bytes"),
+            )),
+            _ => return Err(WireError),
+        };
+        r.expect_end()?;
+        Ok(Envelope {
+            sender,
+            payload,
+            auth,
+        })
+    }
+}
+
+/// Deterministic key provisioning for one BFT group.
+#[derive(Debug, Clone)]
+pub struct KeyProvisioner {
+    seed: [u8; 32],
+}
+
+impl KeyProvisioner {
+    /// Creates a provisioner from a group seed.
+    pub fn new(seed: [u8; 32]) -> KeyProvisioner {
+        KeyProvisioner { seed }
+    }
+
+    /// Pairwise key between two replicas (symmetric in the pair).
+    pub fn replica_pair(&self, a: ReplicaId, b: ReplicaId) -> SymmetricKey {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let mut label = Vec::with_capacity(16);
+        label.extend_from_slice(&lo.to_le_bytes());
+        label.extend_from_slice(&hi.to_le_bytes());
+        SymmetricKey::derive(&self.seed, &[b"rr-pair".as_slice(), &label].concat())
+    }
+
+    /// Pairwise key between a client and a replica.
+    pub fn client_pair(&self, client: ClientId, replica: ReplicaId) -> SymmetricKey {
+        let mut label = Vec::with_capacity(16);
+        label.extend_from_slice(&client.0.to_le_bytes());
+        label.extend_from_slice(&replica.0.to_le_bytes());
+        SymmetricKey::derive(&self.seed, &[b"cr-pair".as_slice(), &label].concat())
+    }
+
+    /// A replica's signing key.
+    pub fn signing_key(&self, replica: ReplicaId) -> SigningKey {
+        SigningKey::from_seed(&[&self.seed[..], &replica.0.to_le_bytes()].concat())
+    }
+
+    /// All replicas' verifying keys for a group of size `n`.
+    pub fn verifying_keys(&self, n: usize) -> BTreeMap<ReplicaId, VerifyingKey> {
+        (0..n as u32)
+            .map(|i| {
+                (
+                    ReplicaId(i),
+                    self.signing_key(ReplicaId(i)).verifying_key(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-process authentication state (one replica's or client's view).
+#[derive(Debug, Clone)]
+pub struct AuthContext {
+    me: Peer,
+    provisioner: KeyProvisioner,
+    n: usize,
+    signing: SigningKey,
+    verifying: BTreeMap<ReplicaId, VerifyingKey>,
+}
+
+impl AuthContext {
+    /// Builds the context for replica `id` in a group of `n`.
+    pub fn for_replica(provisioner: KeyProvisioner, id: ReplicaId, n: usize) -> AuthContext {
+        let signing = provisioner.signing_key(id);
+        let verifying = provisioner.verifying_keys(n);
+        AuthContext {
+            me: Peer::Replica(id),
+            provisioner,
+            n,
+            signing,
+            verifying,
+        }
+    }
+
+    /// Builds the context for an external client.
+    pub fn for_client(provisioner: KeyProvisioner, id: ClientId, n: usize) -> AuthContext {
+        // clients do not sign protocol messages; derive an unused key
+        let signing = SigningKey::from_seed(&[b"client".as_slice(), &id.0.to_le_bytes()].concat());
+        let verifying = provisioner.verifying_keys(n);
+        AuthContext {
+            me: Peer::Client(id),
+            provisioner,
+            n,
+            signing,
+            verifying,
+        }
+    }
+
+    /// This participant's identity.
+    pub fn me(&self) -> Peer {
+        self.me
+    }
+
+    fn pair_with_replica(&self, replica: ReplicaId) -> SymmetricKey {
+        match self.me {
+            Peer::Replica(id) => self.provisioner.replica_pair(id, replica),
+            Peer::Client(id) => self.provisioner.client_pair(id, replica),
+        }
+    }
+
+    /// Wraps a payload with a MAC authenticator addressed to all replicas.
+    pub fn mac_envelope(&self, payload: Vec<u8>) -> Envelope {
+        let keys: Vec<SymmetricKey> = (0..self.n as u32)
+            .map(|i| self.pair_with_replica(ReplicaId(i)))
+            .collect();
+        Envelope {
+            sender: self.me,
+            payload: payload.clone(),
+            auth: AuthProof::Macs(Authenticator::generate(&keys, &payload)),
+        }
+    }
+
+    /// Wraps a payload addressed to a single client (one-entry
+    /// authenticator under the client-replica pair key).
+    pub fn mac_envelope_for_client(&self, client: ClientId, payload: Vec<u8>) -> Envelope {
+        let Peer::Replica(me) = self.me else {
+            panic!("only replicas address clients");
+        };
+        let key = self.provisioner.client_pair(client, me);
+        Envelope {
+            sender: self.me,
+            payload: payload.clone(),
+            auth: AuthProof::Macs(Authenticator::generate(
+                std::slice::from_ref(&key),
+                &payload,
+            )),
+        }
+    }
+
+    /// Wraps a payload with this replica's signature.
+    pub fn signed_envelope(&self, payload: Vec<u8>) -> Envelope {
+        let signature = self.signing.sign(&payload);
+        Envelope {
+            sender: self.me,
+            payload,
+            auth: AuthProof::Signature(signature),
+        }
+    }
+
+    /// Verifies an incoming envelope at this receiver.
+    ///
+    /// Returns true when the authenticator entry (or signature) verifies
+    /// under the claimed sender's key material.
+    pub fn verify(&self, envelope: &Envelope) -> bool {
+        match (&envelope.auth, envelope.sender, self.me) {
+            (AuthProof::Macs(a), sender, Peer::Replica(me)) => {
+                let key = match sender {
+                    Peer::Replica(s) => self.provisioner.replica_pair(s, me),
+                    Peer::Client(c) => self.provisioner.client_pair(c, me),
+                };
+                a.verify(me.0 as usize, &key, &envelope.payload)
+            }
+            (AuthProof::Macs(a), Peer::Replica(s), Peer::Client(me)) => {
+                // reply addressed to this client: single-entry authenticator
+                let key = self.provisioner.client_pair(me, s);
+                a.verify(0, &key, &envelope.payload)
+            }
+            (AuthProof::Macs(_), Peer::Client(_), Peer::Client(_)) => false,
+            (AuthProof::Signature(sig), Peer::Replica(s), _) => self
+                .verifying
+                .get(&s)
+                .is_some_and(|vk| vk.verify(&envelope.payload, sig)),
+            (AuthProof::Signature(_), Peer::Client(_), _) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provisioner() -> KeyProvisioner {
+        KeyProvisioner::new([7u8; 32])
+    }
+
+    #[test]
+    fn replica_pairs_are_symmetric() {
+        let p = provisioner();
+        assert_eq!(
+            p.replica_pair(ReplicaId(1), ReplicaId(3)),
+            p.replica_pair(ReplicaId(3), ReplicaId(1))
+        );
+        assert_ne!(
+            p.replica_pair(ReplicaId(1), ReplicaId(3)),
+            p.replica_pair(ReplicaId(1), ReplicaId(2))
+        );
+    }
+
+    #[test]
+    fn replica_to_replica_mac_verifies() {
+        let p = provisioner();
+        let sender = AuthContext::for_replica(p.clone(), ReplicaId(0), 4);
+        let receiver = AuthContext::for_replica(p, ReplicaId(2), 4);
+        let env = sender.mac_envelope(vec![1, 2, 3]);
+        assert!(receiver.verify(&env));
+    }
+
+    #[test]
+    fn tampered_payload_fails_mac() {
+        let p = provisioner();
+        let sender = AuthContext::for_replica(p.clone(), ReplicaId(0), 4);
+        let receiver = AuthContext::for_replica(p, ReplicaId(2), 4);
+        let mut env = sender.mac_envelope(vec![1, 2, 3]);
+        env.payload[0] ^= 1;
+        assert!(!receiver.verify(&env));
+    }
+
+    #[test]
+    fn impersonation_fails_mac() {
+        let p = provisioner();
+        let sender = AuthContext::for_replica(p.clone(), ReplicaId(0), 4);
+        let receiver = AuthContext::for_replica(p, ReplicaId(2), 4);
+        let mut env = sender.mac_envelope(vec![1, 2, 3]);
+        env.sender = Peer::Replica(ReplicaId(1)); // claim to be replica 1
+        assert!(!receiver.verify(&env));
+    }
+
+    #[test]
+    fn client_request_verifies_at_each_replica() {
+        let p = provisioner();
+        let client = AuthContext::for_client(p.clone(), ClientId(42), 4);
+        let env = client.mac_envelope(vec![9]);
+        for i in 0..4 {
+            let r = AuthContext::for_replica(p.clone(), ReplicaId(i), 4);
+            assert!(r.verify(&env), "replica {i}");
+        }
+    }
+
+    #[test]
+    fn reply_to_client_verifies_only_at_that_client() {
+        let p = provisioner();
+        let replica = AuthContext::for_replica(p.clone(), ReplicaId(1), 4);
+        let env = replica.mac_envelope_for_client(ClientId(42), vec![5]);
+        let right = AuthContext::for_client(p.clone(), ClientId(42), 4);
+        let wrong = AuthContext::for_client(p, ClientId(43), 4);
+        assert!(right.verify(&env));
+        assert!(!wrong.verify(&env));
+    }
+
+    #[test]
+    fn signed_envelope_verifies_and_rejects_tampering() {
+        let p = provisioner();
+        let sender = AuthContext::for_replica(p.clone(), ReplicaId(3), 4);
+        let receiver = AuthContext::for_replica(p, ReplicaId(0), 4);
+        let env = sender.signed_envelope(vec![1, 1, 2, 3, 5]);
+        assert!(receiver.verify(&env));
+        let mut bad = env.clone();
+        bad.payload.push(0);
+        assert!(!receiver.verify(&bad));
+        let mut forged = env;
+        forged.sender = Peer::Replica(ReplicaId(1));
+        assert!(!receiver.verify(&forged));
+    }
+
+    #[test]
+    fn client_cannot_sign() {
+        let p = provisioner();
+        let client = AuthContext::for_client(p.clone(), ClientId(1), 4);
+        let receiver = AuthContext::for_replica(p, ReplicaId(0), 4);
+        let env = client.signed_envelope(vec![1]);
+        assert!(!receiver.verify(&env), "client signatures are not trusted");
+    }
+
+    #[test]
+    fn envelope_bytes_round_trip() {
+        let p = provisioner();
+        let sender = AuthContext::for_replica(p.clone(), ReplicaId(0), 4);
+        for env in [
+            sender.mac_envelope(vec![1, 2]),
+            sender.signed_envelope(vec![3]),
+            AuthContext::for_client(p, ClientId(5), 4).mac_envelope(vec![4]),
+        ] {
+            assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn malformed_envelope_rejected() {
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[9]).is_err());
+        let p = provisioner();
+        let env = AuthContext::for_replica(p, ReplicaId(0), 4).mac_envelope(vec![1]);
+        let bytes = env.encode();
+        assert!(Envelope::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

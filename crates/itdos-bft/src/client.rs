@@ -1,0 +1,236 @@
+//! The BFT client protocol.
+//!
+//! "A singleton client sends an invocation message to a replica group. The
+//! replicas decide on the total order … Each replica computes the response
+//! and delivers it to the client directly. The client waits for f+1 replies
+//! with the same result; this is the result of the operation" (§3.1,
+//! describing Castro–Liskov).
+//!
+//! At this layer replies are compared byte-for-byte — in ITDOS the BFT
+//! reply is a *static acknowledgement*, identical on all correct replicas
+//! regardless of platform; the real CORBA reply travels separately and is
+//! voted by the VVM (§3.1).
+
+use std::collections::BTreeMap;
+
+use crate::config::{ClientId, GroupConfig, ReplicaId};
+use crate::message::{ClientRequest, Reply};
+
+/// One in-flight request's reply collection state.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    timestamp: u64,
+    request: ClientRequest,
+    replies: BTreeMap<ReplicaId, Vec<u8>>,
+    decided: bool,
+}
+
+/// A BFT client for one replica group.
+///
+/// Single outstanding request at a time — exactly the ITDOS connection
+/// model (§3.6: "only one outstanding request can exist for a connection").
+///
+/// # Examples
+///
+/// ```
+/// use itdos_bft::client::Client;
+/// use itdos_bft::config::{ClientId, GroupConfig};
+///
+/// let mut client = Client::new(ClientId(7), GroupConfig::for_f(1));
+/// let request = client.start_request(vec![1, 2, 3]).expect("no outstanding request");
+/// assert_eq!(request.client, ClientId(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client {
+    id: ClientId,
+    config: GroupConfig,
+    next_timestamp: u64,
+    outstanding: Option<Outstanding>,
+}
+
+impl Client {
+    /// Creates a client.
+    pub fn new(id: ClientId, config: GroupConfig) -> Client {
+        Client {
+            id,
+            config,
+            next_timestamp: 1,
+            outstanding: None,
+        }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// True while a request is outstanding and undecided.
+    pub fn busy(&self) -> bool {
+        self.outstanding.as_ref().is_some_and(|o| !o.decided)
+    }
+
+    /// Starts a request; returns the message to send to the group, or
+    /// `None` if one is already outstanding.
+    pub fn start_request(&mut self, operation: Vec<u8>) -> Option<ClientRequest> {
+        if self.busy() {
+            return None;
+        }
+        let timestamp = self.next_timestamp;
+        self.next_timestamp += 1;
+        let request = ClientRequest {
+            client: self.id,
+            timestamp,
+            operation,
+        };
+        self.outstanding = Some(Outstanding {
+            timestamp,
+            request: request.clone(),
+            replies: BTreeMap::new(),
+            decided: false,
+        });
+        Some(request)
+    }
+
+    /// The current request, for retransmission after a timeout (PBFT
+    /// clients retransmit to all replicas, which triggers reply resend or a
+    /// view change).
+    pub fn retransmit(&self) -> Option<ClientRequest> {
+        self.outstanding
+            .as_ref()
+            .filter(|o| !o.decided)
+            .map(|o| o.request.clone())
+    }
+
+    /// Processes one reply. Returns the accepted result the first time f+1
+    /// matching replies have arrived.
+    pub fn on_reply(&mut self, reply: Reply) -> Option<Vec<u8>> {
+        let threshold = self.config.f + 1;
+        let outstanding = self.outstanding.as_mut()?;
+        if reply.client != self.id
+            || reply.timestamp != outstanding.timestamp
+            || outstanding.decided
+        {
+            return None; // late or foreign reply: discarded without penalty
+        }
+        if reply.replica.0 as usize >= self.config.n {
+            return None;
+        }
+        outstanding.replies.insert(reply.replica, reply.result);
+        // count matching results
+        let mut counts: BTreeMap<&[u8], usize> = BTreeMap::new();
+        for result in outstanding.replies.values() {
+            *counts.entry(result.as_slice()).or_insert(0) += 1;
+        }
+        let winner = counts
+            .iter()
+            .find(|(_, c)| **c >= threshold)
+            .map(|(r, _)| r.to_vec());
+        if let Some(result) = winner {
+            outstanding.decided = true;
+            return Some(result);
+        }
+        None
+    }
+
+    /// Number of replies collected for the outstanding request.
+    pub fn replies_collected(&self) -> usize {
+        self.outstanding.as_ref().map_or(0, |o| o.replies.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::View;
+
+    fn reply(client: &Client, replica: u32, ts: u64, result: &[u8]) -> Reply {
+        Reply {
+            view: View(0),
+            timestamp: ts,
+            client: client.id(),
+            replica: ReplicaId(replica),
+            result: result.to_vec(),
+        }
+    }
+
+    fn client() -> Client {
+        Client::new(ClientId(1), GroupConfig::for_f(1))
+    }
+
+    #[test]
+    fn accepts_on_f_plus_1_matching() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None);
+        assert_eq!(c.on_reply(reply(&c, 1, 1, b"ok")), Some(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn byzantine_reply_does_not_count_toward_quorum() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        assert_eq!(c.on_reply(reply(&c, 0, 1, b"evil")), None);
+        assert_eq!(c.on_reply(reply(&c, 1, 1, b"ok")), None);
+        assert_eq!(c.on_reply(reply(&c, 2, 1, b"ok")), Some(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn duplicate_replica_replies_overwrite_not_double_count() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None);
+        assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None, "same replica twice");
+    }
+
+    #[test]
+    fn one_request_at_a_time() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        assert!(c.start_request(vec![1]).is_none());
+        assert!(c.busy());
+        c.on_reply(reply(&c, 0, 1, b"ok"));
+        c.on_reply(reply(&c, 1, 1, b"ok"));
+        assert!(!c.busy(), "decided");
+        assert!(c.start_request(vec![1]).is_some());
+    }
+
+    #[test]
+    fn stale_timestamp_ignored() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        c.on_reply(reply(&c, 0, 1, b"ok"));
+        c.on_reply(reply(&c, 1, 1, b"ok"));
+        c.start_request(vec![1]).unwrap();
+        // replies for ts=1 arrive late during ts=2
+        assert_eq!(c.on_reply(reply(&c, 2, 1, b"ok")), None);
+        assert_eq!(c.replies_collected(), 0);
+    }
+
+    #[test]
+    fn out_of_range_replica_ignored() {
+        let mut c = client();
+        c.start_request(vec![0]).unwrap();
+        assert_eq!(c.on_reply(reply(&c, 99, 1, b"ok")), None);
+        assert_eq!(c.replies_collected(), 0);
+    }
+
+    #[test]
+    fn retransmit_returns_outstanding_request() {
+        let mut c = client();
+        let req = c.start_request(vec![5]).unwrap();
+        assert_eq!(c.retransmit(), Some(req));
+        c.on_reply(reply(&c, 0, 1, b"ok"));
+        c.on_reply(reply(&c, 1, 1, b"ok"));
+        assert_eq!(c.retransmit(), None, "decided requests are not retransmitted");
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let mut c = client();
+        let r1 = c.start_request(vec![0]).unwrap();
+        c.on_reply(reply(&c, 0, r1.timestamp, b"ok"));
+        c.on_reply(reply(&c, 1, r1.timestamp, b"ok"));
+        let r2 = c.start_request(vec![1]).unwrap();
+        assert!(r2.timestamp > r1.timestamp);
+    }
+}

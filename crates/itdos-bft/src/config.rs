@@ -1,0 +1,124 @@
+//! Replica configuration.
+
+use simnet::SimDuration;
+
+/// Identifies a replica within its BFT group (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+/// Identifies a BFT client (in ITDOS: a singleton client process or an
+/// element of a client replication domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u64);
+
+/// A protocol view number; the primary of view `v` is replica `v mod n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct View(pub u64);
+
+/// A sequence number assigned by the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u64);
+
+/// Static configuration shared by all replicas of one group.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_bft::config::GroupConfig;
+///
+/// let cfg = GroupConfig::for_f(1);
+/// assert_eq!(cfg.n, 4);
+/// assert_eq!(cfg.quorum(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Number of replicas (`n >= 3f + 1`).
+    pub n: usize,
+    /// Maximum simultaneous Byzantine faults tolerated.
+    pub f: usize,
+    /// Execute a checkpoint every this many sequence numbers.
+    pub checkpoint_interval: u64,
+    /// Log window size (`H - h`); pre-prepares outside the window are
+    /// refused.
+    pub watermark_window: u64,
+    /// How long a backup waits on an unexecuted request before starting a
+    /// view change.
+    pub view_timeout: SimDuration,
+}
+
+impl GroupConfig {
+    /// Minimal configuration tolerating `f` faults with `n = 3f + 1`.
+    pub fn for_f(f: usize) -> GroupConfig {
+        GroupConfig {
+            n: 3 * f + 1,
+            f,
+            checkpoint_interval: 16,
+            watermark_window: 64,
+            view_timeout: SimDuration::from_millis(50),
+        }
+    }
+
+    /// The 2f+1 quorum used for prepared/committed certificates.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// The primary of `view`.
+    pub fn primary_of(&self, view: View) -> ReplicaId {
+        ReplicaId((view.0 % self.n as u64) as u32)
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3f + 1` or the checkpoint interval is zero or larger
+    /// than the watermark window.
+    pub fn validate(&self) {
+        assert!(self.n >= 3 * self.f + 1, "n must be at least 3f+1");
+        assert!(self.checkpoint_interval > 0, "checkpoint interval must be positive");
+        assert!(
+            self.watermark_window >= self.checkpoint_interval,
+            "watermark window must cover at least one checkpoint interval"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_f_builds_minimal_group() {
+        for f in 1..=4 {
+            let cfg = GroupConfig::for_f(f);
+            cfg.validate();
+            assert_eq!(cfg.n, 3 * f + 1);
+            assert_eq!(cfg.quorum(), 2 * f + 1);
+        }
+    }
+
+    #[test]
+    fn primary_rotates_by_view() {
+        let cfg = GroupConfig::for_f(1);
+        assert_eq!(cfg.primary_of(View(0)), ReplicaId(0));
+        assert_eq!(cfg.primary_of(View(1)), ReplicaId(1));
+        assert_eq!(cfg.primary_of(View(4)), ReplicaId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be at least 3f+1")]
+    fn undersized_group_rejected() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.n = 3;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark window")]
+    fn window_must_cover_checkpoint() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.watermark_window = 8;
+        cfg.validate();
+    }
+}

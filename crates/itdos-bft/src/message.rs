@@ -1,0 +1,640 @@
+//! PBFT protocol messages and their wire encoding.
+//!
+//! Message set from Castro–Liskov \[7\]: `REQUEST`, `PRE-PREPARE`,
+//! `PREPARE`, `COMMIT`, `REPLY`, `CHECKPOINT`, `VIEW-CHANGE`, `NEW-VIEW`,
+//! plus the state-transfer pair (`STATE-FETCH`/`STATE-DATA`) used by
+//! proactive recovery and by lagging replicas.
+//!
+//! Normal-case messages are authenticated with MAC authenticators \[8\];
+//! view-change and checkpoint messages are signed (as in the original PBFT
+//! paper) so they can be embedded as transferable proofs.
+
+use itdos_crypto::hash::Digest;
+
+use crate::config::{ClientId, ReplicaId, SeqNo, View};
+use crate::wire::{Reader, WireError, Writer};
+
+/// A client's operation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// Requesting client.
+    pub client: ClientId,
+    /// Client-local timestamp providing exactly-once semantics.
+    pub timestamp: u64,
+    /// Opaque operation bytes (in ITDOS: an encrypted SMIOP frame).
+    pub operation: Vec<u8>,
+}
+
+impl ClientRequest {
+    /// The request digest used throughout the three-phase protocol.
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[
+            b"bft-req",
+            &self.client.0.to_le_bytes(),
+            &self.timestamp.to_le_bytes(),
+            &self.operation,
+        ])
+    }
+}
+
+/// Primary's ordering proposal for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrePrepare {
+    /// View in which the order is proposed.
+    pub view: View,
+    /// Proposed sequence number.
+    pub seq: SeqNo,
+    /// Digest of the embedded request.
+    pub digest: Digest,
+    /// The full request (piggybacked, as in PBFT).
+    pub request: ClientRequest,
+}
+
+/// Backup's agreement to the proposed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prepare {
+    /// View number.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Request digest.
+    pub digest: Digest,
+    /// Sending replica.
+    pub replica: ReplicaId,
+}
+
+/// Replica's commitment to execute at the agreed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// View number.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Request digest.
+    pub digest: Digest,
+    /// Sending replica.
+    pub replica: ReplicaId,
+}
+
+/// Execution result returned to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// View in which the request executed.
+    pub view: View,
+    /// Echo of the request timestamp.
+    pub timestamp: u64,
+    /// The client addressed.
+    pub client: ClientId,
+    /// Replying replica.
+    pub replica: ReplicaId,
+    /// Execution result bytes.
+    pub result: Vec<u8>,
+}
+
+/// Periodic proof of state at a sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Sequence number of the checkpointed state.
+    pub seq: SeqNo,
+    /// Digest of the application state at `seq`.
+    pub state_digest: Digest,
+    /// Sending replica.
+    pub replica: ReplicaId,
+}
+
+/// A prepared certificate carried in a view change: the pre-prepare plus
+/// 2f matching prepares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedProof {
+    /// The ordering proposal.
+    pub pre_prepare: PrePrepare,
+    /// 2f prepares matching it.
+    pub prepares: Vec<Prepare>,
+}
+
+/// A replica's vote to move to a new view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChange {
+    /// The view being moved to.
+    pub new_view: View,
+    /// Last stable checkpoint sequence.
+    pub stable_seq: SeqNo,
+    /// 2f+1 checkpoint messages proving `stable_seq`.
+    pub checkpoint_proof: Vec<Checkpoint>,
+    /// Prepared certificates above `stable_seq`.
+    pub prepared: Vec<PreparedProof>,
+    /// Sending replica.
+    pub replica: ReplicaId,
+}
+
+/// The new primary's installation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewView {
+    /// The view being installed.
+    pub view: View,
+    /// 2f+1 view-change messages justifying the change.
+    pub view_changes: Vec<ViewChange>,
+    /// Re-issued pre-prepares for requests that must carry over.
+    pub pre_prepares: Vec<PrePrepare>,
+    /// The new primary.
+    pub primary: ReplicaId,
+}
+
+/// Request for state transfer starting at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateFetch {
+    /// The requester wants the stable state at or above this sequence.
+    pub seq: SeqNo,
+    /// Requesting replica.
+    pub replica: ReplicaId,
+}
+
+/// State transfer payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateData {
+    /// Sequence number of the snapshot.
+    pub seq: SeqNo,
+    /// Application snapshot bytes.
+    pub snapshot: Vec<u8>,
+    /// 2f+1 checkpoints proving the snapshot digest.
+    pub proof: Vec<Checkpoint>,
+    /// Sending replica.
+    pub replica: ReplicaId,
+}
+
+/// Any protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client request.
+    Request(ClientRequest),
+    /// Ordering proposal.
+    PrePrepare(PrePrepare),
+    /// Order agreement.
+    Prepare(Prepare),
+    /// Execution commitment.
+    Commit(Commit),
+    /// Execution result.
+    Reply(Reply),
+    /// State proof.
+    Checkpoint(Checkpoint),
+    /// View-change vote.
+    ViewChange(ViewChange),
+    /// View installation.
+    NewView(NewView),
+    /// State transfer request.
+    StateFetch(StateFetch),
+    /// State transfer payload.
+    StateData(StateData),
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_PRE_PREPARE: u8 = 2;
+const TAG_PREPARE: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_REPLY: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+const TAG_VIEW_CHANGE: u8 = 7;
+const TAG_NEW_VIEW: u8 = 8;
+const TAG_STATE_FETCH: u8 = 9;
+const TAG_STATE_DATA: u8 = 10;
+
+fn write_digest(w: &mut Writer, d: &Digest) {
+    w.raw(d.as_bytes());
+}
+
+fn read_digest(r: &mut Reader<'_>) -> Result<Digest, WireError> {
+    Ok(Digest(r.raw(32)?.try_into().expect("32 bytes")))
+}
+
+fn write_request(w: &mut Writer, m: &ClientRequest) {
+    w.u64(m.client.0);
+    w.u64(m.timestamp);
+    w.bytes(&m.operation);
+}
+
+fn read_request(r: &mut Reader<'_>) -> Result<ClientRequest, WireError> {
+    Ok(ClientRequest {
+        client: ClientId(r.u64()?),
+        timestamp: r.u64()?,
+        operation: r.bytes()?.to_vec(),
+    })
+}
+
+fn write_pre_prepare(w: &mut Writer, m: &PrePrepare) {
+    w.u64(m.view.0);
+    w.u64(m.seq.0);
+    write_digest(w, &m.digest);
+    write_request(w, &m.request);
+}
+
+fn read_pre_prepare(r: &mut Reader<'_>) -> Result<PrePrepare, WireError> {
+    Ok(PrePrepare {
+        view: View(r.u64()?),
+        seq: SeqNo(r.u64()?),
+        digest: read_digest(r)?,
+        request: read_request(r)?,
+    })
+}
+
+fn write_prepare(w: &mut Writer, m: &Prepare) {
+    w.u64(m.view.0);
+    w.u64(m.seq.0);
+    write_digest(w, &m.digest);
+    w.u32(m.replica.0);
+}
+
+fn read_prepare(r: &mut Reader<'_>) -> Result<Prepare, WireError> {
+    Ok(Prepare {
+        view: View(r.u64()?),
+        seq: SeqNo(r.u64()?),
+        digest: read_digest(r)?,
+        replica: ReplicaId(r.u32()?),
+    })
+}
+
+fn write_commit(w: &mut Writer, m: &Commit) {
+    w.u64(m.view.0);
+    w.u64(m.seq.0);
+    write_digest(w, &m.digest);
+    w.u32(m.replica.0);
+}
+
+fn read_commit(r: &mut Reader<'_>) -> Result<Commit, WireError> {
+    Ok(Commit {
+        view: View(r.u64()?),
+        seq: SeqNo(r.u64()?),
+        digest: read_digest(r)?,
+        replica: ReplicaId(r.u32()?),
+    })
+}
+
+fn write_checkpoint(w: &mut Writer, m: &Checkpoint) {
+    w.u64(m.seq.0);
+    write_digest(w, &m.state_digest);
+    w.u32(m.replica.0);
+}
+
+fn read_checkpoint(r: &mut Reader<'_>) -> Result<Checkpoint, WireError> {
+    Ok(Checkpoint {
+        seq: SeqNo(r.u64()?),
+        state_digest: read_digest(r)?,
+        replica: ReplicaId(r.u32()?),
+    })
+}
+
+fn write_view_change(w: &mut Writer, m: &ViewChange) {
+    w.u64(m.new_view.0);
+    w.u64(m.stable_seq.0);
+    w.u32(m.checkpoint_proof.len() as u32);
+    for c in &m.checkpoint_proof {
+        write_checkpoint(w, c);
+    }
+    w.u32(m.prepared.len() as u32);
+    for p in &m.prepared {
+        write_pre_prepare(w, &p.pre_prepare);
+        w.u32(p.prepares.len() as u32);
+        for pr in &p.prepares {
+            write_prepare(w, pr);
+        }
+    }
+    w.u32(m.replica.0);
+}
+
+const MAX_VEC: u32 = 1 << 16;
+
+fn bounded(len: u32) -> Result<u32, WireError> {
+    if len > MAX_VEC {
+        Err(WireError)
+    } else {
+        Ok(len)
+    }
+}
+
+fn read_view_change(r: &mut Reader<'_>) -> Result<ViewChange, WireError> {
+    let new_view = View(r.u64()?);
+    let stable_seq = SeqNo(r.u64()?);
+    let n_cp = bounded(r.u32()?)?;
+    let mut checkpoint_proof = Vec::with_capacity(n_cp.min(64) as usize);
+    for _ in 0..n_cp {
+        checkpoint_proof.push(read_checkpoint(r)?);
+    }
+    let n_prep = bounded(r.u32()?)?;
+    let mut prepared = Vec::with_capacity(n_prep.min(64) as usize);
+    for _ in 0..n_prep {
+        let pre_prepare = read_pre_prepare(r)?;
+        let n_pr = bounded(r.u32()?)?;
+        let mut prepares = Vec::with_capacity(n_pr.min(64) as usize);
+        for _ in 0..n_pr {
+            prepares.push(read_prepare(r)?);
+        }
+        prepared.push(PreparedProof {
+            pre_prepare,
+            prepares,
+        });
+    }
+    Ok(ViewChange {
+        new_view,
+        stable_seq,
+        checkpoint_proof,
+        prepared,
+        replica: ReplicaId(r.u32()?),
+    })
+}
+
+impl Message {
+    /// Encodes to the compact wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::Request(m) => {
+                w.u8(TAG_REQUEST);
+                write_request(&mut w, m);
+            }
+            Message::PrePrepare(m) => {
+                w.u8(TAG_PRE_PREPARE);
+                write_pre_prepare(&mut w, m);
+            }
+            Message::Prepare(m) => {
+                w.u8(TAG_PREPARE);
+                write_prepare(&mut w, m);
+            }
+            Message::Commit(m) => {
+                w.u8(TAG_COMMIT);
+                write_commit(&mut w, m);
+            }
+            Message::Reply(m) => {
+                w.u8(TAG_REPLY);
+                w.u64(m.view.0);
+                w.u64(m.timestamp);
+                w.u64(m.client.0);
+                w.u32(m.replica.0);
+                w.bytes(&m.result);
+            }
+            Message::Checkpoint(m) => {
+                w.u8(TAG_CHECKPOINT);
+                write_checkpoint(&mut w, m);
+            }
+            Message::ViewChange(m) => {
+                w.u8(TAG_VIEW_CHANGE);
+                write_view_change(&mut w, m);
+            }
+            Message::NewView(m) => {
+                w.u8(TAG_NEW_VIEW);
+                w.u64(m.view.0);
+                w.u32(m.view_changes.len() as u32);
+                for vc in &m.view_changes {
+                    write_view_change(&mut w, vc);
+                }
+                w.u32(m.pre_prepares.len() as u32);
+                for pp in &m.pre_prepares {
+                    write_pre_prepare(&mut w, pp);
+                }
+                w.u32(m.primary.0);
+            }
+            Message::StateFetch(m) => {
+                w.u8(TAG_STATE_FETCH);
+                w.u64(m.seq.0);
+                w.u32(m.replica.0);
+            }
+            Message::StateData(m) => {
+                w.u8(TAG_STATE_DATA);
+                w.u64(m.seq.0);
+                w.bytes(&m.snapshot);
+                w.u32(m.proof.len() as u32);
+                for c in &m.proof {
+                    write_checkpoint(&mut w, c);
+                }
+                w.u32(m.replica.0);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation, trailing garbage, unknown tags, or
+    /// hostile length fields — all reachable by a Byzantine peer.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8()? {
+            TAG_REQUEST => Message::Request(read_request(&mut r)?),
+            TAG_PRE_PREPARE => Message::PrePrepare(read_pre_prepare(&mut r)?),
+            TAG_PREPARE => Message::Prepare(read_prepare(&mut r)?),
+            TAG_COMMIT => Message::Commit(read_commit(&mut r)?),
+            TAG_REPLY => Message::Reply(Reply {
+                view: View(r.u64()?),
+                timestamp: r.u64()?,
+                client: ClientId(r.u64()?),
+                replica: ReplicaId(r.u32()?),
+                result: r.bytes()?.to_vec(),
+            }),
+            TAG_CHECKPOINT => Message::Checkpoint(read_checkpoint(&mut r)?),
+            TAG_VIEW_CHANGE => Message::ViewChange(read_view_change(&mut r)?),
+            TAG_NEW_VIEW => {
+                let view = View(r.u64()?);
+                let n_vc = bounded(r.u32()?)?;
+                let mut view_changes = Vec::with_capacity(n_vc.min(64) as usize);
+                for _ in 0..n_vc {
+                    view_changes.push(read_view_change(&mut r)?);
+                }
+                let n_pp = bounded(r.u32()?)?;
+                let mut pre_prepares = Vec::with_capacity(n_pp.min(64) as usize);
+                for _ in 0..n_pp {
+                    pre_prepares.push(read_pre_prepare(&mut r)?);
+                }
+                Message::NewView(NewView {
+                    view,
+                    view_changes,
+                    pre_prepares,
+                    primary: ReplicaId(r.u32()?),
+                })
+            }
+            TAG_STATE_FETCH => Message::StateFetch(StateFetch {
+                seq: SeqNo(r.u64()?),
+                replica: ReplicaId(r.u32()?),
+            }),
+            TAG_STATE_DATA => {
+                let seq = SeqNo(r.u64()?);
+                let snapshot = r.bytes()?.to_vec();
+                let n = bounded(r.u32()?)?;
+                let mut proof = Vec::with_capacity(n.min(64) as usize);
+                for _ in 0..n {
+                    proof.push(read_checkpoint(&mut r)?);
+                }
+                Message::StateData(StateData {
+                    seq,
+                    snapshot,
+                    proof,
+                    replica: ReplicaId(r.u32()?),
+                })
+            }
+            _ => return Err(WireError),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    /// A short protocol-phase label for network statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Request(_) => "bft-request",
+            Message::PrePrepare(_) => "bft-pre-prepare",
+            Message::Prepare(_) => "bft-prepare",
+            Message::Commit(_) => "bft-commit",
+            Message::Reply(_) => "bft-reply",
+            Message::Checkpoint(_) => "bft-checkpoint",
+            Message::ViewChange(_) => "bft-view-change",
+            Message::NewView(_) => "bft-new-view",
+            Message::StateFetch(_) => "bft-state-fetch",
+            Message::StateData(_) => "bft-state-data",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ClientRequest {
+        ClientRequest {
+            client: ClientId(9),
+            timestamp: 3,
+            operation: vec![1, 2, 3],
+        }
+    }
+
+    fn sample_pre_prepare() -> PrePrepare {
+        let request = sample_request();
+        PrePrepare {
+            view: View(1),
+            seq: SeqNo(5),
+            digest: request.digest(),
+            request,
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        let req = sample_request();
+        let pp = sample_pre_prepare();
+        let prepare = Prepare {
+            view: View(1),
+            seq: SeqNo(5),
+            digest: req.digest(),
+            replica: ReplicaId(2),
+        };
+        let commit = Commit {
+            view: View(1),
+            seq: SeqNo(5),
+            digest: req.digest(),
+            replica: ReplicaId(2),
+        };
+        let checkpoint = Checkpoint {
+            seq: SeqNo(16),
+            state_digest: Digest::of(b"state"),
+            replica: ReplicaId(1),
+        };
+        let vc = ViewChange {
+            new_view: View(2),
+            stable_seq: SeqNo(16),
+            checkpoint_proof: vec![checkpoint],
+            prepared: vec![PreparedProof {
+                pre_prepare: pp.clone(),
+                prepares: vec![prepare],
+            }],
+            replica: ReplicaId(3),
+        };
+        vec![
+            Message::Request(req.clone()),
+            Message::PrePrepare(pp.clone()),
+            Message::Prepare(prepare),
+            Message::Commit(commit),
+            Message::Reply(Reply {
+                view: View(1),
+                timestamp: 3,
+                client: ClientId(9),
+                replica: ReplicaId(0),
+                result: vec![42],
+            }),
+            Message::Checkpoint(checkpoint),
+            Message::ViewChange(vc.clone()),
+            Message::NewView(NewView {
+                view: View(2),
+                view_changes: vec![vc],
+                pre_prepares: vec![pp],
+                primary: ReplicaId(2),
+            }),
+            Message::StateFetch(StateFetch {
+                seq: SeqNo(16),
+                replica: ReplicaId(1),
+            }),
+            Message::StateData(StateData {
+                seq: SeqNo(16),
+                snapshot: vec![7, 8],
+                proof: vec![checkpoint],
+                replica: ReplicaId(0),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(Message::decode(&bytes).unwrap(), msg, "{}", msg.label());
+        }
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let a = sample_request();
+        let mut b = a.clone();
+        b.operation[0] ^= 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.timestamp += 1;
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(Message::decode(&[200]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = all_messages()[2].encode();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_for_every_message() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "{} cut at {cut}",
+                    msg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_vector_length_rejected() {
+        // craft a NEW-VIEW claiming 2^31 view-changes
+        let mut w = Writer::new();
+        w.u8(8).u64(1).u32(1 << 31);
+        assert!(Message::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            all_messages().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), all_messages().len());
+    }
+}

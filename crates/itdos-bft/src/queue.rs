@@ -1,0 +1,582 @@
+//! The ITDOS message-queue state machine (§3.1).
+//!
+//! ITDOS's key adaptation of Castro–Liskov: "An ITDOS server implements a
+//! message queue that *is* the state machine. Whenever Castro–Liskov
+//! synchronizes the replica state, the message queue is synchronized."
+//! Replicas converge on the totally-ordered queue of delivered messages
+//! instead of on application object state — which is what makes state
+//! synchronization "scalable to large object servers".
+//!
+//! The queue lives in a bounded memory region, so it "must be
+//! garbage-collected and more memory made available for incoming
+//! messages". GC consumption acknowledgements flow through the same total
+//! order (they are queue operations), so all replicas truncate
+//! identically. An element that stops acknowledging blocks GC; once the
+//! queue backs up past a threshold the element is reported as a *laggard*
+//! and must be expelled to make progress — "this step essentially adds
+//! virtual synchrony \[2\] to the system".
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use itdos_crypto::hash::Digest;
+
+use crate::state::StateMachine;
+use crate::wire::{Reader, WireError, Writer};
+
+/// Identifies a replication domain element within its queue group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub u32);
+
+/// An operation applied to the queue state machine (the BFT `operation`
+/// bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Append a message to the queue.
+    Deliver(Vec<u8>),
+    /// Element `element` has consumed every message with index < `up_to`.
+    Ack {
+        /// Acknowledging element.
+        element: ElementId,
+        /// One past the highest consumed index.
+        up_to: u64,
+    },
+    /// Remove `element` from the GC membership (virtual-synchrony
+    /// expulsion).
+    Expel(ElementId),
+    /// Add `element` to the GC membership.
+    Join(ElementId),
+}
+
+impl QueueOp {
+    /// Encodes the operation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            QueueOp::Deliver(payload) => {
+                w.u8(0);
+                w.bytes(payload);
+            }
+            QueueOp::Ack { element, up_to } => {
+                w.u8(1);
+                w.u32(element.0);
+                w.u64(*up_to);
+            }
+            QueueOp::Expel(e) => {
+                w.u8(2);
+                w.u32(e.0);
+            }
+            QueueOp::Join(e) => {
+                w.u8(3);
+                w.u32(e.0);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes an operation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<QueueOp, WireError> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            0 => QueueOp::Deliver(r.bytes()?.to_vec()),
+            1 => QueueOp::Ack {
+                element: ElementId(r.u32()?),
+                up_to: r.u64()?,
+            },
+            2 => QueueOp::Expel(ElementId(r.u32()?)),
+            3 => QueueOp::Join(ElementId(r.u32()?)),
+            _ => return Err(WireError),
+        };
+        r.expect_end()?;
+        Ok(op)
+    }
+}
+
+/// One queued message with its absolute index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Absolute (never reused) index.
+    pub index: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Result of applying a queue operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Applied {
+    /// Message enqueued at this index.
+    Enqueued(u64),
+    /// Queue full: the message was refused (callers must GC / expel).
+    Refused,
+    /// Ack/expel/join applied; GC freed this many bytes.
+    Collected(u64),
+}
+
+/// The replicated message queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueMachine {
+    capacity: usize,
+    entries: VecDeque<QueueEntry>,
+    next_index: u64,
+    bytes_used: usize,
+    acks: BTreeMap<ElementId, u64>,
+    members: BTreeSet<ElementId>,
+    /// Running hash chain over every applied op (the checkpoint digest).
+    chain: Digest,
+}
+
+impl QueueMachine {
+    /// Creates a queue bounded to `capacity` payload bytes, with the given
+    /// initial GC membership.
+    pub fn new(capacity: usize, members: impl IntoIterator<Item = ElementId>) -> QueueMachine {
+        let members: BTreeSet<ElementId> = members.into_iter().collect();
+        QueueMachine {
+            capacity,
+            entries: VecDeque::new(),
+            next_index: 0,
+            bytes_used: 0,
+            acks: members.iter().map(|m| (*m, 0)).collect(),
+            members,
+            chain: Digest::of(b"itdos-queue-genesis"),
+        }
+    }
+
+    /// The messages currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Payload bytes currently held.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Index that will be assigned to the next enqueued message.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Current GC members.
+    pub fn members(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Members whose acknowledgement lags `window` or more messages behind
+    /// the queue head while the queue is above half capacity — the
+    /// virtual-synchrony expulsion candidates.
+    pub fn laggards(&self, window: u64) -> Vec<ElementId> {
+        if self.bytes_used * 2 < self.capacity {
+            return Vec::new();
+        }
+        self.members
+            .iter()
+            .filter(|m| {
+                let acked = self.acks.get(m).copied().unwrap_or(0);
+                self.next_index.saturating_sub(acked) >= window
+            })
+            .copied()
+            .collect()
+    }
+
+    fn mix_chain(&mut self, op_bytes: &[u8]) {
+        self.chain = Digest::of_parts(&[b"itdos-queue-link", self.chain.as_bytes(), op_bytes]);
+    }
+
+    /// Applies one decoded operation.
+    pub fn apply(&mut self, op: &QueueOp) -> Applied {
+        let op_bytes = op.encode();
+        match op {
+            QueueOp::Deliver(payload) => {
+                if self.bytes_used + payload.len() > self.capacity {
+                    // refusal is part of the replicated state (all replicas
+                    // refuse identically), so it is chained too
+                    self.mix_chain(b"refused");
+                    return Applied::Refused;
+                }
+                self.mix_chain(&op_bytes);
+                let index = self.next_index;
+                self.next_index += 1;
+                self.bytes_used += payload.len();
+                self.entries.push_back(QueueEntry {
+                    index,
+                    payload: payload.clone(),
+                });
+                Applied::Enqueued(index)
+            }
+            QueueOp::Ack { element, up_to } => {
+                self.mix_chain(&op_bytes);
+                if self.members.contains(element) {
+                    let entry = self.acks.entry(*element).or_insert(0);
+                    if *up_to > *entry {
+                        *entry = *up_to;
+                    }
+                }
+                Applied::Collected(self.collect())
+            }
+            QueueOp::Expel(element) => {
+                self.mix_chain(&op_bytes);
+                self.members.remove(element);
+                self.acks.remove(element);
+                Applied::Collected(self.collect())
+            }
+            QueueOp::Join(element) => {
+                self.mix_chain(&op_bytes);
+                if self.members.insert(*element) {
+                    // a joiner starts acknowledged at the current head: it
+                    // is only responsible for messages from now on
+                    self.acks.insert(*element, self.next_index);
+                }
+                Applied::Collected(0)
+            }
+        }
+    }
+
+    /// Truncates messages consumed by every member; returns bytes freed.
+    fn collect(&mut self) -> u64 {
+        let floor = self
+            .members
+            .iter()
+            .map(|m| self.acks.get(m).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(self.next_index);
+        let mut freed = 0u64;
+        while let Some(front) = self.entries.front() {
+            if front.index < floor {
+                freed += front.payload.len() as u64;
+                self.bytes_used -= front.payload.len();
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        freed
+    }
+}
+
+impl StateMachine for QueueMachine {
+    fn execute(&mut self, operation: &[u8]) -> Vec<u8> {
+        match QueueOp::decode(operation) {
+            Ok(op) => match self.apply(&op) {
+                Applied::Enqueued(index) => {
+                    // the "static reply that acts as an acknowledgement
+                    // message for the protocol" (§3.1)
+                    let mut out = vec![0u8];
+                    out.extend_from_slice(&index.to_le_bytes());
+                    out
+                }
+                Applied::Refused => vec![1u8],
+                Applied::Collected(freed) => {
+                    let mut out = vec![2u8];
+                    out.extend_from_slice(&freed.to_le_bytes());
+                    out
+                }
+            },
+            Err(_) => {
+                self.mix_chain(b"malformed");
+                vec![255u8]
+            }
+        }
+    }
+
+    fn digest(&self) -> Digest {
+        self.chain
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.capacity as u64);
+        w.u64(self.next_index);
+        w.raw(self.chain.as_bytes());
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u64(e.index);
+            w.bytes(&e.payload);
+        }
+        w.u32(self.members.len() as u32);
+        for m in &self.members {
+            w.u32(m.0);
+            w.u64(self.acks.get(m).copied().unwrap_or(0));
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let Ok(restored) = restore_queue(snapshot) else {
+            return;
+        };
+        *self = restored;
+    }
+}
+
+fn restore_queue(snapshot: &[u8]) -> Result<QueueMachine, WireError> {
+    let mut r = Reader::new(snapshot);
+    let capacity = r.u64()? as usize;
+    let next_index = r.u64()?;
+    let chain = Digest(r.raw(32)?.try_into().expect("32 bytes"));
+    let n_entries = r.u32()?;
+    let mut entries = VecDeque::with_capacity(n_entries.min(1024) as usize);
+    let mut bytes_used = 0usize;
+    for _ in 0..n_entries {
+        let index = r.u64()?;
+        let payload = r.bytes()?.to_vec();
+        bytes_used += payload.len();
+        entries.push_back(QueueEntry { index, payload });
+    }
+    let n_members = r.u32()?;
+    let mut members = BTreeSet::new();
+    let mut acks = BTreeMap::new();
+    for _ in 0..n_members {
+        let m = ElementId(r.u32()?);
+        let ack = r.u64()?;
+        members.insert(m);
+        acks.insert(m, ack);
+    }
+    r.expect_end()?;
+    Ok(QueueMachine {
+        capacity,
+        entries,
+        next_index,
+        bytes_used,
+        acks,
+        members,
+        chain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<ElementId> {
+        (0..n).map(ElementId).collect()
+    }
+
+    fn queue(capacity: usize) -> QueueMachine {
+        QueueMachine::new(capacity, members(3))
+    }
+
+    #[test]
+    fn enqueue_assigns_increasing_indices() {
+        let mut q = queue(1000);
+        assert_eq!(q.apply(&QueueOp::Deliver(vec![1])), Applied::Enqueued(0));
+        assert_eq!(q.apply(&QueueOp::Deliver(vec![2])), Applied::Enqueued(1));
+        assert_eq!(q.next_index(), 2);
+        assert_eq!(q.bytes_used(), 2);
+    }
+
+    #[test]
+    fn full_queue_refuses() {
+        let mut q = queue(4);
+        assert_eq!(q.apply(&QueueOp::Deliver(vec![0; 3])), Applied::Enqueued(0));
+        assert_eq!(q.apply(&QueueOp::Deliver(vec![0; 2])), Applied::Refused);
+        assert_eq!(q.bytes_used(), 3, "refused message not stored");
+    }
+
+    #[test]
+    fn gc_requires_all_members() {
+        let mut q = queue(1000);
+        q.apply(&QueueOp::Deliver(vec![1; 10]));
+        q.apply(&QueueOp::Deliver(vec![2; 10]));
+        // two of three members ack; no GC yet
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 2,
+        });
+        assert_eq!(
+            q.apply(&QueueOp::Ack {
+                element: ElementId(1),
+                up_to: 2
+            }),
+            Applied::Collected(0),
+            "third member has not acked"
+        );
+        // third member acks: both messages collected
+        assert_eq!(
+            q.apply(&QueueOp::Ack {
+                element: ElementId(2),
+                up_to: 2
+            }),
+            Applied::Collected(20)
+        );
+        assert_eq!(q.bytes_used(), 0);
+    }
+
+    #[test]
+    fn expulsion_unblocks_gc() {
+        let mut q = queue(1000);
+        q.apply(&QueueOp::Deliver(vec![1; 10]));
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 1,
+        });
+        q.apply(&QueueOp::Ack {
+            element: ElementId(1),
+            up_to: 1,
+        });
+        assert_eq!(q.bytes_used(), 10, "element 2 blocks GC");
+        // virtual synchrony: expel the non-participant; GC proceeds
+        assert_eq!(q.apply(&QueueOp::Expel(ElementId(2))), Applied::Collected(10));
+        assert_eq!(q.bytes_used(), 0);
+    }
+
+    #[test]
+    fn laggards_reported_when_queue_backs_up() {
+        let mut q = queue(100);
+        for _ in 0..6 {
+            q.apply(&QueueOp::Deliver(vec![0; 10]));
+        }
+        // members 0,1 keep up; member 2 never acks
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 6,
+        });
+        q.apply(&QueueOp::Ack {
+            element: ElementId(1),
+            up_to: 6,
+        });
+        assert_eq!(q.laggards(4), vec![ElementId(2)]);
+    }
+
+    #[test]
+    fn no_laggards_while_queue_has_headroom() {
+        let mut q = queue(1000);
+        q.apply(&QueueOp::Deliver(vec![0; 10]));
+        assert!(q.laggards(1).is_empty(), "under half capacity");
+    }
+
+    #[test]
+    fn joiner_starts_at_current_head() {
+        let mut q = queue(1000);
+        q.apply(&QueueOp::Deliver(vec![1; 10]));
+        q.apply(&QueueOp::Join(ElementId(9)));
+        // the joiner owes no ack for the pre-join message
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 1,
+        });
+        q.apply(&QueueOp::Ack {
+            element: ElementId(1),
+            up_to: 1,
+        });
+        assert_eq!(
+            q.apply(&QueueOp::Ack {
+                element: ElementId(2),
+                up_to: 1
+            }),
+            Applied::Collected(10)
+        );
+    }
+
+    #[test]
+    fn replicas_converge_digest() {
+        let ops = vec![
+            QueueOp::Deliver(vec![1, 2]),
+            QueueOp::Ack {
+                element: ElementId(0),
+                up_to: 1,
+            },
+            QueueOp::Deliver(vec![3]),
+        ];
+        let mut a = queue(100);
+        let mut b = queue(100);
+        for op in &ops {
+            a.execute(&op.encode());
+            b.execute(&op.encode());
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn divergent_histories_have_divergent_digests() {
+        let mut a = queue(100);
+        let mut b = queue(100);
+        a.execute(&QueueOp::Deliver(vec![1]).encode());
+        b.execute(&QueueOp::Deliver(vec![2]).encode());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut q = queue(100);
+        q.apply(&QueueOp::Deliver(vec![1, 2, 3]));
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 1,
+        });
+        let snap = q.snapshot();
+        let mut r = QueueMachine::new(1, members(0));
+        r.restore(&snap);
+        assert_eq!(r, q);
+        assert_eq!(r.digest(), q.digest());
+    }
+
+    #[test]
+    fn corrupt_snapshot_leaves_state_unchanged() {
+        let mut q = queue(100);
+        q.apply(&QueueOp::Deliver(vec![1]));
+        let before = q.clone();
+        q.restore(&[1, 2, 3]);
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn malformed_op_is_deterministic() {
+        let mut a = queue(100);
+        let mut b = queue(100);
+        assert_eq!(a.execute(&[99, 99]), vec![255]);
+        assert_eq!(b.execute(&[99, 99]), vec![255]);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn ops_round_trip_encoding() {
+        for op in [
+            QueueOp::Deliver(vec![1, 2, 3]),
+            QueueOp::Ack {
+                element: ElementId(7),
+                up_to: 42,
+            },
+            QueueOp::Expel(ElementId(2)),
+            QueueOp::Join(ElementId(5)),
+        ] {
+            assert_eq!(QueueOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(QueueOp::decode(&[77]).is_err());
+    }
+
+    #[test]
+    fn ack_never_regresses() {
+        let mut q = queue(100);
+        q.apply(&QueueOp::Deliver(vec![1]));
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 5,
+        });
+        q.apply(&QueueOp::Ack {
+            element: ElementId(0),
+            up_to: 2,
+        });
+        // a Byzantine element cannot roll its own ack back to force
+        // re-retention; floor for element 0 stays 5
+        q.apply(&QueueOp::Ack {
+            element: ElementId(1),
+            up_to: 5,
+        });
+        assert_eq!(
+            q.apply(&QueueOp::Ack {
+                element: ElementId(2),
+                up_to: 5
+            }),
+            Applied::Collected(1)
+        );
+    }
+}

@@ -1,0 +1,1224 @@
+//! The PBFT replica state machine.
+//!
+//! Pure protocol logic: inputs are verified messages (the
+//! [`crate::node`] adapter authenticates envelopes before calling in) and
+//! timer expirations; outputs are queued [`Output`] actions drained by the
+//! adapter. Normal case, checkpointing, view changes, and state transfer
+//! follow Castro–Liskov \[7\]; the ITDOS message-queue adaptation builds on
+//! top in [`crate::queue`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use itdos_crypto::hash::Digest;
+
+use crate::config::{ClientId, GroupConfig, ReplicaId, SeqNo, View};
+use crate::log::Log;
+use crate::message::{
+    Checkpoint, ClientRequest, Commit, Message, NewView, PrePrepare, Prepare, PreparedProof,
+    Reply, StateData, StateFetch, ViewChange,
+};
+use crate::state::StateMachine;
+
+/// An action the protocol asks the transport adapter to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Send to one replica.
+    ToReplica(ReplicaId, Message),
+    /// Multicast to all other replicas.
+    ToAllReplicas(Message),
+    /// Send to a client.
+    ToClient(ClientId, Message),
+    /// A request was executed at `seq` — the upper layer's delivery hook
+    /// (in ITDOS this feeds the ORB thread).
+    Executed {
+        /// Order of execution.
+        seq: SeqNo,
+        /// The executed request.
+        request: ClientRequest,
+        /// Result bytes from the state machine.
+        result: Vec<u8>,
+    },
+    /// (Re)arm the view-change timer with the given epoch.
+    StartViewTimer {
+        /// Epoch used to ignore stale expirations.
+        epoch: u64,
+        /// Consecutive view-change attempts (adapter doubles the timeout).
+        attempt: u32,
+    },
+    /// The replica moved to a new view.
+    EnteredView(View),
+    /// The replica fell behind and restored state from a transfer.
+    StateTransferred(SeqNo),
+}
+
+/// A PBFT replica wrapping an application state machine.
+pub struct Replica<S> {
+    config: GroupConfig,
+    id: ReplicaId,
+    app: S,
+    log: Log,
+    view: View,
+    /// Highest contiguously executed sequence number.
+    last_executed: SeqNo,
+    /// Next sequence the primary will assign.
+    next_seq: SeqNo,
+    /// Last reply per client (exactly-once semantics).
+    client_table: BTreeMap<ClientId, (u64, Option<Reply>)>,
+    /// Requests accepted but not yet executed (view-change trigger).
+    pending: BTreeSet<Digest>,
+    /// Digests this primary has assigned a sequence number in the current
+    /// view (prevents double ordering; rebuilt on view entry).
+    ordered: BTreeSet<Digest>,
+    /// Requests a primary could not yet assign (window full).
+    backlog: VecDeque<ClientRequest>,
+    timer_epoch: u64,
+    view_change_attempts: u32,
+    in_view_change: bool,
+    /// Collected view-change messages per target view.
+    view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
+    /// Outstanding state-transfer target, if any.
+    fetching: Option<SeqNo>,
+    /// StateData offers received while fetching: (seq, digest) → senders.
+    /// `f+1` matching offers prove the snapshot without checkpoint votes
+    /// (at least one offer is from a correct replica).
+    state_offers: BTreeMap<(SeqNo, Digest), BTreeSet<ReplicaId>>,
+    /// True during proactive recovery: the replica distrusts its own app
+    /// state and accepts a trusted snapshot even at its current sequence.
+    recovering: bool,
+    outputs: Vec<Output>,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Replica<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("last_executed", &self.last_executed)
+            .field("in_view_change", &self.in_view_change)
+            .finish()
+    }
+}
+
+impl<S: StateMachine> Replica<S> {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: GroupConfig, id: ReplicaId, app: S) -> Replica<S> {
+        config.validate();
+        let log = Log::new(&config);
+        Replica {
+            config,
+            id,
+            app,
+            log,
+            view: View(0),
+            last_executed: SeqNo(0),
+            next_seq: SeqNo(0),
+            client_table: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            ordered: BTreeSet::new(),
+            backlog: VecDeque::new(),
+            timer_epoch: 0,
+            view_change_attempts: 0,
+            in_view_change: false,
+            view_changes: BTreeMap::new(),
+            fetching: None,
+            state_offers: BTreeMap::new(),
+            recovering: false,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// True when this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.config.primary_of(self.view) == self.id
+    }
+
+    /// Highest contiguously executed sequence number.
+    pub fn last_executed(&self) -> SeqNo {
+        self.last_executed
+    }
+
+    /// Access to the application state machine.
+    pub fn app(&self) -> &S {
+        &self.app
+    }
+
+    /// Mutable access to the application (tests / fault injection only).
+    pub fn app_mut(&mut self) -> &mut S {
+        &mut self.app
+    }
+
+    /// The protocol log (tests / diagnostics).
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// True while a view change is in progress.
+    pub fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
+    /// Drains queued outputs.
+    pub fn take_outputs(&mut self) -> Vec<Output> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    fn arm_timer(&mut self) {
+        self.timer_epoch += 1;
+        self.outputs.push(Output::StartViewTimer {
+            epoch: self.timer_epoch,
+            attempt: self.view_change_attempts,
+        });
+    }
+
+    // ---------------------------------------------------------------- input
+
+    /// Handles a verified protocol message from `sender`.
+    pub fn on_message(&mut self, sender: ReplicaId, message: Message) {
+        match message {
+            Message::Request(req) => self.on_request(req),
+            Message::PrePrepare(pp) => self.on_pre_prepare(sender, pp),
+            Message::Prepare(p) => self.on_prepare(sender, p),
+            Message::Commit(c) => self.on_commit(sender, c),
+            Message::Checkpoint(cp) => self.on_checkpoint(sender, cp),
+            Message::ViewChange(vc) => self.on_view_change(sender, vc),
+            Message::NewView(nv) => self.on_new_view(sender, nv),
+            Message::StateFetch(sf) => self.on_state_fetch(sf),
+            Message::StateData(sd) => self.on_state_data(sd),
+            Message::Reply(_) => {} // replicas ignore replies
+        }
+    }
+
+    /// Handles a client request (also called when a backup relays one).
+    pub fn on_request(&mut self, request: ClientRequest) {
+        // exactly-once: resend cached reply for a repeated timestamp
+        if let Some((last_ts, cached)) = self.client_table.get(&request.client) {
+            if request.timestamp < *last_ts {
+                return;
+            }
+            if request.timestamp == *last_ts {
+                if let Some(reply) = cached.clone() {
+                    self.outputs
+                        .push(Output::ToClient(request.client, Message::Reply(reply)));
+                }
+                return;
+            }
+        }
+        let digest = request.digest();
+        let newly_pending = self.pending.insert(digest);
+        if self.in_view_change {
+            return; // ordered after the view change completes (client retransmits)
+        }
+        if self.is_primary() {
+            // a request already ordered in this view or already backlogged
+            // (client broadcast + backup relays deliver several copies)
+            // must not be assigned a second sequence number
+            let already_queued = self.ordered.contains(&digest)
+                || self.backlog.iter().any(|r| r.digest() == digest);
+            if !already_queued {
+                self.backlog.push_back(request);
+                self.drain_backlog();
+            }
+        } else {
+            // backup: relay to the primary and start the view-change timer
+            let primary = self.config.primary_of(self.view);
+            self.outputs
+                .push(Output::ToReplica(primary, Message::Request(request)));
+            if newly_pending {
+                self.arm_timer();
+            }
+        }
+    }
+
+    fn drain_backlog(&mut self) {
+        while let Some(_request) = self.backlog.front() {
+            let seq = SeqNo(self.next_seq.0 + 1);
+            if !self.log.in_window(seq) {
+                break; // window full until the next stable checkpoint
+            }
+            let request = self.backlog.pop_front().expect("front exists");
+            self.next_seq = seq;
+            self.ordered.insert(request.digest());
+            let pp = PrePrepare {
+                view: self.view,
+                seq,
+                digest: request.digest(),
+                request,
+            };
+            let entry = self.log.entry(self.view, seq);
+            entry.pre_prepare = Some(pp.clone());
+            self.outputs
+                .push(Output::ToAllReplicas(Message::PrePrepare(pp)));
+            // the primary's pre-prepare counts as its prepare; execution
+            // still needs 2f prepares from backups
+            self.try_commit(self.view, seq);
+        }
+    }
+
+    fn on_pre_prepare(&mut self, sender: ReplicaId, pp: PrePrepare) {
+        if self.in_view_change
+            || pp.view != self.view
+            || sender != self.config.primary_of(self.view)
+            || !self.log.in_window(pp.seq)
+            || pp.digest != pp.request.digest()
+        {
+            return;
+        }
+        let view = self.view;
+        let entry = self.log.entry(view, pp.seq);
+        if let Some(existing) = &entry.pre_prepare {
+            if existing.digest != pp.digest {
+                // equivocating primary: refuse; the timer will expire and a
+                // view change will remove it
+                return;
+            }
+            return; // duplicate
+        }
+        entry.pre_prepare = Some(pp.clone());
+        self.pending.insert(pp.digest);
+        let prepare = Prepare {
+            view: self.view,
+            seq: pp.seq,
+            digest: pp.digest,
+            replica: self.id,
+        };
+        self.log
+            .entry(view, pp.seq)
+            .prepares
+            .insert(self.id, prepare);
+        self.outputs
+            .push(Output::ToAllReplicas(Message::Prepare(prepare)));
+        self.arm_timer_if_first_pending();
+        self.try_commit(view, pp.seq);
+    }
+
+    fn arm_timer_if_first_pending(&mut self) {
+        if self.pending.len() == 1 {
+            self.arm_timer();
+        }
+    }
+
+    fn on_prepare(&mut self, sender: ReplicaId, prepare: Prepare) {
+        if sender != prepare.replica || prepare.view != self.view || !self.log.in_window(prepare.seq)
+        {
+            return;
+        }
+        self.log
+            .entry(prepare.view, prepare.seq)
+            .prepares
+            .insert(prepare.replica, prepare);
+        self.try_commit(prepare.view, prepare.seq);
+    }
+
+    fn try_commit(&mut self, view: View, seq: SeqNo) {
+        let (is_prepared, has_own_commit, digest) = match self.log.entry_ref(view, seq) {
+            Some(entry) => (
+                entry.prepared(&self.config),
+                entry.commits.contains_key(&self.id),
+                entry.pre_prepare.as_ref().map(|pp| pp.digest),
+            ),
+            None => return,
+        };
+        if !is_prepared || has_own_commit {
+            self.try_execute();
+            return;
+        }
+        let digest = digest.expect("prepared implies pre-prepare");
+        let commit = Commit {
+            view,
+            seq,
+            digest,
+            replica: self.id,
+        };
+        self.log.entry(view, seq).commits.insert(self.id, commit);
+        self.outputs
+            .push(Output::ToAllReplicas(Message::Commit(commit)));
+        self.try_execute();
+    }
+
+    fn on_commit(&mut self, sender: ReplicaId, commit: Commit) {
+        if sender != commit.replica {
+            return;
+        }
+        // a commit far past our execution point means we missed traffic
+        // (crash, partition): fetch the latest stable checkpoint instead
+        // of waiting for requests that will never be retransmitted
+        if commit.seq.0 > self.last_executed.0 + self.config.checkpoint_interval {
+            let target =
+                SeqNo(commit.seq.0 - commit.seq.0 % self.config.checkpoint_interval);
+            if target > self.last_executed {
+                self.request_state(target, Digest::default());
+            }
+        }
+        if commit.view != self.view || !self.log.in_window(commit.seq) {
+            return;
+        }
+        self.log
+            .entry(commit.view, commit.seq)
+            .commits
+            .insert(commit.replica, commit);
+        self.try_execute();
+    }
+
+    fn try_execute(&mut self) {
+        let mut progressed = false;
+        loop {
+            let next = SeqNo(self.last_executed.0 + 1);
+            let view = self.view;
+            let request = match self.log.entry_ref(view, next) {
+                Some(entry) if !entry.executed && entry.committed_local(&self.config) => entry
+                    .pre_prepare
+                    .as_ref()
+                    .expect("committed implies pre-prepare")
+                    .request
+                    .clone(),
+                _ => break,
+            };
+            progressed = true;
+            self.log.entry(view, next).executed = true;
+            self.last_executed = next;
+            self.pending.remove(&request.digest());
+            let is_null = request.operation.is_empty() && request.client == ClientId(0);
+            // exactly-once at execution: a replayed or doubly-ordered
+            // request (Byzantine primary) is skipped, not re-executed
+            let is_stale = self
+                .client_table
+                .get(&request.client)
+                .is_some_and(|(last_ts, _)| request.timestamp <= *last_ts);
+            if !is_null && !is_stale {
+                let result = self.app.execute(&request.operation);
+                let reply = Reply {
+                    view: self.view,
+                    timestamp: request.timestamp,
+                    client: request.client,
+                    replica: self.id,
+                    result: result.clone(),
+                };
+                self.client_table
+                    .insert(request.client, (request.timestamp, Some(reply.clone())));
+                self.outputs
+                    .push(Output::ToClient(request.client, Message::Reply(reply)));
+                self.outputs.push(Output::Executed {
+                    seq: next,
+                    request,
+                    result,
+                });
+            }
+            if next.0 % self.config.checkpoint_interval == 0 {
+                self.emit_checkpoint(next);
+            }
+        }
+        // progress resets the view-change timer; with no progress the
+        // running timer keeps counting toward a view change
+        if progressed {
+            if self.pending.is_empty() {
+                self.view_change_attempts = 0;
+            } else {
+                self.arm_timer();
+            }
+            if self.is_primary() {
+                self.drain_backlog();
+            }
+        }
+    }
+
+    fn emit_checkpoint(&mut self, seq: SeqNo) {
+        // checkpoint digests use the canonical snapshot digest so state
+        // transfer can verify a received snapshot against checkpoint votes
+        let snapshot = self.app.snapshot();
+        let state_digest = snapshot_digest(&snapshot);
+        self.log.store_own_checkpoint(seq, state_digest, snapshot);
+        let checkpoint = Checkpoint {
+            seq,
+            state_digest,
+            replica: self.id,
+        };
+        self.log.add_checkpoint(&checkpoint);
+        self.outputs
+            .push(Output::ToAllReplicas(Message::Checkpoint(checkpoint)));
+        self.maybe_stabilize(seq, state_digest);
+    }
+
+    fn on_checkpoint(&mut self, sender: ReplicaId, checkpoint: Checkpoint) {
+        if sender != checkpoint.replica {
+            return;
+        }
+        self.log.add_checkpoint(&checkpoint);
+        self.maybe_stabilize(checkpoint.seq, checkpoint.state_digest);
+    }
+
+    fn maybe_stabilize(&mut self, seq: SeqNo, digest: Digest) {
+        if self.log.checkpoint_votes(seq, digest) < self.config.quorum() {
+            return;
+        }
+        if self.recovering && seq >= self.last_executed {
+            // a fresh-enough stable checkpoint exists: re-issue the fetch
+            self.fetching = Some(seq);
+            self.outputs
+                .push(Output::ToAllReplicas(Message::StateFetch(StateFetch {
+                    seq,
+                    replica: self.id,
+                })));
+            return;
+        }
+        if seq.0 >= self.last_executed.0 + self.config.checkpoint_interval {
+            // the group has provably moved a full checkpoint interval past
+            // us: fetch state instead of waiting to catch up message by
+            // message
+            self.request_state(seq, digest);
+            return;
+        }
+        if seq <= self.last_executed && seq > self.log.low() {
+            self.log.stabilize(seq);
+            if self.is_primary() {
+                self.drain_backlog();
+            }
+        }
+    }
+
+    fn request_state(&mut self, seq: SeqNo, _digest: Digest) {
+        if self.fetching.is_some_and(|s| s >= seq) {
+            return;
+        }
+        self.fetching = Some(seq);
+        let fetch = StateFetch {
+            seq,
+            replica: self.id,
+        };
+        self.outputs
+            .push(Output::ToAllReplicas(Message::StateFetch(fetch)));
+    }
+
+    fn on_state_fetch(&mut self, fetch: StateFetch) {
+        let Some((seq, (digest, snapshot))) = self.log.latest_own_checkpoint() else {
+            return;
+        };
+        if seq < fetch.seq {
+            return; // we cannot help yet
+        }
+        let data = StateData {
+            seq,
+            snapshot: snapshot.clone(),
+            proof: vec![Checkpoint {
+                seq,
+                state_digest: *digest,
+                replica: self.id,
+            }],
+            replica: self.id,
+        };
+        self.outputs
+            .push(Output::ToReplica(fetch.replica, Message::StateData(data)));
+    }
+
+    /// Begins proactive recovery \[6\]: the replica assumes its application
+    /// state may have been silently corrupted by an undetected intrusion,
+    /// discards trust in it, and restores a snapshot proved by its peers.
+    /// (The paper's §3.2 notes Castro–Liskov keeps faulty replicas "in the
+    /// system until they are proactively recovered" — this is that path.)
+    pub fn start_recovery(&mut self) {
+        self.recovering = true;
+        self.fetching = Some(SeqNo(self.log.low().0.max(1)));
+        self.state_offers.clear();
+        self.outputs
+            .push(Output::ToAllReplicas(Message::StateFetch(StateFetch {
+                seq: self.log.low(),
+                replica: self.id,
+            })));
+    }
+
+    /// True while a proactive recovery is in flight.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    fn on_state_data(&mut self, data: StateData) {
+        if self.fetching.is_none() {
+            return;
+        }
+        if !self.recovering && data.seq <= self.last_executed {
+            return;
+        }
+        if self.recovering && data.seq < self.last_executed {
+            // too old to replace our claimed execution point: recovery
+            // completes at the next checkpoint boundary (as in PBFT) —
+            // `maybe_stabilize` re-issues the fetch when one stabilizes
+            return;
+        }
+        // trust conditions (either suffices):
+        //  (a) a 2f+1 checkpoint-vote quorum for the snapshot digest, or
+        //  (b) f+1 distinct replicas offering byte-identical snapshots —
+        //      at least one of them is correct
+        let digest = snapshot_digest(&data.snapshot);
+        let offers = self.state_offers.entry((data.seq, digest)).or_default();
+        offers.insert(data.replica);
+        let trusted = self.log.checkpoint_votes(data.seq, digest) >= self.config.quorum()
+            || offers.len() > self.config.f;
+        if !trusted {
+            return;
+        }
+        self.app.restore(&data.snapshot);
+        self.last_executed = data.seq;
+        self.next_seq = self.next_seq.max(data.seq);
+        self.log.stabilize(data.seq);
+        self.fetching = None;
+        self.state_offers.clear();
+        self.recovering = false;
+        self.pending.clear();
+        // rejoin normal operation: any lone view-change attempt we started
+        // while stranded is abandoned with our stale state
+        self.in_view_change = false;
+        self.view_change_attempts = 0;
+        self.outputs.push(Output::StateTransferred(data.seq));
+    }
+
+    // ---------------------------------------------------------- view change
+
+    /// Handles a view-change timer expiration.
+    pub fn on_view_timeout(&mut self, epoch: u64) {
+        if epoch != self.timer_epoch || self.pending.is_empty() {
+            return;
+        }
+        self.start_view_change(View(self.view.0 + 1 + self.view_change_attempts as u64));
+    }
+
+    fn start_view_change(&mut self, target: View) {
+        self.in_view_change = true;
+        self.view_change_attempts += 1;
+        let vc = ViewChange {
+            new_view: target,
+            stable_seq: self.log.low(),
+            checkpoint_proof: Vec::new(), // adapter-level signatures make
+            // the stable_seq claim accountable; full checkpoint certificates
+            // add bytes without changing behaviour under our fault model
+            prepared: self.log.prepared_proofs(&self.config),
+            replica: self.id,
+        };
+        self.outputs
+            .push(Output::ToAllReplicas(Message::ViewChange(vc.clone())));
+        self.collect_view_change(vc);
+        self.arm_timer(); // cascade to the next view if this one stalls
+    }
+
+    fn on_view_change(&mut self, sender: ReplicaId, vc: ViewChange) {
+        if sender != vc.replica || vc.new_view <= self.view {
+            return;
+        }
+        if !validate_view_change(&vc, &self.config) {
+            return;
+        }
+        self.collect_view_change(vc.clone());
+        // liveness rule: if f+1 replicas are already in a higher view, join
+        let target = vc.new_view;
+        let count = self
+            .view_changes
+            .get(&target)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        if count > self.config.f && !self.in_view_change {
+            self.start_view_change(target);
+        }
+    }
+
+    fn collect_view_change(&mut self, vc: ViewChange) {
+        let target = vc.new_view;
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(vc.replica, vc);
+        let set = &self.view_changes[&target];
+        if target > self.view
+            && set.len() >= self.config.quorum()
+            && self.config.primary_of(target) == self.id
+        {
+            let view_changes: Vec<ViewChange> = set.values().cloned().collect();
+            let pre_prepares = compute_new_view_pre_prepares(&view_changes, target);
+            let nv = NewView {
+                view: target,
+                view_changes,
+                pre_prepares: pre_prepares.clone(),
+                primary: self.id,
+            };
+            self.outputs
+                .push(Output::ToAllReplicas(Message::NewView(nv)));
+            self.enter_view(target, pre_prepares);
+        }
+    }
+
+    fn on_new_view(&mut self, sender: ReplicaId, nv: NewView) {
+        if nv.view <= self.view
+            || sender != nv.primary
+            || self.config.primary_of(nv.view) != nv.primary
+        {
+            return;
+        }
+        if nv.view_changes.len() < self.config.quorum() {
+            return;
+        }
+        for vc in &nv.view_changes {
+            if vc.new_view != nv.view || !validate_view_change(vc, &self.config) {
+                return;
+            }
+        }
+        // recompute the pre-prepare set; a Byzantine primary cannot smuggle
+        // in a different order
+        let expected = compute_new_view_pre_prepares(&nv.view_changes, nv.view);
+        if expected.len() != nv.pre_prepares.len()
+            || expected
+                .iter()
+                .zip(&nv.pre_prepares)
+                .any(|(a, b)| a.seq != b.seq || a.digest != b.digest)
+        {
+            return;
+        }
+        self.enter_view(nv.view, nv.pre_prepares);
+    }
+
+    fn enter_view(&mut self, view: View, pre_prepares: Vec<PrePrepare>) {
+        self.view = view;
+        self.in_view_change = false;
+        self.view_change_attempts = 0;
+        self.view_changes.retain(|v, _| *v > view);
+        self.outputs.push(Output::EnteredView(view));
+        // ordering state is per-view: rebuilt from the carried pre-prepares
+        self.ordered = pre_prepares.iter().map(|pp| pp.digest).collect();
+        let mut max_seq = self.log.low();
+        for pp in pre_prepares {
+            max_seq = max_seq.max(pp.seq);
+            let entry = self.log.entry(view, pp.seq);
+            entry.pre_prepare = Some(pp.clone());
+            if pp.seq <= self.last_executed {
+                entry.executed = true;
+                continue;
+            }
+            let prepare = Prepare {
+                view,
+                seq: pp.seq,
+                digest: pp.digest,
+                replica: self.id,
+            };
+            self.log
+                .entry(view, pp.seq)
+                .prepares
+                .insert(self.id, prepare);
+            if self.id != self.config.primary_of(view) {
+                self.outputs
+                    .push(Output::ToAllReplicas(Message::Prepare(prepare)));
+            }
+            self.pending.insert(pp.digest);
+        }
+        self.next_seq = max_seq.max(SeqNo(self.last_executed.0));
+        if !self.pending.is_empty() {
+            self.arm_timer();
+        }
+        if self.is_primary() {
+            self.drain_backlog();
+        }
+    }
+}
+
+/// Structural validation of a view-change message.
+fn validate_view_change(vc: &ViewChange, config: &GroupConfig) -> bool {
+    for proof in &vc.prepared {
+        if proof.pre_prepare.digest != proof.pre_prepare.request.digest() {
+            return false;
+        }
+        let matching = proof
+            .prepares
+            .iter()
+            .filter(|p| {
+                p.digest == proof.pre_prepare.digest
+                    && p.view == proof.pre_prepare.view
+                    && p.seq == proof.pre_prepare.seq
+            })
+            .map(|p| p.replica)
+            .collect::<BTreeSet<_>>()
+            .len();
+        if matching < 2 * config.f {
+            return false;
+        }
+    }
+    true
+}
+
+/// Deterministically derives the new view's re-issued pre-prepares from a
+/// set of view changes (used by the primary to build NEW-VIEW and by
+/// backups to validate it).
+fn compute_new_view_pre_prepares(view_changes: &[ViewChange], view: View) -> Vec<PrePrepare> {
+    let min_s = view_changes
+        .iter()
+        .map(|vc| vc.stable_seq)
+        .max()
+        .unwrap_or(SeqNo(0));
+    // for each seq above min_s, the prepared proof from the highest view wins
+    let mut best: BTreeMap<SeqNo, &PreparedProof> = BTreeMap::new();
+    for vc in view_changes {
+        for proof in &vc.prepared {
+            let seq = proof.pre_prepare.seq;
+            if seq <= min_s {
+                continue;
+            }
+            let replace = best
+                .get(&seq)
+                .map(|cur| proof.pre_prepare.view > cur.pre_prepare.view)
+                .unwrap_or(true);
+            if replace {
+                best.insert(seq, proof);
+            }
+        }
+    }
+    let max_s = best.keys().next_back().copied().unwrap_or(min_s);
+    let mut out = Vec::new();
+    for seq_raw in (min_s.0 + 1)..=max_s.0 {
+        let seq = SeqNo(seq_raw);
+        let pp = match best.get(&seq) {
+            Some(proof) => PrePrepare {
+                view,
+                seq,
+                digest: proof.pre_prepare.digest,
+                request: proof.pre_prepare.request.clone(),
+            },
+            None => {
+                // gap: the null request
+                let request = ClientRequest {
+                    client: ClientId(0),
+                    timestamp: 0,
+                    operation: Vec::new(),
+                };
+                PrePrepare {
+                    view,
+                    seq,
+                    digest: request.digest(),
+                    request,
+                }
+            }
+        };
+        out.push(pp);
+    }
+    out
+}
+
+/// Canonical digest rule binding checkpoints to snapshots: replicas
+/// checkpoint `H("bft-snapshot" ‖ snapshot)` so state transfer can verify a
+/// snapshot against checkpoint votes without re-executing.
+pub fn snapshot_digest(snapshot: &[u8]) -> Digest {
+    Digest::of_parts(&[b"bft-snapshot", snapshot])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::CounterMachine;
+
+    fn replica(id: u32) -> Replica<CounterMachine> {
+        Replica::new(GroupConfig::for_f(1), ReplicaId(id), CounterMachine::new())
+    }
+
+    fn request(ts: u64, delta: i64) -> ClientRequest {
+        ClientRequest {
+            client: ClientId(1),
+            timestamp: ts,
+            operation: CounterMachine::op(delta),
+        }
+    }
+
+    /// Drives a full in-memory group of 4 replicas by relaying outputs.
+    struct Group {
+        replicas: Vec<Replica<CounterMachine>>,
+        replies: Vec<Reply>,
+        executed: Vec<(u32, SeqNo, Vec<u8>)>,
+    }
+
+    impl Group {
+        fn new() -> Group {
+            Group {
+                replicas: (0..4).map(replica).collect(),
+                replies: Vec::new(),
+                executed: Vec::new(),
+            }
+        }
+
+        /// Delivers every queued output until quiescent. `mute` crashes
+        /// those replica ids: they neither send nor receive.
+        fn pump(&mut self, mute: &[u32]) {
+            loop {
+                let mut moved = false;
+                for i in 0..self.replicas.len() {
+                    let outputs = self.replicas[i].take_outputs();
+                    let from = ReplicaId(i as u32);
+                    for out in outputs {
+                        if mute.contains(&(i as u32)) {
+                            continue;
+                        }
+                        moved = true;
+                        match out {
+                            Output::ToReplica(to, msg) => {
+                                if !mute.contains(&to.0) {
+                                    self.replicas[to.0 as usize].on_message(from, msg);
+                                }
+                            }
+                            Output::ToAllReplicas(msg) => {
+                                for j in 0..self.replicas.len() {
+                                    if j != i && !mute.contains(&(j as u32)) {
+                                        let m = msg.clone();
+                                        self.replicas[j].on_message(from, m);
+                                    }
+                                }
+                            }
+                            Output::ToClient(_, Message::Reply(r)) => self.replies.push(r),
+                            Output::ToClient(_, _) => {}
+                            Output::Executed { seq, result, .. } => {
+                                self.executed.push((i as u32, seq, result));
+                            }
+                            Output::StartViewTimer { .. }
+                            | Output::EnteredView(_)
+                            | Output::StateTransferred(_) => {}
+                        }
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_case_executes_on_all_replicas() {
+        let mut g = Group::new();
+        g.replicas[0].on_request(request(1, 5));
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(r.last_executed(), SeqNo(1));
+            assert_eq!(r.app().total(), 5);
+        }
+        // every replica replied to the client
+        assert_eq!(g.replies.len(), 4);
+        assert!(g.replies.iter().all(|r| r.result == 5i64.to_le_bytes()));
+    }
+
+    #[test]
+    fn sequential_requests_execute_in_order() {
+        let mut g = Group::new();
+        for ts in 1..=5 {
+            g.replicas[0].on_request(request(ts, 10));
+            g.pump(&[]);
+        }
+        for r in &g.replicas {
+            assert_eq!(r.last_executed(), SeqNo(5));
+            assert_eq!(r.app().total(), 50);
+        }
+    }
+
+    #[test]
+    fn duplicate_request_resends_cached_reply() {
+        let mut g = Group::new();
+        g.replicas[0].on_request(request(1, 5));
+        g.pump(&[]);
+        let before = g.replies.len();
+        g.replicas[0].on_request(request(1, 5));
+        g.pump(&[]);
+        assert_eq!(g.replies.len(), before + 1, "cached reply resent");
+        assert_eq!(g.replicas[0].app().total(), 5, "no re-execution");
+    }
+
+    #[test]
+    fn backup_relays_request_to_primary() {
+        let mut g = Group::new();
+        g.replicas[2].on_request(request(1, 7));
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(r.app().total(), 7);
+        }
+    }
+
+    #[test]
+    fn one_crashed_backup_does_not_block() {
+        let mut g = Group::new();
+        g.replicas[0].on_request(request(1, 3));
+        g.pump(&[3]); // replica 3 silent
+        for r in &g.replicas[..3] {
+            assert_eq!(r.app().total(), 3);
+        }
+        assert_eq!(g.replicas[3].app().total(), 0);
+    }
+
+    #[test]
+    fn view_timeout_triggers_view_change_and_recovery() {
+        let mut g = Group::new();
+        // primary (0) is crashed: backups receive the request, relay it,
+        // nothing happens, timers expire
+        for i in 1..4 {
+            g.replicas[i].on_request(request(1, 9));
+        }
+        g.pump(&[0]);
+        assert_eq!(g.replicas[1].app().total(), 0, "stuck without primary");
+        // timers fire on the three live backups
+        for i in 1..4 {
+            let epoch = g.replicas[i].timer_epoch;
+            g.replicas[i].on_view_timeout(epoch);
+        }
+        g.pump(&[0]);
+        for r in &g.replicas[1..4] {
+            assert_eq!(r.view(), View(1), "moved to view 1");
+        }
+        // re-send the request to the new primary (client retransmission)
+        g.replicas[1].on_request(request(1, 9));
+        g.pump(&[0]);
+        for r in &g.replicas[1..4] {
+            assert_eq!(r.app().total(), 9, "executed in the new view");
+        }
+    }
+
+    #[test]
+    fn prepared_request_survives_view_change() {
+        let mut g = Group::new();
+        // primary 0 pre-prepares then crashes; backups exchange prepares
+        // but all COMMITs are dropped, so the request is prepared-not-
+        // committed when the view change starts
+        g.replicas[0].on_request(request(1, 4));
+        let outs = g.replicas[0].take_outputs();
+        for out in outs {
+            if let Output::ToAllReplicas(Message::PrePrepare(pp)) = out {
+                for j in 1..4 {
+                    g.replicas[j].on_message(ReplicaId(0), Message::PrePrepare(pp.clone()));
+                }
+            }
+        }
+        // deliver prepares between backups, drop everything else
+        let mut prepares = Vec::new();
+        for i in 1..4 {
+            for out in g.replicas[i].take_outputs() {
+                if let Output::ToAllReplicas(Message::Prepare(p)) = out {
+                    prepares.push((i, p));
+                }
+            }
+        }
+        for (from, p) in prepares {
+            for j in 1..4 {
+                if j != from {
+                    g.replicas[j].on_message(ReplicaId(from as u32), Message::Prepare(p));
+                }
+            }
+        }
+        // drop the resulting commits
+        for i in 1..4 {
+            let _ = g.replicas[i].take_outputs();
+        }
+        assert_eq!(g.replicas[1].app().total(), 0, "not yet executed");
+        // view change
+        for i in 1..4 {
+            let epoch = g.replicas[i].timer_epoch;
+            g.replicas[i].on_view_timeout(epoch);
+        }
+        g.pump(&[0]);
+        // the prepared request must be re-executed in view 1 without the
+        // client retransmitting
+        for r in &g.replicas[1..4] {
+            assert_eq!(r.view(), View(1));
+            assert_eq!(r.app().total(), 4, "prepared request carried over");
+        }
+    }
+
+    #[test]
+    fn checkpoints_advance_watermarks() {
+        let mut g = Group::new();
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 1));
+            g.pump(&[]);
+        }
+        for r in &g.replicas {
+            assert_eq!(r.log().low(), SeqNo(16), "stable checkpoint at 16");
+        }
+    }
+
+    #[test]
+    fn equivocating_primary_is_refused() {
+        let mut r1 = replica(1);
+        let req_a = request(1, 1);
+        let req_b = request(1, 2);
+        let pp_a = PrePrepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: req_a.digest(),
+            request: req_a,
+        };
+        let pp_b = PrePrepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: req_b.digest(),
+            request: req_b,
+        };
+        r1.on_message(ReplicaId(0), Message::PrePrepare(pp_a.clone()));
+        r1.on_message(ReplicaId(0), Message::PrePrepare(pp_b));
+        let entry = r1.log().entry_ref(View(0), SeqNo(1)).unwrap();
+        assert_eq!(
+            entry.pre_prepare.as_ref().unwrap().digest,
+            pp_a.digest,
+            "first accepted, conflicting refused"
+        );
+    }
+
+    #[test]
+    fn pre_prepare_from_non_primary_ignored() {
+        let mut r1 = replica(1);
+        let req = request(1, 1);
+        let pp = PrePrepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: req.digest(),
+            request: req,
+        };
+        r1.on_message(ReplicaId(2), Message::PrePrepare(pp)); // 2 is not primary of view 0
+        assert!(r1.log().entry_ref(View(0), SeqNo(1)).is_none());
+    }
+
+    #[test]
+    fn mismatched_digest_pre_prepare_ignored() {
+        let mut r1 = replica(1);
+        let req = request(1, 1);
+        let pp = PrePrepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: Digest::of(b"lie"),
+            request: req,
+        };
+        r1.on_message(ReplicaId(0), Message::PrePrepare(pp));
+        assert!(r1.log().entry_ref(View(0), SeqNo(1)).is_none());
+    }
+
+    #[test]
+    fn spoofed_prepare_sender_ignored() {
+        let mut r1 = replica(1);
+        let req = request(1, 1);
+        let prepare = Prepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: req.digest(),
+            replica: ReplicaId(3),
+        };
+        // claimed sender 2 != embedded replica 3
+        r1.on_message(ReplicaId(2), Message::Prepare(prepare));
+        assert!(r1
+            .log()
+            .entry_ref(View(0), SeqNo(1))
+            .map_or(true, |e| e.prepares.is_empty()));
+    }
+
+    #[test]
+    fn stale_view_timer_is_ignored() {
+        let mut g = Group::new();
+        g.replicas[1].on_request(request(1, 1));
+        let stale = g.replicas[1].timer_epoch;
+        g.pump(&[]); // executes; timer epoch advanced / pending cleared
+        g.replicas[1].on_view_timeout(stale);
+        assert!(!g.replicas[1].in_view_change(), "stale epoch ignored");
+        assert_eq!(g.replicas[1].view(), View(0));
+    }
+
+    #[test]
+    fn proactive_recovery_restores_clean_state() {
+        let mut g = Group::new();
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 3));
+            g.pump(&[]);
+        }
+        // silent corruption of replica 2's application state
+        g.replicas[2].app_mut().restore(&CounterMachine::new().snapshot());
+        assert_ne!(g.replicas[2].app().digest(), g.replicas[0].app().digest());
+        g.replicas[2].start_recovery();
+        assert!(g.replicas[2].is_recovering());
+        g.pump(&[]);
+        // the stable checkpoint at 16 is older than replica 2's execution
+        // point (17): recovery waits for the NEXT checkpoint
+        for ts in 18..=33 {
+            g.replicas[0].on_request(request(ts, 3));
+            g.pump(&[]);
+        }
+        assert!(!g.replicas[2].is_recovering(), "recovered at checkpoint 32");
+        assert_eq!(
+            g.replicas[2].app().digest(),
+            g.replicas[0].app().digest(),
+            "clean state restored from peers"
+        );
+    }
+
+    #[test]
+    fn byzantine_new_view_is_rejected() {
+        // the new primary (replica 1) sends a NEW-VIEW whose re-issued
+        // pre-prepares do not match the view-change set: backups recompute
+        // and refuse to enter the view
+        let mut g = Group::new();
+        // build a legitimate 2f+1 view-change set for view 1
+        let vcs: Vec<ViewChange> = (1..4)
+            .map(|i| ViewChange {
+                new_view: View(1),
+                stable_seq: SeqNo(0),
+                checkpoint_proof: Vec::new(),
+                prepared: Vec::new(),
+                replica: ReplicaId(i),
+            })
+            .collect();
+        // a forged pre-prepare smuggled into the new view
+        let rogue = request(1, 999_999);
+        let forged = PrePrepare {
+            view: View(1),
+            seq: SeqNo(1),
+            digest: rogue.digest(),
+            request: rogue,
+        };
+        let nv = NewView {
+            view: View(1),
+            view_changes: vcs,
+            pre_prepares: vec![forged],
+            primary: ReplicaId(1),
+        };
+        g.replicas[2].on_message(ReplicaId(1), Message::NewView(nv));
+        assert_eq!(
+            g.replicas[2].view(),
+            View(0),
+            "backup recomputed the pre-prepare set and refused the forgery"
+        );
+    }
+
+    #[test]
+    fn lagging_replica_catches_up_via_state_transfer() {
+        let mut g = Group::new();
+        // run 17 requests with replica 3 crashed (misses everything)
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 2));
+            g.pump(&[3]);
+        }
+        assert_eq!(g.replicas[3].app().total(), 0);
+        // replica 3 comes back and hears checkpoint messages from others:
+        // replay checkpoint votes for seq 16 from replicas 0..2
+        for i in 0..3u32 {
+            let (seq, (digest, _)) = {
+                let log = g.replicas[i as usize].log();
+                let (s, d) = log.latest_own_checkpoint().expect("checkpointed");
+                (s, (d.0, ()))
+            };
+            let cp = Checkpoint {
+                seq,
+                state_digest: digest,
+                replica: ReplicaId(i),
+            };
+            g.replicas[3].on_message(ReplicaId(i), Message::Checkpoint(cp));
+        }
+        g.pump(&[]);
+        assert_eq!(g.replicas[3].last_executed(), SeqNo(16));
+        assert_eq!(g.replicas[3].app().total(), 32, "restored state at seq 16");
+    }
+}

@@ -1,0 +1,327 @@
+//! Arithmetic in a Schnorr group with toy-sized parameters.
+//!
+//! We work in the order-`q` subgroup of `Z_p^*` where `p = 2q + 1` is a safe
+//! prime. Parameters are 62 bits — **not secure**, but every operation
+//! (exponentiation, Lagrange interpolation in the exponent, DLEQ proofs) is
+//! the real construction, and a 62-bit modulus keeps all intermediate
+//! products inside `u128`.
+//!
+//! These parameters instantiate the paper's §3.5 threshold machinery (the
+//! Naor–Pinkas–Reingold distributed PRF \[26\] is DDH-based and lives in
+//! exactly this kind of group).
+
+use crate::hash::Digest;
+
+/// The safe prime `p = 2q + 1`.
+pub const P: u64 = 2_305_843_009_213_699_919;
+
+/// The subgroup order `q` (prime).
+pub const Q: u64 = 1_152_921_504_606_849_959;
+
+/// Generator of the order-`q` subgroup.
+pub const G: u64 = 25;
+
+/// A second generator with unknown discrete log relative to [`G`]
+/// (independent basis for commitments).
+pub const H: u64 = 49;
+
+/// A scalar modulo [`Q`] (exponent / secret share / signature component).
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::group::Scalar;
+///
+/// let a = Scalar::new(10);
+/// let b = Scalar::new(3);
+/// assert_eq!((a * b).value(), 30);
+/// assert_eq!((a - b).value(), 7);
+/// assert_eq!((b * b.inverse()).value(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Scalar(u64);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar(0);
+
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar(1);
+
+    /// Creates a scalar, reducing modulo `q`.
+    pub fn new(value: u64) -> Scalar {
+        Scalar(value % Q)
+    }
+
+    /// Derives a scalar from a digest (uniform enough for a 61-bit toy
+    /// modulus).
+    pub fn from_digest(digest: &Digest) -> Scalar {
+        let hi = u64::from_be_bytes(digest.0[..8].try_into().expect("8 bytes")) as u128;
+        let lo = u64::from_be_bytes(digest.0[8..16].try_into().expect("8 bytes")) as u128;
+        Scalar((((hi << 64) | lo) % Q as u128) as u64)
+    }
+
+    /// Returns the canonical representative in `[0, q)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Scalar::ZERO`, which has no inverse.
+    pub fn inverse(self) -> Scalar {
+        assert!(self.0 != 0, "zero scalar has no inverse");
+        Scalar(pow_mod(self.0, Q - 2, Q))
+    }
+
+    /// Little-endian byte serialization.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserializes, reducing modulo `q`.
+    pub fn from_bytes(bytes: [u8; 8]) -> Scalar {
+        Scalar::new(u64::from_le_bytes(bytes))
+    }
+}
+
+impl std::ops::Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(((self.0 as u128 + rhs.0 as u128) % Q as u128) as u64)
+    }
+}
+
+impl std::ops::Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar((self.0 + Q - rhs.0) % Q)
+    }
+}
+
+impl std::ops::Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(mul_mod(self.0, rhs.0, Q))
+    }
+}
+
+impl std::ops::Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar((Q - self.0) % Q)
+    }
+}
+
+/// An element of the order-`q` subgroup of `Z_p^*`.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::group::{Element, Scalar};
+///
+/// let two = Scalar::new(2);
+/// let three = Scalar::new(3);
+/// let lhs = Element::generator().pow(two).pow(three);
+/// let rhs = Element::generator().pow(two * three);
+/// assert_eq!(lhs, rhs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Element(u64);
+
+impl Element {
+    /// The group identity.
+    pub const IDENTITY: Element = Element(1);
+
+    /// The standard generator `g`.
+    pub fn generator() -> Element {
+        Element(G)
+    }
+
+    /// The independent generator `h`.
+    pub fn generator_h() -> Element {
+        Element(H)
+    }
+
+    /// Hashes arbitrary bytes onto the subgroup: `(H(x) mod p)^2`, squaring
+    /// to land in the quadratic residues (= the order-`q` subgroup of a safe
+    /// prime group).
+    pub fn hash_to_group(data: &[u8]) -> Element {
+        let d = Digest::of_parts(&[b"itdos-h2g", data]);
+        let hi = u64::from_be_bytes(d.0[..8].try_into().expect("8 bytes")) as u128;
+        let lo = u64::from_be_bytes(d.0[8..16].try_into().expect("8 bytes")) as u128;
+        let mut x = (((hi << 64) | lo) % P as u128) as u64;
+        if x == 0 {
+            x = 2;
+        }
+        Element(mul_mod(x, x, P))
+    }
+
+    /// Exponentiation by a scalar.
+    pub fn pow(self, exponent: Scalar) -> Element {
+        Element(pow_mod(self.0, exponent.0, P))
+    }
+
+    /// Group operation (modular multiplication).
+    pub fn mul(self, rhs: Element) -> Element {
+        Element(mul_mod(self.0, rhs.0, P))
+    }
+
+    /// Inverse element.
+    pub fn inverse(self) -> Element {
+        Element(pow_mod(self.0, P - 2, P))
+    }
+
+    /// The canonical representative in `[1, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Checks subgroup membership (`x^q == 1`).
+    pub fn is_valid(self) -> bool {
+        self.0 != 0 && self.0 < P && pow_mod(self.0, Q, P) == 1
+    }
+
+    /// Little-endian byte serialization.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserializes without validation; call [`Element::is_valid`] on
+    /// untrusted input.
+    pub fn from_bytes(bytes: [u8; 8]) -> Element {
+        Element(u64::from_le_bytes(bytes))
+    }
+}
+
+/// `(a * b) mod m` without overflow for `m < 2^64`.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut base = base % m;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_are_consistent() {
+        assert_eq!(P, 2 * Q + 1);
+        assert!(Element::generator().is_valid());
+        assert!(Element::generator_h().is_valid());
+        assert_ne!(Element::generator(), Element::generator_h());
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        assert_eq!(Element::generator().pow(Scalar::new(0)), Element::IDENTITY);
+        assert_eq!(
+            Element(pow_mod(G, Q, P)),
+            Element::IDENTITY,
+            "g^q must be 1"
+        );
+        assert_ne!(
+            Element(pow_mod(G, 2, P)),
+            Element::IDENTITY,
+            "g must not have tiny order"
+        );
+    }
+
+    #[test]
+    fn scalar_field_axioms_spot_check() {
+        let a = Scalar::new(123_456_789);
+        let b = Scalar::new(987_654_321);
+        let c = Scalar::new(555);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a + (-a), Scalar::ZERO);
+        assert_eq!(a - a, Scalar::ZERO);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for v in [1u64, 2, 17, Q - 1, 123_456_789] {
+            let s = Scalar::new(v);
+            assert_eq!(s * s.inverse(), Scalar::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero scalar")]
+    fn zero_has_no_inverse() {
+        let _ = Scalar::ZERO.inverse();
+    }
+
+    #[test]
+    fn element_inverse_round_trips() {
+        let e = Element::generator().pow(Scalar::new(99));
+        assert_eq!(e.mul(e.inverse()), Element::IDENTITY);
+    }
+
+    #[test]
+    fn pow_laws() {
+        let g = Element::generator();
+        let a = Scalar::new(7_000_000);
+        let b = Scalar::new(13);
+        assert_eq!(g.pow(a).mul(g.pow(b)), g.pow(a + b));
+        assert_eq!(g.pow(a).pow(b), g.pow(a * b));
+    }
+
+    #[test]
+    fn hash_to_group_lands_in_subgroup() {
+        for input in [&b"a"[..], b"b", b"itdos", b""] {
+            let e = Element::hash_to_group(input);
+            assert!(e.is_valid(), "input {input:?}");
+        }
+        assert_ne!(
+            Element::hash_to_group(b"a"),
+            Element::hash_to_group(b"b"),
+            "distinct inputs map to distinct points (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn scalar_bytes_round_trip() {
+        let s = Scalar::new(424_242);
+        assert_eq!(Scalar::from_bytes(s.to_bytes()), s);
+        let e = Element::generator().pow(s);
+        assert_eq!(Element::from_bytes(e.to_bytes()), e);
+    }
+
+    #[test]
+    fn from_digest_reduces() {
+        let d = Digest::of(b"seed");
+        let s = Scalar::from_digest(&d);
+        assert!(s.value() < Q);
+        assert_eq!(s, Scalar::from_digest(&d), "deterministic");
+    }
+
+    #[test]
+    fn invalid_elements_rejected() {
+        assert!(!Element::from_bytes(0u64.to_le_bytes()).is_valid());
+        assert!(!Element::from_bytes(P.to_le_bytes()).is_valid());
+        // A non-residue: g^odd is a QR; find a non-QR by taking a known
+        // generator of the full group. 5 generates a subgroup containing
+        // non-residues since 5^q != 1 unless 5 is a QR.
+        let five = pow_mod(5, Q, P);
+        if five != 1 {
+            assert!(!Element::from_bytes(5u64.to_le_bytes()).is_valid());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! HMAC-SHA256 (RFC 2104).
+
+use crate::hash::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::hmac::hmac;
+///
+/// let tag = hmac(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     tag.to_hex(),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac(key: &[u8], message: &[u8]) -> Digest {
+    hmac_parts(key, &[message])
+}
+
+/// HMAC over the concatenation of several message parts, avoiding an
+/// intermediate allocation.
+pub fn hmac_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..32].copy_from_slice(Digest::of(key).as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for part in parts {
+        inner.update(part);
+    }
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finish()
+}
+
+/// Constant-shape tag comparison.
+///
+/// The simulator is single-threaded and timing-free, but we keep the
+/// constant-time idiom so the code reads like the real thing.
+pub fn verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+    let expect = hmac(key, message);
+    let mut diff = 0u8;
+    for (a, b) in expect.as_bytes().iter().zip(tag.as_bytes()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_long_data() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        assert_eq!(
+            hmac_parts(b"k", &[b"ab", b"cd", b""]),
+            hmac(b"k", b"abcd")
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac(b"k", b"m");
+        assert!(verify(b"k", b"m", &tag));
+        assert!(!verify(b"k", b"m2", &tag));
+        assert!(!verify(b"k2", b"m", &tag));
+        let mut bad = tag;
+        bad.0[0] ^= 1;
+        assert!(!verify(b"k", b"m", &bad));
+    }
+}

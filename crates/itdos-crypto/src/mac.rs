@@ -1,0 +1,174 @@
+//! PBFT-style MAC authenticators.
+//!
+//! Castro–Liskov replaces most digital signatures with *authenticators*: a
+//! vector of per-receiver MACs, one for each replica \[8\]. A replica
+//! verifies the entry computed under its pairwise key with the sender.
+//! This is what makes PBFT's normal case cheap; ITDOS inherits it for all
+//! intra-domain protocol traffic.
+
+use crate::hash::Digest;
+use crate::hmac::hmac;
+use crate::keys::SymmetricKey;
+
+/// Compact 8-byte MAC entry (PBFT truncates MACs similarly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacTag(pub [u8; 8]);
+
+impl MacTag {
+    fn compute(key: &SymmetricKey, message: &[u8]) -> MacTag {
+        let d = hmac(key.as_bytes(), message);
+        MacTag(d.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// An authenticator: one [`MacTag`] per receiver, indexed by replica id.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::keys::SymmetricKey;
+/// use itdos_crypto::mac::Authenticator;
+///
+/// let keys: Vec<SymmetricKey> = (0..4)
+///     .map(|i| SymmetricKey::derive(&[i as u8], b"pair"))
+///     .collect();
+/// let auth = Authenticator::generate(&keys, b"pre-prepare");
+/// assert!(auth.verify(2, &keys[2], b"pre-prepare"));
+/// assert!(!auth.verify(2, &keys[2], b"tampered"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Authenticator {
+    tags: Vec<MacTag>,
+}
+
+impl Authenticator {
+    /// Generates an authenticator over `message` for receivers whose
+    /// pairwise keys are `keys[i]`.
+    pub fn generate(keys: &[SymmetricKey], message: &[u8]) -> Authenticator {
+        Authenticator {
+            tags: keys.iter().map(|k| MacTag::compute(k, message)).collect(),
+        }
+    }
+
+    /// Verifies the entry for receiver `index` with the pairwise `key`.
+    ///
+    /// Returns false for out-of-range indices (a Byzantine sender may send
+    /// a short authenticator).
+    pub fn verify(&self, index: usize, key: &SymmetricKey, message: &[u8]) -> bool {
+        self.tags
+            .get(index)
+            .is_some_and(|tag| *tag == MacTag::compute(key, message))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when the authenticator carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.tags.len() * 8);
+        out.extend_from_slice(&(self.tags.len() as u32).to_le_bytes());
+        for t in &self.tags {
+            out.extend_from_slice(&t.0);
+        }
+        out
+    }
+
+    /// Parses the serialized form. Returns the authenticator and bytes
+    /// consumed, or `None` on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Authenticator, usize)> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let need = 4 + n * 8;
+        if bytes.len() < need {
+            return None;
+        }
+        let tags = bytes[4..need]
+            .chunks_exact(8)
+            .map(|c| MacTag(c.try_into().expect("8 bytes")))
+            .collect();
+        Some((Authenticator { tags }, need))
+    }
+}
+
+/// Computes a plain keyed digest of a message (full-width MAC, used where a
+/// single receiver is known, e.g. client ↔ replica pairs).
+pub fn message_mac(key: &SymmetricKey, message: &[u8]) -> Digest {
+    hmac(key.as_bytes(), message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<SymmetricKey> {
+        (0..n)
+            .map(|i| SymmetricKey::derive(&[i as u8], b"pairwise"))
+            .collect()
+    }
+
+    #[test]
+    fn each_receiver_verifies_own_entry() {
+        let ks = keys(4);
+        let auth = Authenticator::generate(&ks, b"m");
+        for (i, k) in ks.iter().enumerate() {
+            assert!(auth.verify(i, k, b"m"));
+        }
+    }
+
+    #[test]
+    fn wrong_key_or_message_fails() {
+        let ks = keys(4);
+        let auth = Authenticator::generate(&ks, b"m");
+        assert!(!auth.verify(0, &ks[1], b"m"), "cross-key must fail");
+        assert!(!auth.verify(0, &ks[0], b"m2"));
+    }
+
+    #[test]
+    fn out_of_range_index_fails_gracefully() {
+        let ks = keys(2);
+        let auth = Authenticator::generate(&ks, b"m");
+        assert!(!auth.verify(5, &ks[0], b"m"));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let ks = keys(3);
+        let auth = Authenticator::generate(&ks, b"m");
+        let bytes = auth.to_bytes();
+        let (parsed, used) = Authenticator::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, auth);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let ks = keys(3);
+        let bytes = Authenticator::generate(&ks, b"m").to_bytes();
+        assert!(Authenticator::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Authenticator::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_authenticator() {
+        let auth = Authenticator::generate(&[], b"m");
+        assert!(auth.is_empty());
+        assert_eq!(auth.len(), 0);
+        let (parsed, _) = Authenticator::from_bytes(&auth.to_bytes()).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn message_mac_distinguishes_keys() {
+        let ks = keys(2);
+        assert_ne!(message_mac(&ks[0], b"m"), message_mac(&ks[1], b"m"));
+    }
+}

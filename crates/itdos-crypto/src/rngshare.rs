@@ -1,0 +1,189 @@
+//! Distributed random-value generation (commit–reveal).
+//!
+//! §3.5: "The ITDOS Group Manager uses a distributed random number
+//! generation process to initialize (and periodically re-initialize) the
+//! pseudo-random number generators of each Group Manager replication
+//! domain element. The outputs of the pseudo-random number generators
+//! become the common inputs to the distributed function."
+//!
+//! We implement the standard commit–reveal coin: each participant commits
+//! `H(contribution)` first, then reveals; the common value is the hash of
+//! all revealed contributions. As long as one participant is honest the
+//! output is unpredictable to the others, and any participant whose reveal
+//! does not match its commitment is identified.
+//!
+//! The *common non-repeating input* fed to the DPRF for each key is then
+//! `PRG(seed) ‖ counter`, which [`CommonInputSequence`] produces.
+
+use crate::hash::Digest;
+
+/// One participant's commitment to its contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commitment(pub Digest);
+
+/// A participant's secret contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contribution(pub [u8; 32]);
+
+impl Contribution {
+    /// Derives a contribution deterministically from local entropy bytes.
+    pub fn from_entropy(entropy: &[u8]) -> Contribution {
+        Contribution(Digest::of_parts(&[b"itdos-coin-contrib", entropy]).0)
+    }
+
+    /// The commitment to publish in round one.
+    pub fn commit(&self) -> Commitment {
+        Commitment(Digest::of_parts(&[b"itdos-coin-commit", &self.0]))
+    }
+}
+
+/// Outcome of verifying reveals against commitments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinOutcome {
+    /// The agreed random seed (hash of all *valid* reveals, in participant
+    /// order).
+    pub seed: [u8; 32],
+    /// Indices whose reveal did not match their commitment (to be reported
+    /// to the membership layer).
+    pub cheaters: Vec<usize>,
+}
+
+/// Combines commit/reveal rounds into the common seed.
+///
+/// `pairs[i]` is participant `i`'s `(commitment, reveal)`. Mismatched
+/// reveals are excluded from the seed and reported.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::rngshare::{combine_reveals, Contribution};
+///
+/// let contribs: Vec<Contribution> = (0..3)
+///     .map(|i| Contribution::from_entropy(&[i as u8]))
+///     .collect();
+/// let pairs: Vec<_> = contribs.iter().map(|c| (c.commit(), *c)).collect();
+/// let outcome = combine_reveals(&pairs);
+/// assert!(outcome.cheaters.is_empty());
+/// ```
+pub fn combine_reveals(pairs: &[(Commitment, Contribution)]) -> CoinOutcome {
+    let mut cheaters = Vec::new();
+    let mut hasher_input: Vec<u8> = Vec::with_capacity(pairs.len() * 32);
+    for (i, (commitment, reveal)) in pairs.iter().enumerate() {
+        if reveal.commit() == *commitment {
+            hasher_input.extend_from_slice(&reveal.0);
+        } else {
+            cheaters.push(i);
+        }
+    }
+    CoinOutcome {
+        seed: Digest::of_parts(&[b"itdos-coin-seed", &hasher_input]).0,
+        cheaters,
+    }
+}
+
+/// The sequence of common, non-repeating DPRF inputs derived from an agreed
+/// seed: element `k` is `H(seed ‖ k)`.
+///
+/// All Group Manager elements construct the same sequence, satisfying the
+/// "common non-repeating value" requirement without further interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonInputSequence {
+    seed: [u8; 32],
+    counter: u64,
+}
+
+impl CommonInputSequence {
+    /// Starts the sequence from an agreed seed.
+    pub fn new(seed: [u8; 32]) -> CommonInputSequence {
+        CommonInputSequence { seed, counter: 0 }
+    }
+
+    /// Produces the next common input; never repeats.
+    pub fn next_input(&mut self) -> [u8; 32] {
+        let v = self.peek(self.counter);
+        self.counter += 1;
+        v
+    }
+
+    /// The input for an explicit counter value (used when elements must
+    /// agree on the input for a *particular* connection id).
+    pub fn peek(&self, counter: u64) -> [u8; 32] {
+        Digest::of_parts(&[b"itdos-common-input", &self.seed, &counter.to_be_bytes()]).0
+    }
+
+    /// Current counter position.
+    pub fn position(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contribs(n: usize) -> Vec<Contribution> {
+        (0..n)
+            .map(|i| Contribution::from_entropy(&[i as u8, 0xAA]))
+            .collect()
+    }
+
+    #[test]
+    fn honest_rounds_agree_and_name_no_cheaters() {
+        let cs = contribs(4);
+        let pairs: Vec<_> = cs.iter().map(|c| (c.commit(), *c)).collect();
+        let a = combine_reveals(&pairs);
+        let b = combine_reveals(&pairs);
+        assert_eq!(a, b);
+        assert!(a.cheaters.is_empty());
+    }
+
+    #[test]
+    fn cheater_detected_and_excluded() {
+        let cs = contribs(4);
+        let mut pairs: Vec<_> = cs.iter().map(|c| (c.commit(), *c)).collect();
+        // participant 2 reveals a different value than committed
+        pairs[2].1 = Contribution::from_entropy(b"lie");
+        let outcome = combine_reveals(&pairs);
+        assert_eq!(outcome.cheaters, vec![2]);
+        // the honest participants' seed differs from the all-honest seed
+        let honest: Vec<_> = cs.iter().map(|c| (c.commit(), *c)).collect();
+        assert_ne!(outcome.seed, combine_reveals(&honest).seed);
+    }
+
+    #[test]
+    fn single_honest_contribution_randomizes_seed() {
+        // fixing everyone but participant 0, changing participant 0's
+        // contribution changes the seed
+        let mut cs = contribs(3);
+        let pairs1: Vec<_> = cs.iter().map(|c| (c.commit(), *c)).collect();
+        cs[0] = Contribution::from_entropy(b"different");
+        let pairs2: Vec<_> = cs.iter().map(|c| (c.commit(), *c)).collect();
+        assert_ne!(combine_reveals(&pairs1).seed, combine_reveals(&pairs2).seed);
+    }
+
+    #[test]
+    fn common_inputs_never_repeat() {
+        let mut seq = CommonInputSequence::new([1u8; 32]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(seq.next_input()));
+        }
+        assert_eq!(seq.position(), 100);
+    }
+
+    #[test]
+    fn peek_matches_sequence() {
+        let mut seq = CommonInputSequence::new([2u8; 32]);
+        let peeked = seq.peek(0);
+        assert_eq!(seq.next_input(), peeked);
+    }
+
+    #[test]
+    fn sequences_from_same_seed_agree() {
+        let mut a = CommonInputSequence::new([3u8; 32]);
+        let mut b = CommonInputSequence::new([3u8; 32]);
+        for _ in 0..10 {
+            assert_eq!(a.next_input(), b.next_input());
+        }
+    }
+}

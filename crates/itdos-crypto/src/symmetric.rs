@@ -1,0 +1,197 @@
+//! Authenticated symmetric encryption (encrypt-then-MAC over an HMAC-CTR
+//! keystream).
+//!
+//! Replaces the paper's DES \[12\] for communication-key confidentiality.
+//! The keystream block `i` is `HMAC(enc_key, nonce ‖ i)`; the tag is
+//! `HMAC(mac_key, nonce ‖ ciphertext)`. Both subkeys are derived from the
+//! communication key, so a single 256-bit key protects an association.
+
+use crate::hash::Digest;
+use crate::hmac::hmac_parts;
+use crate::keys::SymmetricKey;
+
+/// A sealed message: nonce ‖ ciphertext ‖ tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sealed {
+    /// Caller-supplied unique nonce (e.g. connection id ‖ sequence number).
+    pub nonce: [u8; 16],
+    /// Encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// Authentication tag over nonce and ciphertext.
+    pub tag: Digest,
+}
+
+impl Sealed {
+    /// Serializes to a flat byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 32 + self.ciphertext.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(self.tag.as_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses the flat form.
+    ///
+    /// Returns `None` if `bytes` is shorter than the fixed header.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Sealed> {
+        if bytes.len() < 48 {
+            return None;
+        }
+        Some(Sealed {
+            nonce: bytes[..16].try_into().expect("16 bytes"),
+            tag: Digest(bytes[16..48].try_into().expect("32 bytes")),
+            ciphertext: bytes[48..].to_vec(),
+        })
+    }
+}
+
+/// Decryption failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// The authentication tag did not verify: wrong key or tampering.
+    BadTag,
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+fn subkeys(key: &SymmetricKey) -> ([u8; 32], [u8; 32]) {
+    let enc = Digest::of_parts(&[b"itdos-enc", key.as_bytes()]).0;
+    let mac = Digest::of_parts(&[b"itdos-mac", key.as_bytes()]).0;
+    (enc, mac)
+}
+
+fn keystream_xor(enc_key: &[u8; 32], nonce: &[u8; 16], data: &mut [u8]) {
+    for (block_index, chunk) in data.chunks_mut(32).enumerate() {
+        let counter = (block_index as u64).to_be_bytes();
+        let block = hmac_parts(enc_key, &[nonce, &counter]);
+        for (byte, pad) in chunk.iter_mut().zip(block.as_bytes()) {
+            *byte ^= pad;
+        }
+    }
+}
+
+/// Encrypts and authenticates `plaintext` under `key` with a caller-chosen
+/// unique `nonce`.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_crypto::keys::SymmetricKey;
+/// use itdos_crypto::symmetric::{open, seal};
+///
+/// let key = SymmetricKey::derive(b"assoc", b"demo");
+/// let sealed = seal(&key, [1u8; 16], b"secret request");
+/// assert_eq!(open(&key, &sealed).unwrap(), b"secret request");
+/// ```
+pub fn seal(key: &SymmetricKey, nonce: [u8; 16], plaintext: &[u8]) -> Sealed {
+    let (enc_key, mac_key) = subkeys(key);
+    let mut ciphertext = plaintext.to_vec();
+    keystream_xor(&enc_key, &nonce, &mut ciphertext);
+    let tag = hmac_parts(&mac_key, &[&nonce, &ciphertext]);
+    Sealed {
+        nonce,
+        ciphertext,
+        tag,
+    }
+}
+
+/// Verifies and decrypts a sealed message.
+///
+/// # Errors
+///
+/// [`OpenError::BadTag`] if the key is wrong or the message was tampered
+/// with.
+pub fn open(key: &SymmetricKey, sealed: &Sealed) -> Result<Vec<u8>, OpenError> {
+    let (enc_key, mac_key) = subkeys(key);
+    let expect = hmac_parts(&mac_key, &[&sealed.nonce, &sealed.ciphertext]);
+    let mut diff = 0u8;
+    for (a, b) in expect.as_bytes().iter().zip(sealed.tag.as_bytes()) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(OpenError::BadTag);
+    }
+    let mut plaintext = sealed.ciphertext.clone();
+    keystream_xor(&enc_key, &sealed.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: &[u8]) -> SymmetricKey {
+        SymmetricKey::derive(tag, b"test")
+    }
+
+    #[test]
+    fn round_trip() {
+        let k = key(b"k");
+        for len in [0usize, 1, 31, 32, 33, 64, 1000] {
+            let msg = vec![0x5Au8; len];
+            let sealed = seal(&k, [9u8; 16], &msg);
+            assert_eq!(open(&k, &sealed).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = seal(&key(b"a"), [0u8; 16], b"msg");
+        assert_eq!(open(&key(b"b"), &sealed), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let k = key(b"a");
+        let mut sealed = seal(&k, [0u8; 16], b"msg");
+        sealed.ciphertext[0] ^= 1;
+        assert_eq!(open(&k, &sealed), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let k = key(b"a");
+        let mut sealed = seal(&k, [0u8; 16], b"msg");
+        sealed.nonce[0] ^= 1;
+        assert_eq!(open(&k, &sealed), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_ciphertexts() {
+        let k = key(b"a");
+        let s1 = seal(&k, [1u8; 16], b"same message");
+        let s2 = seal(&k, [2u8; 16], b"same message");
+        assert_ne!(s1.ciphertext, s2.ciphertext);
+    }
+
+    #[test]
+    fn flat_bytes_round_trip() {
+        let k = key(b"a");
+        let sealed = seal(&k, [3u8; 16], b"payload");
+        let parsed = Sealed::from_bytes(&sealed.to_bytes()).unwrap();
+        assert_eq!(parsed, sealed);
+        assert_eq!(open(&k, &parsed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(Sealed::from_bytes(&[0u8; 47]), None);
+        assert!(Sealed::from_bytes(&[0u8; 48]).is_some());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let k = key(b"a");
+        let sealed = seal(&k, [0u8; 16], b"super secret payload");
+        assert_ne!(&sealed.ciphertext[..], b"super secret payload");
+    }
+}

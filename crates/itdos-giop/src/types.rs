@@ -1,0 +1,327 @@
+//! The CORBA value model: typed runtime values and type descriptions.
+//!
+//! CDR is not self-describing, so marshalling is always guided by a
+//! [`TypeDesc`] from the interface repository. Voting (§3.6) operates on
+//! [`Value`] trees — *after* unmarshalling — which is what makes
+//! heterogeneous replicas comparable.
+
+use std::fmt;
+
+/// A runtime CORBA value.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_giop::types::{TypeDesc, Value};
+///
+/// let v = Value::Struct(vec![Value::Long(1), Value::Double(2.5)]);
+/// let t = TypeDesc::Struct {
+///     name: "Point".into(),
+///     fields: vec![("x".into(), TypeDesc::Long), ("y".into(), TypeDesc::Double)],
+/// };
+/// assert!(v.conforms(&t));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (operation returning `void`).
+    Void,
+    /// 8-bit uninterpreted byte.
+    Octet(u8),
+    /// Boolean.
+    Boolean(bool),
+    /// 16-bit signed integer.
+    Short(i16),
+    /// 16-bit unsigned integer.
+    UShort(u16),
+    /// 32-bit signed integer.
+    Long(i32),
+    /// 32-bit unsigned integer.
+    ULong(u32),
+    /// 64-bit signed integer.
+    LongLong(i64),
+    /// 64-bit unsigned integer.
+    ULongLong(u64),
+    /// IEEE-754 single-precision float.
+    Float(f32),
+    /// IEEE-754 double-precision float.
+    Double(f64),
+    /// A string (CORBA strings are not nested values).
+    String(String),
+    /// A homogeneous sequence.
+    Sequence(Vec<Value>),
+    /// A struct: field values in declaration order.
+    Struct(Vec<Value>),
+    /// An enum discriminant.
+    Enum(u32),
+}
+
+impl Value {
+    /// Checks structural conformance to a type description.
+    pub fn conforms(&self, desc: &TypeDesc) -> bool {
+        match (self, desc) {
+            (Value::Void, TypeDesc::Void) => true,
+            (Value::Octet(_), TypeDesc::Octet) => true,
+            (Value::Boolean(_), TypeDesc::Boolean) => true,
+            (Value::Short(_), TypeDesc::Short) => true,
+            (Value::UShort(_), TypeDesc::UShort) => true,
+            (Value::Long(_), TypeDesc::Long) => true,
+            (Value::ULong(_), TypeDesc::ULong) => true,
+            (Value::LongLong(_), TypeDesc::LongLong) => true,
+            (Value::ULongLong(_), TypeDesc::ULongLong) => true,
+            (Value::Float(_), TypeDesc::Float) => true,
+            (Value::Double(_), TypeDesc::Double) => true,
+            (Value::String(_), TypeDesc::String) => true,
+            (Value::Sequence(items), TypeDesc::Sequence(elem)) => {
+                items.iter().all(|i| i.conforms(elem))
+            }
+            (Value::Struct(values), TypeDesc::Struct { fields, .. }) => {
+                values.len() == fields.len()
+                    && values
+                        .iter()
+                        .zip(fields)
+                        .all(|(v, (_, t))| v.conforms(t))
+            }
+            (Value::Enum(d), TypeDesc::Enum { variants, .. }) => (*d as usize) < variants.len(),
+            _ => false,
+        }
+    }
+
+    /// Returns true if the value (recursively) contains floating-point data
+    /// — candidates for *inexact* voting (§3.6).
+    pub fn contains_float(&self) -> bool {
+        match self {
+            Value::Float(_) | Value::Double(_) => true,
+            Value::Sequence(items) | Value::Struct(items) => {
+                items.iter().any(Value::contains_float)
+            }
+            _ => false,
+        }
+    }
+
+    /// A short name for the value's kind (diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Void => "void",
+            Value::Octet(_) => "octet",
+            Value::Boolean(_) => "boolean",
+            Value::Short(_) => "short",
+            Value::UShort(_) => "ushort",
+            Value::Long(_) => "long",
+            Value::ULong(_) => "ulong",
+            Value::LongLong(_) => "longlong",
+            Value::ULongLong(_) => "ulonglong",
+            Value::Float(_) => "float",
+            Value::Double(_) => "double",
+            Value::String(_) => "string",
+            Value::Sequence(_) => "sequence",
+            Value::Struct(_) => "struct",
+            Value::Enum(_) => "enum",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Void => write!(f, "void"),
+            Value::Octet(v) => write!(f, "{v}o"),
+            Value::Boolean(v) => write!(f, "{v}"),
+            Value::Short(v) => write!(f, "{v}"),
+            Value::UShort(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::ULong(v) => write!(f, "{v}"),
+            Value::LongLong(v) => write!(f, "{v}"),
+            Value::ULongLong(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}f"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::String(v) => write!(f, "{v:?}"),
+            Value::Sequence(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Struct(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Enum(d) => write!(f, "enum#{d}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Long(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::LongLong(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Boolean(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+/// A type description (the marshalling schema for one value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDesc {
+    /// No value.
+    Void,
+    /// 8-bit byte.
+    Octet,
+    /// Boolean.
+    Boolean,
+    /// 16-bit signed.
+    Short,
+    /// 16-bit unsigned.
+    UShort,
+    /// 32-bit signed.
+    Long,
+    /// 32-bit unsigned.
+    ULong,
+    /// 64-bit signed.
+    LongLong,
+    /// 64-bit unsigned.
+    ULongLong,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// String.
+    String,
+    /// Homogeneous sequence of an element type.
+    Sequence(Box<TypeDesc>),
+    /// Named struct with named, typed fields.
+    Struct {
+        /// The struct's IDL name.
+        name: String,
+        /// Field names and types, in declaration order.
+        fields: Vec<(String, TypeDesc)>,
+    },
+    /// Named enum with named variants.
+    Enum {
+        /// The enum's IDL name.
+        name: String,
+        /// Variant names in declaration order.
+        variants: Vec<String>,
+    },
+}
+
+impl TypeDesc {
+    /// Convenience constructor for a sequence type.
+    pub fn sequence_of(elem: TypeDesc) -> TypeDesc {
+        TypeDesc::Sequence(Box::new(elem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_type() -> TypeDesc {
+        TypeDesc::Struct {
+            name: "Point".into(),
+            fields: vec![("x".into(), TypeDesc::Double), ("y".into(), TypeDesc::Double)],
+        }
+    }
+
+    #[test]
+    fn primitives_conform() {
+        assert!(Value::Long(5).conforms(&TypeDesc::Long));
+        assert!(!Value::Long(5).conforms(&TypeDesc::Short));
+        assert!(Value::Void.conforms(&TypeDesc::Void));
+        assert!(Value::String("a".into()).conforms(&TypeDesc::String));
+    }
+
+    #[test]
+    fn sequences_check_elements() {
+        let t = TypeDesc::sequence_of(TypeDesc::Long);
+        assert!(Value::Sequence(vec![Value::Long(1), Value::Long(2)]).conforms(&t));
+        assert!(Value::Sequence(vec![]).conforms(&t));
+        assert!(!Value::Sequence(vec![Value::Long(1), Value::Double(2.0)]).conforms(&t));
+    }
+
+    #[test]
+    fn structs_check_arity_and_types() {
+        let t = point_type();
+        assert!(Value::Struct(vec![Value::Double(1.0), Value::Double(2.0)]).conforms(&t));
+        assert!(!Value::Struct(vec![Value::Double(1.0)]).conforms(&t));
+        assert!(!Value::Struct(vec![Value::Long(1), Value::Double(2.0)]).conforms(&t));
+    }
+
+    #[test]
+    fn enums_check_range() {
+        let t = TypeDesc::Enum {
+            name: "Color".into(),
+            variants: vec!["Red".into(), "Green".into()],
+        };
+        assert!(Value::Enum(1).conforms(&t));
+        assert!(!Value::Enum(2).conforms(&t));
+    }
+
+    #[test]
+    fn contains_float_recurses() {
+        assert!(Value::Double(1.0).contains_float());
+        assert!(Value::Struct(vec![Value::Long(1), Value::Float(0.5)]).contains_float());
+        assert!(!Value::Sequence(vec![Value::Long(1)]).contains_float());
+        assert!(
+            Value::Sequence(vec![Value::Struct(vec![Value::Double(0.0)])]).contains_float()
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::Struct(vec![Value::Long(1), Value::String("a".into())]);
+        assert_eq!(v.to_string(), "{1, \"a\"}");
+        assert_eq!(Value::Sequence(vec![Value::Octet(7)]).to_string(), "[7o]");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Long(3));
+        assert_eq!(Value::from(3i64), Value::LongLong(3));
+        assert_eq!(Value::from(1.5f64), Value::Double(1.5));
+        assert_eq!(Value::from(true), Value::Boolean(true));
+        assert_eq!(Value::from("hi"), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Octet(0).kind(), "octet");
+        assert_eq!(Value::Struct(vec![]).kind(), "struct");
+    }
+}

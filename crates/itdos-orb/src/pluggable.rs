@@ -1,0 +1,162 @@
+//! The pluggable protocol framework (TAO-style).
+//!
+//! TAO's pluggable protocols \[27\] let a transport replace TCP under GIOP
+//! without touching the ORB. ITDOS exploits exactly this seam: "The TAO
+//! Pluggable Protocol provides an interface to the ORB for ITDOS to layer
+//! traditional socket semantics on the Castro-Liskov BFT protocol" (§3.3).
+//!
+//! [`PluggableProtocol`] is the seam; [`Loopback`] is the trivial
+//! in-process implementation (used by tests and by the ORB alone); the
+//! SMIOP stack in the `itdos` crate is the intrusion-tolerant
+//! implementation.
+
+use std::collections::BTreeMap;
+
+use crate::object::DomainAddr;
+
+/// A connection handle issued by a protocol plugin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnectionHandle(pub u64);
+
+/// Errors raised by protocol plugins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// No route to the target domain.
+    Unreachable(DomainAddr),
+    /// The handle does not name an open connection.
+    BadHandle(ConnectionHandle),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Unreachable(d) => write!(f, "no route to {d}"),
+            ProtocolError::BadHandle(h) => write!(f, "unknown connection handle {}", h.0),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A transport protocol pluggable under the ORB.
+///
+/// The contract mirrors what GIOP requires of a transport (§3.3):
+/// *connection semantics* — an explicit open yielding a handle that frames
+/// can be sent on, and an orderly close.
+pub trait PluggableProtocol {
+    /// Protocol name, e.g. `"SMIOP"` or `"LOOP"`.
+    fn name(&self) -> &'static str;
+
+    /// Opens (or reuses) a connection to a replication domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Unreachable`] when the domain is unknown.
+    fn open(&mut self, target: DomainAddr) -> Result<ConnectionHandle, ProtocolError>;
+
+    /// Queues a GIOP frame on a connection. Delivery is asynchronous.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadHandle`] for unopened handles.
+    fn send(&mut self, connection: ConnectionHandle, frame: Vec<u8>) -> Result<(), ProtocolError>;
+
+    /// Closes a connection. Closing an unknown handle is a no-op.
+    fn close(&mut self, connection: ConnectionHandle);
+}
+
+/// In-process loopback transport: frames sent to a domain are queued
+/// locally and can be drained by the test harness.
+#[derive(Debug, Default)]
+pub struct Loopback {
+    connections: BTreeMap<ConnectionHandle, DomainAddr>,
+    next_handle: u64,
+    queues: BTreeMap<DomainAddr, Vec<Vec<u8>>>,
+}
+
+impl Loopback {
+    /// Creates an empty loopback transport.
+    pub fn new() -> Loopback {
+        Loopback::default()
+    }
+
+    /// Drains frames queued for `domain`.
+    pub fn drain(&mut self, domain: DomainAddr) -> Vec<Vec<u8>> {
+        self.queues.remove(&domain).unwrap_or_default()
+    }
+
+    /// Number of open connections.
+    pub fn open_connections(&self) -> usize {
+        self.connections.len()
+    }
+}
+
+impl PluggableProtocol for Loopback {
+    fn name(&self) -> &'static str {
+        "LOOP"
+    }
+
+    fn open(&mut self, target: DomainAddr) -> Result<ConnectionHandle, ProtocolError> {
+        // reuse an existing connection to the same domain (§3.4:
+        // "connection reuse enhances performance")
+        if let Some((h, _)) = self.connections.iter().find(|(_, d)| **d == target) {
+            return Ok(*h);
+        }
+        let handle = ConnectionHandle(self.next_handle);
+        self.next_handle += 1;
+        self.connections.insert(handle, target);
+        Ok(handle)
+    }
+
+    fn send(&mut self, connection: ConnectionHandle, frame: Vec<u8>) -> Result<(), ProtocolError> {
+        let Some(&domain) = self.connections.get(&connection) else {
+            return Err(ProtocolError::BadHandle(connection));
+        };
+        self.queues.entry(domain).or_default().push(frame);
+        Ok(())
+    }
+
+    fn close(&mut self, connection: ConnectionHandle) {
+        self.connections.remove(&connection);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_send_drain() {
+        let mut t = Loopback::new();
+        let c = t.open(DomainAddr(1)).unwrap();
+        t.send(c, vec![1, 2]).unwrap();
+        t.send(c, vec![3]).unwrap();
+        assert_eq!(t.drain(DomainAddr(1)), vec![vec![1, 2], vec![3]]);
+        assert!(t.drain(DomainAddr(1)).is_empty());
+    }
+
+    #[test]
+    fn connections_are_reused_per_domain() {
+        let mut t = Loopback::new();
+        let a = t.open(DomainAddr(1)).unwrap();
+        let b = t.open(DomainAddr(1)).unwrap();
+        let c = t.open(DomainAddr(2)).unwrap();
+        assert_eq!(a, b, "same domain reuses the connection");
+        assert_ne!(a, c);
+        assert_eq!(t.open_connections(), 2);
+    }
+
+    #[test]
+    fn send_on_closed_handle_fails() {
+        let mut t = Loopback::new();
+        let c = t.open(DomainAddr(1)).unwrap();
+        t.close(c);
+        assert_eq!(t.send(c, vec![]), Err(ProtocolError::BadHandle(c)));
+    }
+
+    #[test]
+    fn close_unknown_is_noop() {
+        let mut t = Loopback::new();
+        t.close(ConnectionHandle(99));
+    }
+}

@@ -1,0 +1,186 @@
+//! Servants: application objects hosted by a server.
+//!
+//! Dispatch is continuation-based so the single-threaded execution model
+//! (§2) can support **nested invocations** (§3.1) without blocking: a
+//! servant either completes or asks the ORB to perform a remote call and
+//! suspend it; the ORB resumes it when the nested reply arrives on the
+//! delivery thread.
+
+use itdos_giop::types::Value;
+
+use crate::object::ObjectRef;
+
+/// A servant-raised exception (maps to a GIOP user exception).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServantException {
+    /// Exception repository id, e.g. `"Bank::InsufficientFunds"`.
+    pub name: String,
+}
+
+impl ServantException {
+    /// Creates an exception.
+    pub fn new(name: impl Into<String>) -> ServantException {
+        ServantException { name: name.into() }
+    }
+}
+
+/// The result of one servant step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The operation finished with a result value.
+    Complete(Result<Value, ServantException>),
+    /// The servant needs a nested remote invocation; the ORB suspends this
+    /// request and resumes the servant with the nested reply.
+    Nested(NestedCall),
+}
+
+/// A nested invocation requested by a suspended servant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedCall {
+    /// The remote object to invoke.
+    pub target: ObjectRef,
+    /// Operation name.
+    pub operation: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+    /// Token the servant uses to recognize the continuation.
+    pub token: u64,
+}
+
+/// An application object.
+///
+/// Implementations must be deterministic (§2): same dispatch sequence,
+/// same results, on every replica — platform-specific float divergence is
+/// applied by the SMIOP layer, not by the servant.
+pub trait Servant {
+    /// The full interface name this servant implements.
+    fn interface(&self) -> &str;
+
+    /// Handles an operation.
+    fn dispatch(&mut self, operation: &str, args: &[Value]) -> Outcome;
+
+    /// Resumes after a nested invocation completes. `reply` is the nested
+    /// result or the exception it raised.
+    ///
+    /// The default panics: servants that never return
+    /// [`Outcome::Nested`] are never resumed.
+    fn resume(&mut self, token: u64, reply: Result<Value, ServantException>) -> Outcome {
+        let _ = reply;
+        panic!("servant resumed with unexpected token {token}");
+    }
+}
+
+/// A servant built from a closure (convenient for tests and examples).
+pub struct FnServant<F> {
+    interface: String,
+    handler: F,
+}
+
+impl<F> std::fmt::Debug for FnServant<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnServant")
+            .field("interface", &self.interface)
+            .finish()
+    }
+}
+
+impl<F> FnServant<F>
+where
+    F: FnMut(&str, &[Value]) -> Result<Value, ServantException>,
+{
+    /// Wraps a closure as a (non-nesting) servant.
+    pub fn new(interface: impl Into<String>, handler: F) -> FnServant<F> {
+        FnServant {
+            interface: interface.into(),
+            handler,
+        }
+    }
+}
+
+impl<F> Servant for FnServant<F>
+where
+    F: FnMut(&str, &[Value]) -> Result<Value, ServantException>,
+{
+    fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    fn dispatch(&mut self, operation: &str, args: &[Value]) -> Outcome {
+        Outcome::Complete((self.handler)(operation, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{DomainAddr, ObjectKey};
+
+    #[test]
+    fn fn_servant_dispatches() {
+        let mut s = FnServant::new("Echo", |op, args| {
+            assert_eq!(op, "echo");
+            Ok(args[0].clone())
+        });
+        assert_eq!(s.interface(), "Echo");
+        match s.dispatch("echo", &[Value::Long(5)]) {
+            Outcome::Complete(Ok(v)) => assert_eq!(v, Value::Long(5)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exceptions_propagate() {
+        let mut s = FnServant::new("E", |_, _| Err(ServantException::new("E::Boom")));
+        match s.dispatch("x", &[]) {
+            Outcome::Complete(Err(e)) => assert_eq!(e.name, "E::Boom"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected token")]
+    fn default_resume_panics() {
+        let mut s = FnServant::new("E", |_, _| Ok(Value::Void));
+        s.resume(1, Ok(Value::Void));
+    }
+
+    /// A hand-written nesting servant used to pin the contract.
+    struct Chainer {
+        peer: ObjectRef,
+    }
+
+    impl Servant for Chainer {
+        fn interface(&self) -> &str {
+            "Chainer"
+        }
+
+        fn dispatch(&mut self, _op: &str, args: &[Value]) -> Outcome {
+            Outcome::Nested(NestedCall {
+                target: self.peer.clone(),
+                operation: "inner".into(),
+                args: args.to_vec(),
+                token: 42,
+            })
+        }
+
+        fn resume(&mut self, token: u64, reply: Result<Value, ServantException>) -> Outcome {
+            assert_eq!(token, 42);
+            Outcome::Complete(reply)
+        }
+    }
+
+    #[test]
+    fn nesting_servant_contract() {
+        let mut s = Chainer {
+            peer: ObjectRef::new("Inner", ObjectKey::from_name("i"), DomainAddr(2)),
+        };
+        let Outcome::Nested(call) = s.dispatch("outer", &[Value::Long(1)]) else {
+            panic!("expected nested call");
+        };
+        assert_eq!(call.operation, "inner");
+        match s.resume(call.token, Ok(Value::Long(9))) {
+            Outcome::Complete(Ok(v)) => assert_eq!(v, Value::Long(9)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Approval voting (Parhami \[31\]).
+//!
+//! §3.6 cites Parhami's "Optimal Algorithms for Exact, Inexact, and
+//! Approval Voting". In approval voting, equivalence is replaced by an
+//! *approval relation*: candidate `a` approves candidate `b`'s value when
+//! `b` falls inside `a`'s acceptance region. The relation need not be
+//! symmetric (a tight sensor approves a sloppy one but not vice versa),
+//! which generalizes the inexact comparator and lets a connection vote on
+//! "acceptable" rather than "equal" results.
+
+use itdos_giop::types::Value;
+
+use crate::vote::{Candidate, Decision, SenderId, VoteOutcome};
+
+/// Runs an approval vote: the winning value is the candidate (in sender
+/// order) approved by at least `threshold` candidates, where candidate
+/// `x` approves pivot `p` when `approve(&x.value, &p.value)` holds.
+///
+/// With a symmetric `approve` this degenerates to pivot-based inexact
+/// voting; an asymmetric relation expresses per-replica acceptance
+/// regions.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_giop::types::Value;
+/// use itdos_vote::approval::approval_vote;
+/// use itdos_vote::vote::{Candidate, SenderId, VoteOutcome};
+///
+/// // each replica reports (value, tolerance); a replica approves any
+/// // pivot within ITS OWN tolerance of its value
+/// let candidates: Vec<Candidate> = [(10.0, 0.5), (10.2, 0.5), (10.1, 0.05)]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, (v, tol))| Candidate {
+///         sender: SenderId(i as u32),
+///         value: Value::Struct(vec![Value::Double(*v), Value::Double(*tol)]),
+///     })
+///     .collect();
+/// let approve = |mine: &Value, pivot: &Value| {
+///     let (Value::Struct(m), Value::Struct(p)) = (mine, pivot) else { return false };
+///     let (Value::Double(mv), Value::Double(mt)) = (&m[0], &m[1]) else { return false };
+///     let Value::Double(pv) = &p[0] else { return false };
+///     (mv - pv).abs() <= *mt
+/// };
+/// match approval_vote(&candidates, approve, 3) {
+///     VoteOutcome::Decided(d) => assert_eq!(d.supporters.len(), 3),
+///     VoteOutcome::Pending => panic!("expected decision"),
+/// }
+/// ```
+pub fn approval_vote<F>(candidates: &[Candidate], approve: F, threshold: usize) -> VoteOutcome
+where
+    F: Fn(&Value, &Value) -> bool,
+{
+    if threshold == 0 || candidates.len() < threshold {
+        return VoteOutcome::Pending;
+    }
+    let mut order: Vec<&Candidate> = candidates.iter().collect();
+    order.sort_by_key(|c| c.sender);
+    for pivot in &order {
+        let supporters: Vec<SenderId> = order
+            .iter()
+            .filter(|c| approve(&c.value, &pivot.value))
+            .map(|c| c.sender)
+            .collect();
+        if supporters.len() >= threshold {
+            let dissenters = order
+                .iter()
+                .filter(|c| !supporters.contains(&c.sender))
+                .map(|c| c.sender)
+                .collect();
+            return VoteOutcome::Decided(Decision {
+                value: pivot.value.clone(),
+                supporters,
+                dissenters,
+            });
+        }
+    }
+    VoteOutcome::Pending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// candidates carry (value, own tolerance)
+    fn cand(sender: u32, value: f64, tolerance: f64) -> Candidate {
+        Candidate {
+            sender: SenderId(sender),
+            value: Value::Struct(vec![Value::Double(value), Value::Double(tolerance)]),
+        }
+    }
+
+    fn approve(mine: &Value, pivot: &Value) -> bool {
+        let (Value::Struct(m), Value::Struct(p)) = (mine, pivot) else {
+            return false;
+        };
+        let (Value::Double(mv), Value::Double(mt)) = (&m[0], &m[1]) else {
+            return false;
+        };
+        let Value::Double(pv) = &p[0] else {
+            return false;
+        };
+        (mv - pv).abs() <= *mt
+    }
+
+    #[test]
+    fn symmetric_case_behaves_like_inexact() {
+        let cs = vec![cand(0, 10.0, 0.5), cand(1, 10.2, 0.5), cand(2, 99.0, 0.5)];
+        match approval_vote(&cs, approve, 2) {
+            VoteOutcome::Decided(d) => {
+                assert_eq!(d.supporters, vec![SenderId(0), SenderId(1)]);
+                assert_eq!(d.dissenters, vec![SenderId(2)]);
+            }
+            VoteOutcome::Pending => panic!("expected decision"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_approval_is_respected() {
+        // the tight replica (tol 0.01) does NOT approve the loose pivot,
+        // but the loose replicas approve each other and the tight one
+        let cs = vec![cand(0, 10.0, 1.0), cand(1, 10.5, 1.0), cand(2, 10.4, 0.01)];
+        match approval_vote(&cs, approve, 3) {
+            VoteOutcome::Decided(d) => {
+                // pivot must be a value ALL THREE approve: 10.4 ± each
+                // replica's own tolerance — candidate 2's value qualifies
+                assert_eq!(
+                    d.value,
+                    Value::Struct(vec![Value::Double(10.4), Value::Double(0.01)])
+                );
+            }
+            VoteOutcome::Pending => panic!("a universally approved pivot exists"),
+        }
+    }
+
+    #[test]
+    fn no_approved_pivot_is_pending() {
+        let cs = vec![cand(0, 1.0, 0.1), cand(1, 2.0, 0.1), cand(2, 3.0, 0.1)];
+        assert_eq!(approval_vote(&cs, approve, 2), VoteOutcome::Pending);
+    }
+
+    #[test]
+    fn threshold_and_size_guards() {
+        let cs = vec![cand(0, 1.0, 1.0)];
+        assert_eq!(approval_vote(&cs, approve, 0), VoteOutcome::Pending);
+        assert_eq!(approval_vote(&cs, approve, 2), VoteOutcome::Pending);
+    }
+
+    #[test]
+    fn deterministic_in_sender_order() {
+        let a = vec![cand(2, 10.0, 1.0), cand(0, 10.1, 1.0), cand(1, 10.2, 1.0)];
+        let b = vec![cand(0, 10.1, 1.0), cand(1, 10.2, 1.0), cand(2, 10.0, 1.0)];
+        assert_eq!(approval_vote(&a, approve, 2), approval_vote(&b, approve, 2));
+    }
+}

@@ -1,0 +1,152 @@
+//! Byte-by-byte voting baseline (Immune-style).
+//!
+//! §3.7: Immune \[25\] and the BFTM systems (Rampart, Castro–Liskov) compare
+//! raw message bytes, which "does not work correctly in the presence of
+//! heterogeneity \[3\] or inexact values". This baseline exists so experiment
+//! E6 can measure exactly that failure: correct heterogeneous replicas are
+//! rejected by byte voting and accepted by the VVM.
+
+use std::collections::BTreeMap;
+
+use crate::vote::SenderId;
+
+/// Outcome of a byte-level vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteVoteOutcome {
+    /// Not enough identical frames yet.
+    Pending,
+    /// Some frame reached the threshold.
+    Decided {
+        /// The winning raw frame.
+        frame: Vec<u8>,
+        /// Senders whose frame was byte-identical to the winner.
+        supporters: Vec<SenderId>,
+        /// Everyone else — under byte voting these are (wrongly, when
+        /// replicas are heterogeneous) treated as faulty.
+        dissenters: Vec<SenderId>,
+    },
+}
+
+/// Votes on raw frames: a frame wins when `threshold` byte-identical copies
+/// exist.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_vote::byte::{byte_vote, ByteVoteOutcome};
+/// use itdos_vote::vote::SenderId;
+///
+/// let frames = vec![
+///     (SenderId(0), vec![1, 2, 3]),
+///     (SenderId(1), vec![1, 2, 3]),
+///     (SenderId(2), vec![9, 9, 9]),
+/// ];
+/// match byte_vote(&frames, 2) {
+///     ByteVoteOutcome::Decided { frame, .. } => assert_eq!(frame, vec![1, 2, 3]),
+///     ByteVoteOutcome::Pending => panic!("expected decision"),
+/// }
+/// ```
+pub fn byte_vote(frames: &[(SenderId, Vec<u8>)], threshold: usize) -> ByteVoteOutcome {
+    if threshold == 0 {
+        return ByteVoteOutcome::Pending;
+    }
+    let mut buckets: BTreeMap<&[u8], Vec<SenderId>> = BTreeMap::new();
+    for (sender, frame) in frames {
+        buckets.entry(frame.as_slice()).or_default().push(*sender);
+    }
+    // deterministic winner: among buckets reaching threshold, the one whose
+    // lowest sender id is smallest
+    let winner = buckets
+        .iter()
+        .filter(|(_, senders)| senders.len() >= threshold)
+        .min_by_key(|(_, senders)| senders.iter().min().copied());
+    match winner {
+        Some((frame, supporters)) => {
+            let supporters = supporters.clone();
+            let dissenters = frames
+                .iter()
+                .map(|(s, _)| *s)
+                .filter(|s| !supporters.contains(s))
+                .collect();
+            ByteVoteOutcome::Decided {
+                frame: frame.to_vec(),
+                supporters,
+                dissenters,
+            }
+        }
+        None => ByteVoteOutcome::Pending,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_decide() {
+        let frames = vec![
+            (SenderId(0), vec![1]),
+            (SenderId(1), vec![1]),
+            (SenderId(2), vec![1]),
+        ];
+        match byte_vote(&frames, 2) {
+            ByteVoteOutcome::Decided {
+                supporters,
+                dissenters,
+                ..
+            } => {
+                assert_eq!(supporters.len(), 3);
+                assert!(dissenters.is_empty());
+            }
+            ByteVoteOutcome::Pending => panic!("expected decision"),
+        }
+    }
+
+    #[test]
+    fn heterogeneous_correct_replicas_fail_byte_voting() {
+        // the same i32 value marshalled big- vs little-endian: semantically
+        // equal, byte-distinct — byte voting cannot find 2 identical
+        let value = 0x01020304i32;
+        let frames = vec![
+            (SenderId(0), value.to_be_bytes().to_vec()),
+            (SenderId(1), value.to_le_bytes().to_vec()),
+            (SenderId(2), value.to_be_bytes().to_vec()),
+        ];
+        // threshold 3 (all correct!): pending forever — the E6 failure mode
+        assert_eq!(byte_vote(&frames, 3), ByteVoteOutcome::Pending);
+        // at threshold 2 it "decides" but wrongly brands replica 1 faulty
+        match byte_vote(&frames, 2) {
+            ByteVoteOutcome::Decided { dissenters, .. } => {
+                assert_eq!(dissenters, vec![SenderId(1)], "correct replica branded faulty");
+            }
+            ByteVoteOutcome::Pending => panic!("expected decision"),
+        }
+    }
+
+    #[test]
+    fn pending_below_threshold() {
+        let frames = vec![(SenderId(0), vec![1]), (SenderId(1), vec![2])];
+        assert_eq!(byte_vote(&frames, 2), ByteVoteOutcome::Pending);
+    }
+
+    #[test]
+    fn deterministic_among_tied_buckets() {
+        let frames = vec![
+            (SenderId(3), vec![9]),
+            (SenderId(1), vec![9]),
+            (SenderId(0), vec![4]),
+            (SenderId(2), vec![4]),
+        ];
+        match byte_vote(&frames, 2) {
+            ByteVoteOutcome::Decided { frame, .. } => {
+                assert_eq!(frame, vec![4], "bucket containing lowest sender wins")
+            }
+            ByteVoteOutcome::Pending => panic!("expected decision"),
+        }
+    }
+
+    #[test]
+    fn zero_threshold_pending() {
+        assert_eq!(byte_vote(&[], 0), ByteVoteOutcome::Pending);
+    }
+}

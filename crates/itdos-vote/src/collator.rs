@@ -1,0 +1,374 @@
+//! Per-connection vote collation.
+//!
+//! "In the ITDOS protocol stack, each connection has a voter object that
+//! collates messages on a connection basis" (§3.6). The collator enforces
+//! the paper's rules:
+//!
+//! * a single outstanding request per connection (single-threaded client);
+//! * a just-received message whose request identifier does not match the
+//!   outstanding request is **discarded** — "the receiver neither uses the
+//!   message's value nor penalizes the sender", because a late reply is
+//!   indistinguishable from a Byzantine one;
+//! * the vote fires once **2f+1** messages have arrived and some **f+1**
+//!   of them are equivalent; the voter does not wait for all 3f+1;
+//! * messages arriving after the decision are still checked so that slow
+//!   faulty values can be flagged;
+//! * state is garbage-collected when the next request begins.
+
+use std::collections::BTreeSet;
+
+use itdos_giop::types::Value;
+
+use crate::comparator::Comparator;
+use crate::vote::{vote, Candidate, Decision, SenderId, Thresholds, VoteOutcome};
+
+/// Why a message was discarded without prejudice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// No request is outstanding on this connection.
+    NoOutstandingRequest,
+    /// The request id did not match the outstanding request.
+    WrongRequestId {
+        /// Id carried by the message.
+        got: u64,
+        /// Id of the outstanding request.
+        expected: u64,
+    },
+    /// This sender already contributed a candidate for this request.
+    DuplicateSender,
+}
+
+/// Result of offering one message to the collator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accept {
+    /// Stored; not enough messages to decide yet.
+    Collected,
+    /// This message completed the vote.
+    Decided(Decision),
+    /// Arrived after the decision; `suspect` is set if its value dissents.
+    Late {
+        /// Sender flagged as suspect by this late message, if any.
+        suspect: Option<SenderId>,
+    },
+    /// Discarded per §3.6 rules (no penalty to the sender).
+    Discarded(DiscardReason),
+}
+
+/// Statistics for one collation round (feeds the voter's garbage
+/// collection and the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollationStats {
+    /// Messages accepted as candidates.
+    pub accepted: u64,
+    /// Messages discarded (wrong id, duplicates, no outstanding request).
+    pub discarded: u64,
+    /// Whether the round reached a decision.
+    pub decided: bool,
+}
+
+/// The per-connection voter.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_giop::types::Value;
+/// use itdos_vote::collator::{Accept, Collator};
+/// use itdos_vote::comparator::Comparator;
+/// use itdos_vote::vote::{SenderId, Thresholds};
+///
+/// // f = 1: decide on 2 equivalent of at least 3 received.
+/// let mut voter = Collator::new(Thresholds::new(1), Comparator::Exact);
+/// voter.begin(1);
+/// assert_eq!(voter.offer(1, SenderId(0), Value::Long(10)), Accept::Collected);
+/// assert_eq!(voter.offer(1, SenderId(1), Value::Long(99)), Accept::Collected);
+/// match voter.offer(1, SenderId(2), Value::Long(10)) {
+///     Accept::Decided(d) => assert_eq!(d.value, Value::Long(10)),
+///     other => panic!("expected decision, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collator {
+    thresholds: Thresholds,
+    comparator: Comparator,
+    outstanding: Option<u64>,
+    candidates: Vec<Candidate>,
+    seen: BTreeSet<SenderId>,
+    decision: Option<Decision>,
+    late_suspects: Vec<SenderId>,
+    stats: CollationStats,
+}
+
+impl Collator {
+    /// Creates a voter for a domain tolerating `f` faults, comparing with
+    /// `comparator`.
+    pub fn new(thresholds: Thresholds, comparator: Comparator) -> Collator {
+        Collator {
+            thresholds,
+            comparator,
+            outstanding: None,
+            candidates: Vec::new(),
+            seen: BTreeSet::new(),
+            decision: None,
+            late_suspects: Vec::new(),
+            stats: CollationStats::default(),
+        }
+    }
+
+    /// Begins collation for a new outstanding request, garbage-collecting
+    /// any previous round's state ("the voter must perform garbage
+    /// collection to continue making progress and limit the resources it
+    /// uses", §3.6). Returns the previous round's statistics.
+    pub fn begin(&mut self, request_id: u64) -> CollationStats {
+        let prev = self.stats;
+        self.outstanding = Some(request_id);
+        self.candidates.clear();
+        self.seen.clear();
+        self.decision = None;
+        self.late_suspects.clear();
+        self.stats = CollationStats::default();
+        prev
+    }
+
+    /// The outstanding request id, if any.
+    pub fn outstanding(&self) -> Option<u64> {
+        self.outstanding
+    }
+
+    /// The decision, if the round has decided.
+    pub fn decision(&self) -> Option<&Decision> {
+        self.decision.as_ref()
+    }
+
+    /// All fault suspects so far: dissenters at decision time plus late
+    /// dissenting arrivals.
+    pub fn suspects(&self) -> Vec<SenderId> {
+        let mut out = self
+            .decision
+            .as_ref()
+            .map(|d| d.dissenters.clone())
+            .unwrap_or_default();
+        for s in &self.late_suspects {
+            if !out.contains(s) {
+                out.push(*s);
+            }
+        }
+        out
+    }
+
+    /// Statistics for the current round.
+    pub fn stats(&self) -> CollationStats {
+        self.stats
+    }
+
+    /// Number of candidates collected this round.
+    pub fn collected(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Offers one unmarshalled reply/request value for collation.
+    pub fn offer(&mut self, request_id: u64, sender: SenderId, value: Value) -> Accept {
+        let Some(expected) = self.outstanding else {
+            self.stats.discarded += 1;
+            return Accept::Discarded(DiscardReason::NoOutstandingRequest);
+        };
+        if request_id != expected {
+            self.stats.discarded += 1;
+            return Accept::Discarded(DiscardReason::WrongRequestId {
+                got: request_id,
+                expected,
+            });
+        }
+        if !self.seen.insert(sender) {
+            self.stats.discarded += 1;
+            return Accept::Discarded(DiscardReason::DuplicateSender);
+        }
+        self.stats.accepted += 1;
+        if let Some(decision) = &self.decision {
+            // post-decision arrival: check against the decided value
+            let suspect = if self.comparator.equivalent(&decision.value, &value) {
+                None
+            } else {
+                self.late_suspects.push(sender);
+                Some(sender)
+            };
+            return Accept::Late { suspect };
+        }
+        self.candidates.push(Candidate { sender, value });
+        // §3.6: attempt only once the 2f+1 quorum has arrived
+        if self.candidates.len() < self.thresholds.quorum() {
+            return Accept::Collected;
+        }
+        match vote(
+            &self.candidates,
+            &self.comparator,
+            self.thresholds.decide(),
+        ) {
+            VoteOutcome::Decided(decision) => {
+                self.decision = Some(decision.clone());
+                self.stats.decided = true;
+                Accept::Decided(decision)
+            }
+            VoteOutcome::Pending => Accept::Collected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collator(f: usize) -> Collator {
+        let mut c = Collator::new(Thresholds::new(f), Comparator::Exact);
+        c.begin(1);
+        c
+    }
+
+    fn long(v: i32) -> Value {
+        Value::Long(v)
+    }
+
+    #[test]
+    fn decides_at_quorum_with_majority() {
+        let mut c = collator(1);
+        assert_eq!(c.offer(1, SenderId(0), long(5)), Accept::Collected);
+        assert_eq!(c.offer(1, SenderId(1), long(5)), Accept::Collected);
+        // third message reaches 2f+1 = 3 quorum
+        match c.offer(1, SenderId(2), long(7)) {
+            Accept::Decided(d) => {
+                assert_eq!(d.value, long(5));
+                assert_eq!(d.dissenters, vec![SenderId(2)]);
+            }
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn does_not_vote_before_quorum_even_with_enough_identicals() {
+        // f=1: two identical messages = decide threshold, but quorum is 3
+        let mut c = collator(1);
+        assert_eq!(c.offer(1, SenderId(0), long(5)), Accept::Collected);
+        assert_eq!(
+            c.offer(1, SenderId(1), long(5)),
+            Accept::Collected,
+            "must wait for 2f+1 arrivals"
+        );
+    }
+
+    #[test]
+    fn wrong_request_id_discarded_without_penalty() {
+        let mut c = collator(1);
+        assert_eq!(
+            c.offer(99, SenderId(0), long(5)),
+            Accept::Discarded(DiscardReason::WrongRequestId {
+                got: 99,
+                expected: 1
+            })
+        );
+        assert!(c.suspects().is_empty(), "no penalty for late/wrong id");
+        assert_eq!(c.stats().discarded, 1);
+    }
+
+    #[test]
+    fn duplicate_sender_discarded() {
+        let mut c = collator(1);
+        c.offer(1, SenderId(0), long(5));
+        assert_eq!(
+            c.offer(1, SenderId(0), long(5)),
+            Accept::Discarded(DiscardReason::DuplicateSender)
+        );
+    }
+
+    #[test]
+    fn no_outstanding_request_discards() {
+        let mut c = Collator::new(Thresholds::new(1), Comparator::Exact);
+        assert_eq!(
+            c.offer(1, SenderId(0), long(5)),
+            Accept::Discarded(DiscardReason::NoOutstandingRequest)
+        );
+    }
+
+    #[test]
+    fn late_equivalent_message_is_benign() {
+        let mut c = collator(1);
+        c.offer(1, SenderId(0), long(5));
+        c.offer(1, SenderId(1), long(5));
+        c.offer(1, SenderId(2), long(5));
+        assert_eq!(c.offer(1, SenderId(3), long(5)), Accept::Late { suspect: None });
+        assert!(c.suspects().is_empty());
+    }
+
+    #[test]
+    fn late_dissenting_message_flags_suspect() {
+        let mut c = collator(1);
+        c.offer(1, SenderId(0), long(5));
+        c.offer(1, SenderId(1), long(5));
+        c.offer(1, SenderId(2), long(5));
+        assert_eq!(
+            c.offer(1, SenderId(3), long(666)),
+            Accept::Late {
+                suspect: Some(SenderId(3))
+            }
+        );
+        assert_eq!(c.suspects(), vec![SenderId(3)]);
+    }
+
+    #[test]
+    fn split_quorum_waits_for_more_messages() {
+        // f=1, values 1,2,3 at quorum: no f+1 cluster -> pending; a 4th
+        // message matching one of them decides
+        let mut c = collator(1);
+        c.offer(1, SenderId(0), long(1));
+        c.offer(1, SenderId(1), long(2));
+        assert_eq!(c.offer(1, SenderId(2), long(3)), Accept::Collected);
+        match c.offer(1, SenderId(3), long(2)) {
+            Accept::Decided(d) => assert_eq!(d.value, long(2)),
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn begin_garbage_collects_and_reports_stats() {
+        let mut c = collator(1);
+        c.offer(1, SenderId(0), long(5));
+        c.offer(99, SenderId(1), long(5));
+        let stats = c.begin(2);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.discarded, 1);
+        assert!(!stats.decided);
+        assert_eq!(c.collected(), 0, "state cleared");
+        assert_eq!(c.outstanding(), Some(2));
+        // old senders may contribute again for the new request
+        assert_eq!(c.offer(2, SenderId(0), long(1)), Accept::Collected);
+    }
+
+    #[test]
+    fn f2_needs_three_identical_of_five() {
+        let mut c = Collator::new(Thresholds::new(2), Comparator::Exact);
+        c.begin(1);
+        c.offer(1, SenderId(0), long(8));
+        c.offer(1, SenderId(1), long(9));
+        c.offer(1, SenderId(2), long(8));
+        assert_eq!(c.offer(1, SenderId(3), long(9)), Accept::Collected);
+        match c.offer(1, SenderId(4), long(8)) {
+            Accept::Decided(d) => {
+                assert_eq!(d.value, long(8));
+                assert_eq!(d.supporters.len(), 3);
+            }
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inexact_collation_decides_across_heterogeneous_values() {
+        let mut c = Collator::new(Thresholds::new(1), Comparator::InexactRel(1e-6));
+        c.begin(1);
+        c.offer(1, SenderId(0), Value::Double(100.0));
+        c.offer(1, SenderId(1), Value::Double(100.000001));
+        match c.offer(1, SenderId(2), Value::Double(250.0)) {
+            Accept::Decided(d) => {
+                assert_eq!(d.dissenters, vec![SenderId(2)]);
+            }
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Node and multicast-group identities.
+
+use std::fmt;
+
+/// Identifies a process (one host/process pair) in the simulated network.
+///
+/// `NodeId`s are handed out by [`crate::sim::Simulator::add_process`] in
+/// registration order, so a given construction sequence always produces the
+/// same ids — part of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The pseudo-node used as the `from` address of externally injected
+    /// messages (e.g. test-harness commands); see
+    /// [`crate::sim::Simulator::inject`].
+    pub const EXTERNAL: NodeId = NodeId(u32::MAX);
+
+    /// Creates a node id from its raw index.
+    ///
+    /// Mostly useful in tests; real ids come from the simulator.
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns true if this is the [`NodeId::EXTERNAL`] pseudo-node.
+    pub fn is_external(self) -> bool {
+        self == Self::EXTERNAL
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "n<ext>")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Identifies an IP-multicast-style group.
+///
+/// Groups model the paper's multicast address allocation (§3.4): each
+/// replication domain is assigned one group; the simulator delivers a
+/// multicast to every current member except the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id from its raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        GroupId(raw)
+    }
+
+    /// Returns the raw index.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_node_is_distinguished() {
+        assert!(NodeId::EXTERNAL.is_external());
+        assert!(!NodeId::from_raw(0).is_external());
+        assert_eq!(NodeId::EXTERNAL.to_string(), "n<ext>");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::from_raw(3).to_string(), "n3");
+        assert_eq!(GroupId::from_raw(2).to_string(), "g2");
+    }
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(NodeId::from_raw(7).as_raw(), 7);
+        assert_eq!(GroupId::from_raw(9).as_raw(), 9);
+    }
+}

@@ -1,0 +1,241 @@
+//! The process model: event handlers plus a context for emitting actions.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+
+use crate::node::{GroupId, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A fired timer: its handle plus the caller-supplied discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// The handle returned by [`Context::set_timer`].
+    pub id: TimerId,
+    /// Caller-chosen discriminant distinguishing timer purposes.
+    pub kind: u64,
+}
+
+/// Actions queued by a process during one event handler invocation.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send {
+        to: NodeId,
+        payload: Bytes,
+        label: &'static str,
+    },
+    Multicast {
+        group: GroupId,
+        payload: Bytes,
+        label: &'static str,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        kind: u64,
+    },
+    CancelTimer(TimerId),
+    Join(GroupId),
+    Leave(GroupId),
+}
+
+/// Per-invocation handle through which a process observes and affects the
+/// simulated world.
+///
+/// All effects are buffered and applied by the simulator after the handler
+/// returns, so handlers never observe partially applied actions.
+#[derive(Debug)]
+pub struct Context<'a> {
+    now: SimTime,
+    id: NodeId,
+    rng: &'a mut SmallRng,
+    actions: &'a mut Vec<Action>,
+    next_timer: &'a mut u64,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        id: NodeId,
+        rng: &'a mut SmallRng,
+        actions: &'a mut Vec<Action>,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            id,
+            rng,
+            actions,
+            next_timer,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The process-local deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `payload` to `to` as an unlabeled unicast message.
+    pub fn send(&mut self, to: NodeId, payload: Bytes) {
+        self.send_labeled(to, payload, "");
+    }
+
+    /// Sends a unicast message tagged with a statistics label.
+    pub fn send_labeled(&mut self, to: NodeId, payload: Bytes, label: &'static str) {
+        self.actions.push(Action::Send { to, payload, label });
+    }
+
+    /// Multicasts `payload` to every member of `group` except this process.
+    pub fn multicast(&mut self, group: GroupId, payload: Bytes) {
+        self.multicast_labeled(group, payload, "");
+    }
+
+    /// Multicasts tagged with a statistics label.
+    pub fn multicast_labeled(&mut self, group: GroupId, payload: Bytes, label: &'static str) {
+        self.actions.push(Action::Multicast {
+            group,
+            payload,
+            label,
+        });
+    }
+
+    /// Schedules a timer to fire after `delay`, carrying `kind`.
+    ///
+    /// Returns a handle usable with [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer { id, delay, kind });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Joins a multicast group.
+    pub fn join(&mut self, group: GroupId) {
+        self.actions.push(Action::Join(group));
+    }
+
+    /// Leaves a multicast group.
+    pub fn leave(&mut self, group: GroupId) {
+        self.actions.push(Action::Leave(group));
+    }
+}
+
+/// Downcast support for [`Process`] trait objects.
+///
+/// Blanket-implemented for every `'static` type; test harnesses use it to
+/// inspect process state after a run.
+pub trait AsAny {
+    /// Upcasts to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A simulated process: a deterministic state machine driven by messages and
+/// timers.
+///
+/// This is the unit the paper calls a *replication domain element* (§2): one
+/// OS process hosting a protocol stack. Handlers must be deterministic
+/// functions of (state, event, RNG draws) for replay to work.
+pub trait Process: AsAny {
+    /// Called once when the simulation starts, before any message delivery.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each delivered message. `from` is [`NodeId::EXTERNAL`] for
+    /// harness-injected messages.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer) {
+        let _ = (ctx, timer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let mut ctx = Context::new(
+            SimTime::from_micros(5),
+            NodeId::from_raw(1),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        assert_eq!(ctx.now(), SimTime::from_micros(5));
+        assert_eq!(ctx.id(), NodeId::from_raw(1));
+        ctx.send(NodeId::from_raw(2), Bytes::from_static(b"hi"));
+        let t = ctx.set_timer(SimDuration::from_millis(1), 7);
+        ctx.cancel_timer(t);
+        ctx.join(GroupId::from_raw(0));
+        assert_eq!(actions.len(), 4);
+        assert_eq!(next_timer, 1);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            NodeId::from_raw(0),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        let a = ctx.set_timer(SimDuration::ZERO, 0);
+        let b = ctx.set_timer(SimDuration::ZERO, 0);
+        assert_ne!(a, b);
+    }
+
+    struct Dummy;
+    impl Process for Dummy {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
+    }
+
+    #[test]
+    fn downcast_via_as_any() {
+        let p: Box<dyn Process> = Box::new(Dummy);
+        assert!(p.as_ref().as_any().downcast_ref::<Dummy>().is_some());
+    }
+}

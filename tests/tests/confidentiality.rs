@@ -1,0 +1,127 @@
+//! E7/E11: confidentiality under Group Manager and element compromise.
+
+mod common;
+
+use common::{bank_system, BANK, CLIENT};
+use itdos_crypto::shamir;
+use itdos_giop::types::Value;
+
+fn deposit(system: &mut itdos::System, amount: i64) {
+    let done = system.invoke(
+        CLIENT,
+        BANK,
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(amount)],
+    );
+    assert!(done.result.is_ok());
+}
+
+/// §3.5's headline property, measured on a live system: an attacker
+/// holding `f` GM elements' shares reconstructs nothing; `f+1` shares
+/// reconstruct the master secret (any subset agrees).
+#[test]
+fn gm_share_threshold_on_live_system() {
+    let mut system = bank_system(61).build();
+    deposit(&mut system, 5); // establish a connection (keys were dealt)
+    // compromise GM elements one by one and leak their raw Shamir shares
+    let leaked: Vec<shamir::Share> = (0..4)
+        .map(|i| {
+            system.gm_element_mut(i).compromised = true;
+            system.gm_element(i).leaked_share()
+        })
+        .collect();
+    // f = 1: a single share reconstructs garbage, two reconstruct the
+    // master, and every 2-subset agrees (it is the real master)
+    let s01 = shamir::combine(&leaked[0..2]).unwrap();
+    let s12 = shamir::combine(&leaked[1..3]).unwrap();
+    let s23 = shamir::combine(&leaked[2..4]).unwrap();
+    assert_eq!(s01, s12);
+    assert_eq!(s12, s23);
+    let lone = shamir::combine(&leaked[0..1]).unwrap();
+    assert_ne!(lone, s01, "one compromised GM element learns nothing");
+}
+
+/// Traffic on the wire is never plaintext: the GIOP bytes of a request
+/// appear nowhere in any transmitted message (§3.5 confidentiality).
+#[test]
+fn wire_traffic_is_encrypted() {
+    let mut system = bank_system(62).build();
+    system.sim.stats_mut().enable_ledger();
+    // a distinctive argument value to grep for on the wire
+    let marker: i64 = 0x1DDC_0FFE_E44E_77AA;
+    deposit(&mut system, marker);
+    let marker_le = marker.to_le_bytes();
+    let marker_be = marker.to_be_bytes();
+    // the ledger records lengths only; instead re-run with an adversary
+    // that captures payloads
+    let _ = (marker_le, marker_be);
+    // direct check: scan all payload bytes via a capturing adversary run
+    use simnet::adversary::{Adversary, Verdict};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Capture {
+        seen: Rc<RefCell<Vec<Vec<u8>>>>,
+    }
+    impl Adversary for Capture {
+        fn intercept(
+            &mut self,
+            _now: simnet::SimTime,
+            _from: simnet::NodeId,
+            _to: simnet::NodeId,
+            payload: &bytes::Bytes,
+            _rng: &mut rand::rngs::SmallRng,
+        ) -> Verdict {
+            self.seen.borrow_mut().push(payload.to_vec());
+            Verdict::Pass
+        }
+    }
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let mut system2 = bank_system(63).build();
+    system2.sim.set_adversary(Box::new(Capture { seen: seen.clone() }));
+    deposit(&mut system2, marker);
+    let captured = seen.borrow();
+    assert!(!captured.is_empty(), "adversary observed traffic");
+    for payload in captured.iter() {
+        assert!(
+            !contains(payload, &marker_le) && !contains(payload, &marker_be),
+            "marker leaked in plaintext on the wire"
+        );
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// After an expulsion rekey, the expelled element's old key no longer
+/// opens new traffic: the connection's epoch has moved on (§3.5: "keyed
+/// out of all communication groups").
+#[test]
+fn rekey_cuts_off_expelled_element() {
+    let mut builder = bank_system(64);
+    builder.behavior(BANK, 3, itdos::fault::Behavior::CorruptValue);
+    let mut system = builder.build();
+    deposit(&mut system, 10); // fault detected, proof sent, rekey done
+    system.settle();
+    // healthy elements carry the epoch-1 connection; invoke again
+    let done = system.invoke(
+        CLIENT,
+        BANK,
+        b"acct",
+        "Bank::Account",
+        "balance",
+        vec![],
+    );
+    assert_eq!(done.result, Ok(Value::LongLong(10)));
+    // the expelled element cannot contribute: the client decided among
+    // the three remaining elements only
+    let faulty = system.fabric.domain(BANK).elements[3];
+    assert!(
+        !done.suspects.contains(&faulty),
+        "expelled element's traffic no longer reaches the vote"
+    );
+    assert_eq!(system.element(BANK, 3).replies_sent, 1, "only the pre-expulsion reply");
+}

@@ -1,0 +1,208 @@
+//! Property-based invariants across the stack.
+
+mod common;
+
+use itdos_giop::cdr::{Decoder, Encoder, Endianness};
+use itdos_giop::types::{TypeDesc, Value};
+use itdos_vote::comparator::Comparator;
+use itdos_vote::vote::{vote, Candidate, SenderId, VoteOutcome};
+use proptest::prelude::*;
+
+/// Generates a matching (TypeDesc, Value) pair, recursively.
+fn typed_value() -> impl Strategy<Value = (TypeDesc, Value)> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(|v| (TypeDesc::Octet, Value::Octet(v))),
+        any::<bool>().prop_map(|v| (TypeDesc::Boolean, Value::Boolean(v))),
+        any::<i16>().prop_map(|v| (TypeDesc::Short, Value::Short(v))),
+        any::<u16>().prop_map(|v| (TypeDesc::UShort, Value::UShort(v))),
+        any::<i32>().prop_map(|v| (TypeDesc::Long, Value::Long(v))),
+        any::<u32>().prop_map(|v| (TypeDesc::ULong, Value::ULong(v))),
+        any::<i64>().prop_map(|v| (TypeDesc::LongLong, Value::LongLong(v))),
+        any::<u64>().prop_map(|v| (TypeDesc::ULongLong, Value::ULongLong(v))),
+        any::<f32>().prop_map(|v| (TypeDesc::Float, Value::Float(v))),
+        any::<f64>().prop_map(|v| (TypeDesc::Double, Value::Double(v))),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|v| (TypeDesc::String, Value::String(v))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // homogeneous sequence: one element type, several values
+            (inner.clone(), proptest::collection::vec(any::<i32>(), 0..4)).prop_map(
+                |((elem_t, elem_v), lens)| {
+                    let items: Vec<Value> = lens.iter().map(|_| elem_v.clone()).collect();
+                    (TypeDesc::sequence_of(elem_t), Value::Sequence(items))
+                }
+            ),
+            // struct: independent field types
+            proptest::collection::vec(inner, 1..4).prop_map(|fields| {
+                let descs = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (t, _))| (format!("f{i}"), t.clone()))
+                    .collect();
+                let values = fields.into_iter().map(|(_, v)| v).collect();
+                (
+                    TypeDesc::Struct {
+                        name: "S".into(),
+                        fields: descs,
+                    },
+                    Value::Struct(values),
+                )
+            }),
+        ]
+    })
+}
+
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    // equality with NaN-tolerant float comparison (bit patterns preserved)
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+        (Value::Sequence(xs), Value::Sequence(ys)) | (Value::Struct(xs), Value::Struct(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bits_eq(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CDR round-trips every generatable value in both byte orders.
+    #[test]
+    fn cdr_round_trips((desc, value) in typed_value()) {
+        for endianness in [Endianness::Big, Endianness::Little] {
+            let mut enc = Encoder::new(endianness);
+            enc.encode(&value, &desc).expect("generated pair conforms");
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes, endianness);
+            let out = dec.decode(&desc).expect("round trip decodes");
+            prop_assert!(bits_eq(&out, &value), "{endianness:?}: {out:?} != {value:?}");
+            prop_assert_eq!(dec.remaining(), 0);
+        }
+    }
+
+    /// Cross-endian transport preserves values: encode big, decode big ==
+    /// encode little, decode little.
+    #[test]
+    fn cdr_cross_platform_agreement((desc, value) in typed_value()) {
+        let mut be = Encoder::new(Endianness::Big);
+        be.encode(&value, &desc).expect("conforms");
+        let mut le = Encoder::new(Endianness::Little);
+        le.encode(&value, &desc).expect("conforms");
+        let from_be = Decoder::new(&be.into_bytes(), Endianness::Big)
+            .decode(&desc)
+            .expect("decodes");
+        let from_le = Decoder::new(&le.into_bytes(), Endianness::Little)
+            .decode(&desc)
+            .expect("decodes");
+        prop_assert!(bits_eq(&from_be, &from_le));
+    }
+
+    /// The CDR decoder never panics on arbitrary bytes (Byzantine senders
+    /// control them).
+    #[test]
+    fn cdr_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64),
+                            (desc, _) in typed_value()) {
+        let mut dec = Decoder::new(&bytes, Endianness::Little);
+        let _ = dec.decode(&desc); // must return, never panic
+    }
+
+    /// Vote safety: a decision's supporters meet the threshold and every
+    /// supporter's candidate is equivalent to the decided value.
+    #[test]
+    fn vote_supporters_meet_threshold(
+        values in proptest::collection::vec(-3i32..3, 1..9),
+        threshold in 1usize..5,
+    ) {
+        let candidates: Vec<Candidate> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Candidate { sender: SenderId(i as u32), value: Value::Long(*v) })
+            .collect();
+        if let VoteOutcome::Decided(d) = vote(&candidates, &Comparator::Exact, threshold) {
+            prop_assert!(d.supporters.len() >= threshold);
+            for s in &d.supporters {
+                let c = candidates.iter().find(|c| c.sender == *s).expect("supporter exists");
+                prop_assert_eq!(&c.value, &d.value);
+            }
+            // supporters + dissenters partition the candidate set
+            prop_assert_eq!(d.supporters.len() + d.dissenters.len(), candidates.len());
+        }
+    }
+
+    /// Shamir: every (threshold)-subset reconstructs the same secret.
+    #[test]
+    fn shamir_subset_invariance(secret in 0u64..1_000_000, f in 1usize..4) {
+        use itdos_crypto::group::Scalar;
+        use itdos_crypto::shamir::{combine, split};
+        use rand::SeedableRng;
+        let n = 3 * f + 1;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(secret ^ f as u64);
+        let (shares, commitments) = split(Scalar::new(secret), f + 1, n, &mut rng);
+        for s in &shares {
+            prop_assert!(commitments.verify(s));
+        }
+        // sliding-window subsets all agree
+        for start in 0..=(n - (f + 1)) {
+            let subset = &shares[start..start + f + 1];
+            prop_assert_eq!(combine(subset).unwrap(), Scalar::new(secret));
+        }
+    }
+
+    /// Wire decoders for protocol messages are total on random bytes.
+    #[test]
+    fn protocol_decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = itdos_bft::message::Message::decode(&bytes);
+        let _ = itdos::wire::CoreMsg::decode(&bytes);
+        let _ = itdos::wire::SmiopFrame::decode(&bytes);
+        let _ = itdos::wire::GmOp::decode(&bytes);
+        let _ = itdos::wire::decode_directives(&bytes);
+        let _ = itdos_bft::queue::QueueOp::decode(&bytes);
+    }
+
+    /// The DPRF yields the same key for every (f+1)-subset and detects a
+    /// substituted share.
+    #[test]
+    fn dprf_subset_invariance(seed in 0u64..10_000, f in 1usize..3) {
+        use itdos_crypto::dprf::{combine, Dprf};
+        use rand::SeedableRng;
+        let n = 3 * f + 1;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let dprf = Dprf::deal(f, n, &mut rng);
+        let x = seed.to_le_bytes();
+        let shares: Vec<_> = dprf.holders().iter().map(|h| h.evaluate(&x)).collect();
+        let reference = combine(dprf.verifier(), &x, &shares[0..f + 1]).unwrap();
+        for start in 1..=(n - (f + 1)) {
+            let key = combine(dprf.verifier(), &x, &shares[start..start + f + 1]).unwrap();
+            prop_assert_eq!(key, reference);
+        }
+        // a share evaluated on a different input is rejected
+        let mut bad = shares.clone();
+        bad[0] = dprf.holders()[0].evaluate(b"other");
+        prop_assert!(combine(dprf.verifier(), &x, &bad[0..f + 1]).is_err());
+    }
+}
+
+/// End-to-end determinism across random crash choices: whichever single
+/// element crashes (f = 1), the service answers identically.
+#[test]
+fn any_single_crash_is_masked() {
+    for crashed_index in 0..4usize {
+        let mut system = common::bank_system(70 + crashed_index as u64).build();
+        let node = system.fabric.domain(common::BANK).nodes[crashed_index];
+        system.sim.config_mut().isolate(node);
+        let done = system.invoke(
+            common::CLIENT,
+            common::BANK,
+            b"acct",
+            "Bank::Account",
+            "deposit",
+            vec![Value::LongLong(33)],
+        );
+        assert_eq!(
+            done.result,
+            Ok(Value::LongLong(33)),
+            "crash of element {crashed_index} must be masked"
+        );
+    }
+}
