@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate for the ITDOS workspace. Everything runs offline — the
+# workspace is hermetic (path dependencies only), and itdos-lint
+# rejects any manifest entry that would change that.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo '== cargo fmt --check'
+cargo fmt --check
+
+echo '== cargo build --release --offline'
+cargo build --release --offline
+
+echo '== cargo test -q --offline'
+cargo test -q --offline
+
+echo '== cargo run -p itdos-lint'
+cargo run -q --release --offline -p itdos-lint
+
+echo 'CI green'

@@ -1,7 +1,8 @@
 //! E12 (future work §4): adaptive voting — the precision versus fault
 //! tolerance trade-off of \[32\], implemented as an epsilon ladder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_bench::harness::{BenchmarkId, Criterion};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_giop::types::Value;
 use itdos_vote::adaptive::AdaptiveVoter;
 use itdos_vote::vote::{Candidate, SenderId};
@@ -20,8 +21,11 @@ fn bench_adaptive(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive_vote");
     // tight agreement decides at the first rung; platform-level divergence
     // walks the ladder; hopeless disagreement exhausts it
-    for (label, divergence) in [("tight_1e-13", 1e-13), ("platform_1e-8", 1e-8), ("loose_1e-4", 1e-4)]
-    {
+    for (label, divergence) in [
+        ("tight_1e-13", 1e-13),
+        ("platform_1e-8", 1e-8),
+        ("loose_1e-4", 1e-4),
+    ] {
         let cs = candidates(divergence);
         group.bench_with_input(BenchmarkId::from_parameter(label), &cs, |b, cs| {
             b.iter(|| voter.vote(cs, 3));

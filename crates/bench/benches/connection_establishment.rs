@@ -2,7 +2,8 @@
 //! "connection-establishment is a fairly heavyweight process; connection
 //! reuse enhances performance").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_bench::harness::Criterion;
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_bench::{deploy, establishment_cost, measure_invocation, DeployOptions};
 
 fn bench_establishment(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Supporting microbenchmarks: the cryptographic primitives every ITDOS
 //! message crosses (hash, MAC, signature, authenticated encryption).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use itdos_bench::harness::{BenchmarkId, Criterion, Throughput};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_crypto::hash::Digest;
 use itdos_crypto::hmac::hmac;
 use itdos_crypto::keys::SymmetricKey;
@@ -60,5 +61,11 @@ fn bench_sealing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_hmac, bench_signatures, bench_sealing);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_hmac,
+    bench_signatures,
+    bench_sealing
+);
 criterion_main!(benches);

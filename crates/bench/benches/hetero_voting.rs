@@ -6,7 +6,8 @@
 //! marshal on different platforms — the correctness half is asserted here
 //! and tabulated by `exp_report`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_bench::harness::Criterion;
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_giop::giop::{encode_message, GiopMessage, ReplyBody, ReplyMessage};
 use itdos_giop::platform::PlatformProfile;
 use itdos_giop::types::Value;
@@ -29,9 +30,12 @@ fn heterogeneous_replies() -> Vec<(Vec<u8>, Value)> {
                 operation: "fuse".into(),
                 body: ReplyBody::Result(Value::Double(value)),
             };
-            let frame =
-                encode_message(&GiopMessage::Reply(reply.clone()), &repo, platform.endianness)
-                    .expect("encodes");
+            let frame = encode_message(
+                &GiopMessage::Reply(reply.clone()),
+                &repo,
+                platform.endianness,
+            )
+            .expect("encodes");
             (frame, reply_to_value(&reply))
         })
         .collect()

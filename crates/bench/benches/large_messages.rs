@@ -4,7 +4,8 @@
 //! sacrifice; doing so on large image objects could pose a significant
 //! problem." Cost of one invocation versus payload size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use itdos_bench::harness::{BenchmarkId, Criterion, Throughput};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_bench::{deploy, DeployOptions, CLIENT, DOMAIN};
 use itdos_giop::types::Value;
 
@@ -31,8 +32,7 @@ fn bench_payloads(c: &mut Criterion) {
             );
             b.iter(|| {
                 let blob = Value::Sequence(vec![Value::Octet(0xAB); size]);
-                let done =
-                    system.invoke(CLIENT, DOMAIN, b"store", "Store", "put", vec![blob]);
+                let done = system.invoke(CLIENT, DOMAIN, b"store", "Store", "put", vec![blob]);
                 assert_eq!(done.result, Ok(Value::ULong(size as u32)));
             });
         });

@@ -7,7 +7,8 @@
 //! group size; the simulated message/byte/latency shape is printed by
 //! `exp_report`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_bench::harness::{BenchmarkId, Criterion};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_bench::{deploy, measure_invocation, DeployOptions};
 
 fn bench_ordering(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! sealing, signing, BFT framing — measured in isolation so the composite
 //! invocation cost can be attributed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use itdos_bench::harness::Criterion;
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_crypto::keys::SymmetricKey;
 use itdos_crypto::sign::SigningKey;
 use itdos_crypto::symmetric::{open, seal};

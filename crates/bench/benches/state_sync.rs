@@ -3,7 +3,8 @@
 //! large object servers" because sync cost tracks *recent traffic*, not
 //! object size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use itdos_bench::harness::{BenchmarkId, Criterion, Throughput};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_bft::queue::{ElementId, QueueMachine, QueueOp};
 use itdos_bft::state::StateMachine;
 use itdos_crypto::hash::Digest;

@@ -5,11 +5,12 @@
 //! single keyed-hash derivation. Exposure side is tabulated by
 //! `exp_report` (and asserted in `itdos-groupmgr`'s tests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itdos_bench::harness::{BenchmarkId, Criterion};
+use itdos_bench::{criterion_group, criterion_main};
 use itdos_crypto::dprf::{combine, Dprf, KeyShare};
 use itdos_groupmgr::keying::TraditionalKeying;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use xrand::rngs::SmallRng;
+use xrand::SeedableRng;
 
 fn bench_keygen(c: &mut Criterion) {
     let mut group = c.benchmark_group("communication_keygen");
@@ -19,11 +20,7 @@ fn bench_keygen(c: &mut Criterion) {
         let dprf = Dprf::deal(f, n, &mut rng);
         let traditional = TraditionalKeying::new(n, &mut rng);
         let input = b"connection-7-epoch-0";
-        let shares: Vec<KeyShare> = dprf
-            .holders()
-            .iter()
-            .map(|h| h.evaluate(input))
-            .collect();
+        let shares: Vec<KeyShare> = dprf.holders().iter().map(|h| h.evaluate(input)).collect();
 
         group.bench_with_input(BenchmarkId::new("dprf_share_eval", f), &f, |b, _| {
             b.iter(|| dprf.holders()[0].evaluate(input));

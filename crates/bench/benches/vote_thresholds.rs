@@ -3,13 +3,14 @@
 //! messages to arrive … that would cause the system to be vulnerable to
 //! network delays and faulty processes that may be deliberately slow").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use itdos::fault::Behavior;
+use itdos_bench::harness::Criterion;
 use itdos_bench::straggler_latency;
+use itdos_bench::{criterion_group, criterion_main};
+use itdos_giop::types::Value;
 use itdos_vote::collator::Collator;
 use itdos_vote::comparator::Comparator;
 use itdos_vote::vote::{SenderId, Thresholds};
-use itdos_giop::types::Value;
 use simnet::SimDuration;
 
 fn bench_collator(c: &mut Criterion) {

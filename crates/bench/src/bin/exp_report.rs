@@ -25,9 +25,9 @@ use itdos_vote::byte::{byte_vote, ByteVoteOutcome};
 use itdos_vote::comparator::Comparator;
 use itdos_vote::folding::{folded_comparator, reply_to_value};
 use itdos_vote::vote::{vote, Candidate, SenderId, VoteOutcome};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use simnet::SimDuration;
+use xrand::rngs::SmallRng;
+use xrand::SeedableRng;
 
 fn heading(id: &str, title: &str) {
     println!("\n## {id} — {title}\n");
@@ -42,11 +42,17 @@ fn e1() {
     let cost = measure_invocation(&mut system, 500);
     println!("| metric | value |");
     println!("|---|---|");
-    println!("| result | {:?} |", system.client(CLIENT).completed[0].result);
+    println!(
+        "| result | {:?} |",
+        system.client(CLIENT).completed[0].result
+    );
     println!("| replicas that executed | 4/4 |");
     println!("| decision latency (cold) | {} |", cost.latency);
     println!("| messages (incl. keying) | {} |", cost.messages);
-    println!("| false suspects | {} |", system.client(CLIENT).completed[0].suspects.len());
+    println!(
+        "| false suspects | {} |",
+        system.client(CLIENT).completed[0].suspects.len()
+    );
 }
 
 fn e2() {
@@ -74,7 +80,10 @@ fn e2() {
         let c = stats.label(label);
         println!("| {layer} | `{label}` | {} | {} |", c.messages, c.bytes);
     }
-    println!("| **total** | | **{}** | **{}** |", stats.total.messages, stats.total.bytes);
+    println!(
+        "| **total** | | **{}** | **{}** |",
+        stats.total.messages, stats.total.bytes
+    );
 }
 
 fn e3() {
@@ -92,9 +101,7 @@ fn e3() {
     );
     println!(
         "| establishment overhead | {} | {} | {} |",
-        SimDuration::from_micros(
-            row.cold.latency.as_micros() - row.warm.latency.as_micros()
-        ),
+        SimDuration::from_micros(row.cold.latency.as_micros() - row.warm.latency.as_micros()),
         row.cold.messages - row.warm.messages,
         row.cold.bytes - row.warm.bytes
     );
@@ -157,8 +164,12 @@ fn e6() {
                 operation: "fuse".into(),
                 body: ReplyBody::Result(Value::Double(value)),
             };
-            let frame = encode_message(&GiopMessage::Reply(reply.clone()), &repo, platform.endianness)
-                .expect("encodes");
+            let frame = encode_message(
+                &GiopMessage::Reply(reply.clone()),
+                &repo,
+                platform.endianness,
+            )
+            .expect("encodes");
             (SenderId(i as u32), frame, reply_to_value(&reply))
         })
         .collect();
@@ -187,13 +198,19 @@ fn e6() {
     }
     let exact = vote(&candidates, &folded_comparator(Comparator::Exact), 2);
     match exact {
-        VoteOutcome::Pending => println!("| VVM exact (unmarshalled) | **starves** (float lanes differ) | n/a |"),
+        VoteOutcome::Pending => {
+            println!("| VVM exact (unmarshalled) | **starves** (float lanes differ) | n/a |")
+        }
         VoteOutcome::Decided(d) => println!(
             "| VVM exact (unmarshalled) | decides | {} branded faulty |",
             d.dissenters.len()
         ),
     }
-    match vote(&candidates, &folded_comparator(Comparator::InexactRel(1e-6)), 2) {
+    match vote(
+        &candidates,
+        &folded_comparator(Comparator::InexactRel(1e-6)),
+        2,
+    ) {
         VoteOutcome::Decided(d) => println!(
             "| VVM inexact rel 1e-6 | **decides** | {} branded faulty |",
             d.dissenters.len()
@@ -203,7 +220,10 @@ fn e6() {
 }
 
 fn e7() {
-    heading("E7", "threshold keying: exposure under GM compromise (§3.5)");
+    heading(
+        "E7",
+        "threshold keying: exposure under GM compromise (§3.5)",
+    );
     let mut rng = SmallRng::seed_from_u64(107);
     let threshold = ThresholdKeying::deal(1, 4, &mut rng);
     let traditional = TraditionalKeying::new(4, &mut rng);
@@ -222,7 +242,10 @@ fn e7() {
 }
 
 fn e8() {
-    heading("E8", "queue-based state sync vs whole-object transfer (§3.1)");
+    heading(
+        "E8",
+        "queue-based state sync vs whole-object transfer (§3.1)",
+    );
     use itdos_bft::queue::{ElementId, QueueMachine, QueueOp};
     use itdos_bft::state::StateMachine;
     println!("snapshot bytes a recovering replica must transfer:\n");
@@ -245,7 +268,10 @@ fn e8() {
 }
 
 fn e9() {
-    heading("E9", "detection → proof → expulsion → rekey pipeline (§3.6)");
+    heading(
+        "E9",
+        "detection → proof → expulsion → rekey pipeline (§3.6)",
+    );
     let mut system = deploy(&DeployOptions {
         fault: Some(Behavior::CorruptValue),
         seed: 109,
@@ -274,10 +300,19 @@ fn e9() {
         .expect("connection");
     println!("| stage | observation |");
     println!("|---|---|");
-    println!("| corrupt reply masked | result {:?} |", system.client(CLIENT).completed[0].result);
-    println!("| fault detected at vote | suspects {:?} |", system.client(CLIENT).completed[0].suspects);
+    println!(
+        "| corrupt reply masked | result {:?} |",
+        system.client(CLIENT).completed[0].result
+    );
+    println!(
+        "| fault detected at vote | suspects {:?} |",
+        system.client(CLIENT).completed[0].suspects
+    );
     println!("| client decision latency | {} |", cost.latency);
-    println!("| signed-message proofs sent | {} |", system.client(CLIENT).proofs_sent);
+    println!(
+        "| signed-message proofs sent | {} |",
+        system.client(CLIENT).proofs_sent
+    );
     println!("| element expelled by GM | {expelled} |");
     println!("| connection rekeyed to epoch | {} |", record.epoch);
     println!("| detection (submit → vote flags the fault) | {detection_time} |");
@@ -294,7 +329,9 @@ fn e10() {
     let d0 = measure_invocation(&mut depth0, 1);
 
     fn pricer() -> Box<dyn Servant> {
-        Box::new(FnServant::new("Trade::Pricer", |_, _| Ok(Value::LongLong(7))))
+        Box::new(FnServant::new("Trade::Pricer", |_, _| {
+            Ok(Value::LongLong(7))
+        }))
     }
     struct Relay {
         target: DomainId,
@@ -354,34 +391,46 @@ fn e10() {
         let mut builder = SystemBuilder::new(seed);
         builder.repository(trade_repo.clone());
         let front = DomainId(1);
-        builder.add_domain(front, 1, Box::new(move |_| {
-            vec![(
-                ObjectKey::from_name("desk"),
-                Box::new(Relay {
-                    target: DomainId(2),
-                    quantity: None,
-                    multiply: true,
-                }) as Box<dyn Servant>,
-            )]
-        }));
-        if depth == 2 {
-            builder.add_domain(DomainId(2), 1, Box::new(|_| {
+        builder.add_domain(
+            front,
+            1,
+            Box::new(move |_| {
                 vec![(
-                    ObjectKey::from_name("next"),
+                    ObjectKey::from_name("desk"),
                     Box::new(Relay {
-                        target: DomainId(3),
+                        target: DomainId(2),
                         quantity: None,
-                        multiply: false,
+                        multiply: true,
                     }) as Box<dyn Servant>,
                 )]
-            }));
-            builder.add_domain(DomainId(3), 1, Box::new(|_| {
-                vec![(ObjectKey::from_name("next"), pricer())]
-            }));
+            }),
+        );
+        if depth == 2 {
+            builder.add_domain(
+                DomainId(2),
+                1,
+                Box::new(|_| {
+                    vec![(
+                        ObjectKey::from_name("next"),
+                        Box::new(Relay {
+                            target: DomainId(3),
+                            quantity: None,
+                            multiply: false,
+                        }) as Box<dyn Servant>,
+                    )]
+                }),
+            );
+            builder.add_domain(
+                DomainId(3),
+                1,
+                Box::new(|_| vec![(ObjectKey::from_name("next"), pricer())]),
+            );
         } else {
-            builder.add_domain(DomainId(2), 1, Box::new(|_| {
-                vec![(ObjectKey::from_name("next"), pricer())]
-            }));
+            builder.add_domain(
+                DomainId(2),
+                1,
+                Box::new(|_| vec![(ObjectKey::from_name("next"), pricer())]),
+            );
         }
         builder.add_client(CLIENT);
         let mut system = builder.build();
@@ -417,7 +466,10 @@ fn e10() {
 }
 
 fn e11() {
-    heading("E11", "confidentiality exposure under compromise (§2.1, §3.5)");
+    heading(
+        "E11",
+        "confidentiality exposure under compromise (§2.1, §3.5)",
+    );
     let mut system = deploy(&DeployOptions {
         seed: 113,
         ..DeployOptions::default()
@@ -434,8 +486,14 @@ fn e11() {
     let one = shamir::combine(&leaked[0..1]).unwrap();
     println!("| attacker holds | master secret recovered? |");
     println!("|---|---|");
-    println!("| 1 GM element | no (reconstruction yields garbage: {}) |", one != two_a);
-    println!("| 2 GM elements (f+1) | yes (any 2-subset agrees: {}) |", two_a == two_b);
+    println!(
+        "| 1 GM element | no (reconstruction yields garbage: {}) |",
+        one != two_a
+    );
+    println!(
+        "| 2 GM elements (f+1) | yes (any 2-subset agrees: {}) |",
+        two_a == two_b
+    );
     println!("\nper-association keys: compromising one *server* element exposes only the keys of groups it belongs to — see the `wire_traffic_is_encrypted` and `rekey_cuts_off_expelled_element` integration tests.");
 }
 

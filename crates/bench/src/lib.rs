@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use itdos::fault::Behavior;
 use itdos::system::{System, SystemBuilder};
 use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
@@ -27,16 +29,20 @@ pub const CLIENT: u64 = 1;
 /// bulk-payload store.
 pub fn repo() -> InterfaceRepository {
     let mut repo = InterfaceRepository::new();
-    repo.register(InterfaceDef::new("Counter").with_operation(OperationDef::new(
-        "add",
-        vec![("delta".into(), TypeDesc::LongLong)],
-        TypeDesc::LongLong,
-    )));
-    repo.register(InterfaceDef::new("Sensor").with_operation(OperationDef::new(
-        "fuse",
-        vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
-        TypeDesc::Double,
-    )));
+    repo.register(
+        InterfaceDef::new("Counter").with_operation(OperationDef::new(
+            "add",
+            vec![("delta".into(), TypeDesc::LongLong)],
+            TypeDesc::LongLong,
+        )),
+    );
+    repo.register(
+        InterfaceDef::new("Sensor").with_operation(OperationDef::new(
+            "fuse",
+            vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
+            TypeDesc::Double,
+        )),
+    );
     repo.register(InterfaceDef::new("Store").with_operation(OperationDef::new(
         "put",
         vec![("blob".into(), TypeDesc::sequence_of(TypeDesc::Octet))],
@@ -112,13 +118,17 @@ pub fn deploy(options: &DeployOptions) -> System {
     let mut builder = SystemBuilder::new(options.seed);
     builder.repository(repo());
     builder.comparator("Sensor", options.sensor_comparator.clone());
-    builder.add_domain(DOMAIN, options.f, Box::new(|_| {
-        vec![
-            (ObjectKey::from_name("counter"), counter_servant()),
-            (ObjectKey::from_name("sensor"), sensor_servant()),
-            (ObjectKey::from_name("store"), store_servant()),
-        ]
-    }));
+    builder.add_domain(
+        DOMAIN,
+        options.f,
+        Box::new(|_| {
+            vec![
+                (ObjectKey::from_name("counter"), counter_servant()),
+                (ObjectKey::from_name("sensor"), sensor_servant()),
+                (ObjectKey::from_name("store"), store_servant()),
+            ]
+        }),
+    );
     if options.heterogeneous {
         builder.platforms(DOMAIN, PlatformProfile::ALL.to_vec());
     } else {

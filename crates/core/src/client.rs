@@ -10,15 +10,12 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use bytes::Bytes;
 use itdos_crypto::hash::Digest;
 use itdos_crypto::keys::CommunicationKey;
 use itdos_crypto::sign::SigningKey;
 use itdos_crypto::symmetric::{open, seal, Sealed};
 use itdos_giop::cdr::Endianness;
-use itdos_giop::giop::{
-    decode_message, encode_message, GiopMessage, ReplyBody, RequestMessage,
-};
+use itdos_giop::giop::{decode_message, encode_message, GiopMessage, ReplyBody, RequestMessage};
 use itdos_giop::platform::PlatformProfile;
 use itdos_giop::types::Value;
 use itdos_groupmgr::manager::ConnectionId;
@@ -28,6 +25,7 @@ use itdos_vote::detector::{FaultProof, SignedReply};
 use itdos_vote::folding::{folded_comparator, reply_to_value, value_to_reply};
 use itdos_vote::vote::SenderId;
 use simnet::{Context, NodeId, Process, Timer};
+use xbytes::Bytes;
 
 use crate::codes::{pack_timer, singleton_code, unpack_timer, TimerTag};
 use crate::fabric::Fabric;
@@ -186,7 +184,9 @@ impl SingletonClient {
         if payload.len() < 8 {
             return;
         }
-        let target = DomainId(u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")));
+        let target = DomainId(u64::from_le_bytes(
+            payload[..8].try_into().expect("8 bytes"),
+        ));
         let Ok(GiopMessage::Request(request)) = decode_message(&payload[8..], &self.fabric.repo)
         else {
             return;
@@ -339,8 +339,7 @@ impl SingletonClient {
         if !signed.verify(&self.fabric.verifying_key(msg.sender)) {
             return;
         }
-        let Ok(GiopMessage::Reply(reply)) = decode_message(&giop_bytes, &self.fabric.repo)
-        else {
+        let Ok(GiopMessage::Reply(reply)) = decode_message(&giop_bytes, &self.fabric.repo) else {
             return;
         };
         let value = reply_to_value(&reply);
@@ -380,7 +379,11 @@ impl SingletonClient {
             Accept::Late { suspect: Some(s) } => {
                 // a slow faulty value arrived after the decision
                 if self.cfg.auto_proof {
-                    self.send_proof(ctx, self.outstanding.as_ref().expect("set").request_id, &[s]);
+                    self.send_proof(
+                        ctx,
+                        self.outstanding.as_ref().expect("set").request_id,
+                        &[s],
+                    );
                 }
             }
             _ => {}

@@ -15,7 +15,10 @@ pub const ELEMENT_CODE_BASE: u64 = 1_000_000;
 
 /// The endpoint code for a singleton client id.
 pub fn singleton_code(id: u64) -> u64 {
-    debug_assert!(id < ELEMENT_CODE_BASE, "singleton ids must stay below the element base");
+    debug_assert!(
+        id < ELEMENT_CODE_BASE,
+        "singleton ids must stay below the element base"
+    );
     id
 }
 

@@ -10,7 +10,6 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use bytes::Bytes;
 use itdos_bft::auth::{AuthContext, Envelope, Peer};
 use itdos_bft::config::SeqNo;
 use itdos_bft::message::Message;
@@ -32,15 +31,16 @@ use itdos_vote::collator::{Accept, Collator};
 use itdos_vote::detector::SignedReply;
 use itdos_vote::vote::SenderId;
 use simnet::{Context, NodeId, Process, Timer};
+use xbytes::Bytes;
 
 use crate::codes::{element_code, pack_timer, unpack_timer, TimerTag, ELEMENT_CODE_BASE};
 use crate::fabric::Fabric;
 use crate::fault::Behavior;
 use crate::outbound::Outbound;
+use crate::wire::{ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame};
 use itdos_vote::folding::{
     folded_comparator, reply_to_value, request_to_value, value_to_reply, value_to_request,
 };
-use crate::wire::{ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame};
 
 /// Static configuration of one element.
 #[derive(Debug, Clone)]
@@ -91,8 +91,14 @@ struct Current {
 }
 
 enum NestedPhase {
-    AwaitingConnection { target: DomainId, call: NestedCall },
-    AwaitingReply { connection: ConnectionId, request_id: u64 },
+    AwaitingConnection {
+        target: DomainId,
+        call: NestedCall,
+    },
+    AwaitingReply {
+        connection: ConnectionId,
+        request_id: u64,
+    },
 }
 
 enum DelayedSend {
@@ -228,7 +234,13 @@ impl ServerElement {
 
     // --------------------------------------------------------- bft plumbing
 
-    fn send_bft(&self, ctx: &mut Context<'_>, node: NodeId, envelope: Envelope, label: &'static str) {
+    fn send_bft(
+        &self,
+        ctx: &mut Context<'_>,
+        node: NodeId,
+        envelope: Envelope,
+        label: &'static str,
+    ) {
         let msg = CoreMsg::Bft {
             domain: self.cfg.domain,
             envelope: envelope.encode(),
@@ -464,7 +476,8 @@ impl ServerElement {
         };
         let key = (meta.connection, kind_tag);
         let thresholds = self.fabric.sender_thresholds(&meta, kind);
-        let comparator = folded_comparator(self.fabric.comparators.for_interface(interface).clone());
+        let comparator =
+            folded_comparator(self.fabric.comparators.for_interface(interface).clone());
         let entry = self.voters.entry(key).or_insert_with(|| {
             let mut collator = Collator::new(thresholds, comparator.clone());
             collator.begin(request_id);
@@ -539,9 +552,7 @@ impl ServerElement {
                     if let Some(reply) = value_to_reply(request_id, &value) {
                         let result = match reply.body {
                             ReplyBody::Result(v) => Ok(v),
-                            ReplyBody::UserException { name } => {
-                                Err(ServantException::new(name))
-                            }
+                            ReplyBody::UserException { name } => Err(ServantException::new(name)),
                             ReplyBody::SystemException { minor } => {
                                 Err(ServantException::new(format!("SYSTEM:{minor}")))
                             }
@@ -581,16 +592,13 @@ impl ServerElement {
             Dispatch::Suspended(call) => {
                 let target = DomainId(call.target.domain.0);
                 let existing = self.conns.iter().find(|(_, c)| {
-                    c.meta.server_domain == target
-                        && c.meta.client_domain == Some(self.cfg.domain)
+                    c.meta.server_domain == target && c.meta.client_domain == Some(self.cfg.domain)
                 });
                 match existing {
                     Some((&conn_id, _)) => self.send_nested_request(ctx, conn_id, call),
                     None => {
                         let op = GmOp::Open {
-                            client: itdos_groupmgr::membership::Endpoint::Element(
-                                self.cfg.element,
-                            ),
+                            client: itdos_groupmgr::membership::Endpoint::Element(self.cfg.element),
                             client_domain: Some(self.cfg.domain),
                             target,
                         };
@@ -603,7 +611,12 @@ impl ServerElement {
         }
     }
 
-    fn send_nested_request(&mut self, ctx: &mut Context<'_>, conn_id: ConnectionId, call: NestedCall) {
+    fn send_nested_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn_id: ConnectionId,
+        call: NestedCall,
+    ) {
         let conn = self.conns.get_mut(&conn_id).expect("connection exists");
         let request_id = conn.next_request_id;
         conn.next_request_id += 1;
@@ -784,8 +797,7 @@ impl ServerElement {
         // fire a nested call waiting on this connection
         if let Some(NestedPhase::AwaitingConnection { target, .. }) = &self.nested {
             if *target == meta.server_domain && meta.client_domain == Some(self.cfg.domain) {
-                let Some(NestedPhase::AwaitingConnection { call, .. }) = self.nested.take()
-                else {
+                let Some(NestedPhase::AwaitingConnection { call, .. }) = self.nested.take() else {
                     unreachable!("matched above");
                 };
                 self.send_nested_request(ctx, meta.connection, call);
@@ -900,11 +912,7 @@ impl Process for ServerElement {
                 }
             }
             TimerTag::DelayedSend => {
-                if let Some(send) = self
-                    .delayed
-                    .get_mut(param as usize)
-                    .and_then(Option::take)
-                {
+                if let Some(send) = self.delayed.get_mut(param as usize).and_then(Option::take) {
                     self.dispatch_send(ctx, send);
                 }
             }

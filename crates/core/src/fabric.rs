@@ -148,12 +148,15 @@ impl Fabric {
     /// direction: requests carry the *client side's* f, replies the
     /// *server side's* (§3.6 — the voter masks faults of the sending
     /// domain).
-    pub fn sender_thresholds(&self, meta: &ConnectionMeta, kind: crate::wire::FrameKind) -> Thresholds {
+    pub fn sender_thresholds(
+        &self,
+        meta: &ConnectionMeta,
+        kind: crate::wire::FrameKind,
+    ) -> Thresholds {
         let f = match kind {
-            crate::wire::FrameKind::Request => meta
-                .client_domain
-                .map(|d| self.domain(d).f)
-                .unwrap_or(0),
+            crate::wire::FrameKind::Request => {
+                meta.client_domain.map(|d| self.domain(d).f).unwrap_or(0)
+            }
             crate::wire::FrameKind::Reply => self.domain(meta.server_domain).f,
         };
         Thresholds::new(f)
@@ -173,8 +176,8 @@ impl Fabric {
 mod tests {
     use super::*;
     use itdos_crypto::dprf::Dprf;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn fabric() -> Fabric {
         let mut domains = BTreeMap::new();
@@ -239,7 +242,8 @@ mod tests {
             server_domain: DomainId(1),
         };
         assert_eq!(
-            f.sender_thresholds(&meta, crate::wire::FrameKind::Request).f,
+            f.sender_thresholds(&meta, crate::wire::FrameKind::Request)
+                .f,
             0,
             "singleton client"
         );

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeSet;
 
-use bytes::Bytes;
 use simnet::{Context, NodeId, Process, SimTime};
+use xbytes::Bytes;
 
 use crate::wire::CoreMsg;
 

@@ -9,7 +9,6 @@
 //! the common input and sends it, over its pairwise-secure channel, to
 //! every recipient (§3.5 — no element ever sees a whole key).
 
-use bytes::Bytes;
 use itdos_bft::auth::{AuthContext, Envelope, Peer};
 use itdos_bft::message::Message;
 use itdos_bft::replica::{Output, Replica};
@@ -23,6 +22,7 @@ use itdos_groupmgr::manager::GroupManager;
 use itdos_groupmgr::membership::{DomainId, Membership};
 use itdos_vote::vote::SenderId;
 use simnet::{Context, NodeId, Process, Timer};
+use xbytes::Bytes;
 
 use crate::codes::{element_code, endpoint_code, pack_timer, unpack_timer, TimerTag};
 use crate::element::notice_plaintext;
@@ -106,11 +106,9 @@ impl GmMachine {
                     .first()
                     .and_then(|m| decode_message(&m.frame, &self.repo).ok())
                     .and_then(|m| match m {
-                        GiopMessage::Reply(r) => Some(
-                            itdos_vote::folding::folded_comparator(
-                                self.comparators.for_interface(&r.interface).clone(),
-                            ),
-                        ),
+                        GiopMessage::Reply(r) => Some(itdos_vote::folding::folded_comparator(
+                            self.comparators.for_interface(&r.interface).clone(),
+                        )),
                         _ => None,
                     });
                 let Some(comparator) = comparator else {
@@ -118,11 +116,10 @@ impl GmMachine {
                 };
                 // proof frames hold raw replies; the detector unmarshals and
                 // votes on folded values
-                match self.manager.change_request_with_proof(
-                    proof,
-                    &self.repo,
-                    &comparator,
-                ) {
+                match self
+                    .manager
+                    .change_request_with_proof(proof, &self.repo, &comparator)
+                {
                     Ok(expulsions) => expulsions
                         .into_iter()
                         .flat_map(|e| self.expulsion_directives(e))
@@ -533,7 +530,10 @@ mod tests {
         let out = m.execute(&open_op());
         let directives = crate::wire::decode_directives(&out).unwrap();
         assert_eq!(directives.len(), 1);
-        let Directive::KeyDist { meta, recipients, .. } = &directives[0] else {
+        let Directive::KeyDist {
+            meta, recipients, ..
+        } = &directives[0]
+        else {
             panic!("expected key distribution, got {directives:?}");
         };
         assert_eq!(meta.connection, ConnectionId(0));
@@ -576,7 +576,10 @@ mod tests {
             }
         ));
         // the rekey excludes the expelled element and bumps the epoch
-        let Directive::KeyDist { meta, recipients, .. } = &directives[1] else {
+        let Directive::KeyDist {
+            meta, recipients, ..
+        } = &directives[1]
+        else {
             panic!("expected rekey");
         };
         assert_eq!(meta.epoch, 1);

@@ -83,7 +83,8 @@ impl ShareBank {
         }
         let shares: Vec<KeyShare> = group.values().take(needed).copied().collect();
         let key = combine(&fabric.dprf_verifier, &input, &shares).ok()?;
-        self.assemblies.remove(&(msg.meta.connection, msg.meta.epoch));
+        self.assemblies
+            .remove(&(msg.meta.connection, msg.meta.epoch));
         Some((msg.meta, CommunicationKey(key)))
     }
 }

@@ -10,12 +10,12 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
 use itdos_bft::auth::AuthContext;
 use itdos_bft::client::Client;
 use itdos_bft::message::Message;
 use itdos_groupmgr::membership::DomainId;
 use simnet::Context;
+use xbytes::Bytes;
 
 use crate::codes::{bft_client_id, pack_timer, TimerTag};
 use crate::fabric::Fabric;
@@ -82,10 +82,7 @@ impl Outbound {
         let Some(op) = self.queue.pop_front() else {
             return;
         };
-        let request = self
-            .client
-            .start_request(op)
-            .expect("client is not busy");
+        let request = self.client.start_request(op).expect("client is not busy");
         self.broadcast(ctx, fabric, &Message::Request(request));
         self.arm_retransmit(ctx, fabric);
     }
@@ -152,10 +149,10 @@ mod tests {
     use itdos_crypto::dprf::Dprf;
     use itdos_giop::idl::InterfaceRepository;
     use itdos_vote::vote::SenderId;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use simnet::{GroupId, NodeId};
     use std::collections::BTreeMap;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn fabric() -> Fabric {
         let mut domains = BTreeMap::new();

@@ -19,9 +19,9 @@ use itdos_orb::object::ObjectKey;
 use itdos_orb::servant::Servant;
 use itdos_vote::comparator::Comparator;
 use itdos_vote::vote::SenderId;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use simnet::{GroupId, NodeId, Simulator};
+use xrand::rngs::SmallRng;
+use xrand::SeedableRng;
 
 use crate::client::{encode_command, ClientConfig, Completed, SingletonClient};
 use crate::codes::{element_code, singleton_code};
@@ -131,8 +131,16 @@ impl SystemBuilder {
     /// # Panics
     ///
     /// Panics if `id` is the reserved [`GM_DOMAIN`] or already used.
-    pub fn add_domain(&mut self, id: DomainId, f: usize, factory: ServantFactory) -> &mut SystemBuilder {
-        assert!(id != GM_DOMAIN, "domain id 0 is reserved for the Group Manager");
+    pub fn add_domain(
+        &mut self,
+        id: DomainId,
+        f: usize,
+        factory: ServantFactory,
+    ) -> &mut SystemBuilder {
+        assert!(
+            id != GM_DOMAIN,
+            "domain id 0 is reserved for the Group Manager"
+        );
         assert!(
             self.domains.iter().all(|d| d.id != id),
             "duplicate domain id"
@@ -152,7 +160,12 @@ impl SystemBuilder {
     /// # Panics
     ///
     /// Panics if the domain was not added first.
-    pub fn behavior(&mut self, domain: DomainId, index: usize, behavior: Behavior) -> &mut SystemBuilder {
+    pub fn behavior(
+        &mut self,
+        domain: DomainId,
+        index: usize,
+        behavior: Behavior,
+    ) -> &mut SystemBuilder {
         let plan = self
             .domains
             .iter_mut()
@@ -167,7 +180,11 @@ impl SystemBuilder {
     /// # Panics
     ///
     /// Panics if the domain was not added first.
-    pub fn platforms(&mut self, domain: DomainId, platforms: Vec<PlatformProfile>) -> &mut SystemBuilder {
+    pub fn platforms(
+        &mut self,
+        domain: DomainId,
+        platforms: Vec<PlatformProfile>,
+    ) -> &mut SystemBuilder {
         let plan = self
             .domains
             .iter_mut()
@@ -323,10 +340,7 @@ impl SystemBuilder {
             ));
         }
         for c in &self.clients {
-            membership.register_singleton(
-                c.id,
-                fabric.verifying_key_code(singleton_code(c.id)),
-            );
+            membership.register_singleton(c.id, fabric.verifying_key_code(singleton_code(c.id)));
         }
         let gm_seed = {
             let mut s = seed_bytes;
@@ -508,7 +522,7 @@ impl simnet::Process for Idle {
         &mut self,
         _ctx: &mut simnet::Context<'_>,
         _from: NodeId,
-        _payload: bytes::Bytes,
+        _payload: xbytes::Bytes,
     ) {
     }
 }

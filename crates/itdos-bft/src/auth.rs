@@ -99,7 +99,7 @@ impl Envelope {
                 AuthProof::Macs(a)
             }
             1 => AuthProof::Signature(Signature::from_bytes(
-                r.raw(16)?.try_into().expect("16 bytes"),
+                r.raw(16)?.try_into().map_err(|_| WireError)?,
             )),
             _ => return Err(WireError),
         };
@@ -149,12 +149,7 @@ impl KeyProvisioner {
     /// All replicas' verifying keys for a group of size `n`.
     pub fn verifying_keys(&self, n: usize) -> BTreeMap<ReplicaId, VerifyingKey> {
         (0..n as u32)
-            .map(|i| {
-                (
-                    ReplicaId(i),
-                    self.signing_key(ReplicaId(i)).verifying_key(),
-                )
-            })
+            .map(|i| (ReplicaId(i), self.signing_key(ReplicaId(i)).verifying_key()))
             .collect()
     }
 }
@@ -225,6 +220,7 @@ impl AuthContext {
     /// authenticator under the client-replica pair key).
     pub fn mac_envelope_for_client(&self, client: ClientId, payload: Vec<u8>) -> Envelope {
         let Peer::Replica(me) = self.me else {
+            // itdos-lint: allow(panic-freedom) -- guards our own identity (a local construction invariant), never attacker input; clients are wired without this path
             panic!("only replicas address clients");
         };
         let key = self.provisioner.client_pair(client, me);

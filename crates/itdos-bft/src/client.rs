@@ -179,7 +179,11 @@ mod tests {
         let mut c = client();
         c.start_request(vec![0]).unwrap();
         assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None);
-        assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None, "same replica twice");
+        assert_eq!(
+            c.on_reply(reply(&c, 0, 1, b"ok")),
+            None,
+            "same replica twice"
+        );
     }
 
     #[test]
@@ -221,7 +225,11 @@ mod tests {
         assert_eq!(c.retransmit(), Some(req));
         c.on_reply(reply(&c, 0, 1, b"ok"));
         c.on_reply(reply(&c, 1, 1, b"ok"));
-        assert_eq!(c.retransmit(), None, "decided requests are not retransmitted");
+        assert_eq!(
+            c.retransmit(),
+            None,
+            "decided requests are not retransmitted"
+        );
     }
 
     #[test]

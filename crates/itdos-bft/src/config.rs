@@ -76,7 +76,10 @@ impl GroupConfig {
     /// than the watermark window.
     pub fn validate(&self) {
         assert!(self.n >= 3 * self.f + 1, "n must be at least 3f+1");
-        assert!(self.checkpoint_interval > 0, "checkpoint interval must be positive");
+        assert!(
+            self.checkpoint_interval > 0,
+            "checkpoint interval must be positive"
+        );
         assert!(
             self.watermark_window >= self.checkpoint_interval,
             "watermark window must cover at least one checkpoint interval"

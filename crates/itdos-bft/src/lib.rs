@@ -29,7 +29,7 @@
 //! # Examples
 //!
 //! ```
-//! use bytes::Bytes;
+//! use xbytes::Bytes;
 //! use itdos_bft::config::{ClientId, GroupConfig};
 //! use itdos_bft::node::{build_group, ClientNode};
 //! use itdos_bft::state::CounterMachine;

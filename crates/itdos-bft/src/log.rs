@@ -156,6 +156,16 @@ impl Log {
         self.own_checkpoints.retain(|s, _| *s >= keep_from);
     }
 
+    /// True when some unexecuted entry strictly beyond the next execution
+    /// slot (`executed + 1`) holds a full commit certificate: proof that a
+    /// live group ordered requests past a gap this replica cannot fill by
+    /// itself (it crashed or was partitioned while the traffic flowed).
+    pub fn committed_beyond(&self, executed: SeqNo, config: &GroupConfig) -> bool {
+        self.entries.iter().any(|((_, seq), entry)| {
+            seq.0 > executed.0 + 1 && !entry.executed && entry.committed_local(config)
+        })
+    }
+
     /// Collects prepared certificates above the stable checkpoint, for a
     /// view-change message.
     pub fn prepared_proofs(&self, config: &GroupConfig) -> Vec<PreparedProof> {
@@ -164,7 +174,11 @@ impl Log {
             if *seq <= self.low || !entry.prepared(config) {
                 continue;
             }
-            let pp = entry.pre_prepare.clone().expect("prepared implies pre-prepare");
+            // prepared() implies a pre-prepare is present, but a hostile
+            // log state must degrade to "no proof", not a panic
+            let Some(pp) = entry.pre_prepare.clone() else {
+                continue;
+            };
             let prepares: Vec<Prepare> = entry
                 .prepares
                 .values()
@@ -242,13 +256,9 @@ mod tests {
         assert!(!entry.prepared(&cfg));
         entry.pre_prepare = Some(pp.clone());
         assert!(!entry.prepared(&cfg), "no prepares yet");
-        entry
-            .prepares
-            .insert(ReplicaId(1), prepare_from(&pp, 1));
+        entry.prepares.insert(ReplicaId(1), prepare_from(&pp, 1));
         assert!(!entry.prepared(&cfg), "one prepare insufficient for f=1");
-        entry
-            .prepares
-            .insert(ReplicaId(2), prepare_from(&pp, 2));
+        entry.prepares.insert(ReplicaId(2), prepare_from(&pp, 2));
         assert!(entry.prepared(&cfg));
     }
 
@@ -267,9 +277,7 @@ mod tests {
                 ..prepare_from(&pp, 1)
             },
         );
-        entry
-            .prepares
-            .insert(ReplicaId(2), prepare_from(&pp, 2));
+        entry.prepares.insert(ReplicaId(2), prepare_from(&pp, 2));
         assert!(!entry.prepared(&cfg));
     }
 
@@ -353,6 +361,28 @@ mod tests {
         assert_eq!(proofs.len(), 1);
         assert_eq!(proofs[0].pre_prepare.seq, SeqNo(1));
         assert_eq!(proofs[0].prepares.len(), 2);
+    }
+
+    #[test]
+    fn committed_beyond_detects_a_gap() {
+        let cfg = config();
+        let mut log = Log::new(&cfg);
+        // a full commit certificate at seq 6 while nothing below executed
+        let pp = pre_prepare(0, 6);
+        let entry = log.entry(View(0), SeqNo(6));
+        entry.pre_prepare = Some(pp.clone());
+        for i in 1..=2 {
+            entry.prepares.insert(ReplicaId(i), prepare_from(&pp, i));
+        }
+        for i in 0..=2 {
+            entry.commits.insert(ReplicaId(i), commit_from(&pp, i));
+        }
+        assert!(log.committed_beyond(SeqNo(0), &cfg), "gap 1..=5 detected");
+        // the next execution slot itself does not count as "beyond"
+        assert!(!log.committed_beyond(SeqNo(5), &cfg));
+        // an executed entry is no longer evidence of a gap
+        log.entry(View(0), SeqNo(6)).executed = true;
+        assert!(!log.committed_beyond(SeqNo(0), &cfg));
     }
 
     #[test]

@@ -203,7 +203,7 @@ fn write_digest(w: &mut Writer, d: &Digest) {
 }
 
 fn read_digest(r: &mut Reader<'_>) -> Result<Digest, WireError> {
-    Ok(Digest(r.raw(32)?.try_into().expect("32 bytes")))
+    Ok(Digest(r.raw(32)?.try_into().map_err(|_| WireError)?))
 }
 
 fn write_request(w: &mut Writer, m: &ClientRequest) {

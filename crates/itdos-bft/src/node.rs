@@ -4,8 +4,8 @@
 //! address" per replication domain, §3.4); clients are **not** members of
 //! the ordering group (§3.2) and unicast their requests to each replica.
 
-use bytes::Bytes;
 use simnet::{Context, GroupId, NodeId, Process, SimDuration, Timer};
+use xbytes::Bytes;
 
 use crate::auth::{AuthContext, Envelope, Peer};
 use crate::client::Client;
@@ -117,9 +117,7 @@ impl<S: StateMachine> ReplicaNode<S> {
                 }
                 Output::ToClient(client, message) => {
                     if let Some(&node) = self.directory.clients.get(&client) {
-                        let envelope = self
-                            .auth
-                            .mac_envelope_for_client(client, message.encode());
+                        let envelope = self.auth.mac_envelope_for_client(client, message.encode());
                         ctx.send_labeled(node, Bytes::from(envelope.encode()), message.label());
                     }
                 }

@@ -320,7 +320,7 @@ fn restore_queue(snapshot: &[u8]) -> Result<QueueMachine, WireError> {
     let mut r = Reader::new(snapshot);
     let capacity = r.u64()? as usize;
     let next_index = r.u64()?;
-    let chain = Digest(r.raw(32)?.try_into().expect("32 bytes"));
+    let chain = Digest(r.raw(32)?.try_into().map_err(|_| WireError)?);
     let n_entries = r.u32()?;
     let mut entries = VecDeque::with_capacity(n_entries.min(1024) as usize);
     let mut bytes_used = 0usize;
@@ -423,7 +423,10 @@ mod tests {
         });
         assert_eq!(q.bytes_used(), 10, "element 2 blocks GC");
         // virtual synchrony: expel the non-participant; GC proceeds
-        assert_eq!(q.apply(&QueueOp::Expel(ElementId(2))), Applied::Collected(10));
+        assert_eq!(
+            q.apply(&QueueOp::Expel(ElementId(2))),
+            Applied::Collected(10)
+        );
         assert_eq!(q.bytes_used(), 0);
     }
 

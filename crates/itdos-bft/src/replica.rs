@@ -14,8 +14,8 @@ use itdos_crypto::hash::Digest;
 use crate::config::{ClientId, GroupConfig, ReplicaId, SeqNo, View};
 use crate::log::Log;
 use crate::message::{
-    Checkpoint, ClientRequest, Commit, Message, NewView, PrePrepare, Prepare, PreparedProof,
-    Reply, StateData, StateFetch, ViewChange,
+    Checkpoint, ClientRequest, Commit, Message, NewView, PrePrepare, Prepare, PreparedProof, Reply,
+    StateData, StateFetch, ViewChange,
 };
 use crate::state::StateMachine;
 
@@ -226,8 +226,8 @@ impl<S: StateMachine> Replica<S> {
             // a request already ordered in this view or already backlogged
             // (client broadcast + backup relays deliver several copies)
             // must not be assigned a second sequence number
-            let already_queued = self.ordered.contains(&digest)
-                || self.backlog.iter().any(|r| r.digest() == digest);
+            let already_queued =
+                self.ordered.contains(&digest) || self.backlog.iter().any(|r| r.digest() == digest);
             if !already_queued {
                 self.backlog.push_back(request);
                 self.drain_backlog();
@@ -244,12 +244,14 @@ impl<S: StateMachine> Replica<S> {
     }
 
     fn drain_backlog(&mut self) {
-        while let Some(_request) = self.backlog.front() {
+        loop {
             let seq = SeqNo(self.next_seq.0 + 1);
             if !self.log.in_window(seq) {
                 break; // window full until the next stable checkpoint
             }
-            let request = self.backlog.pop_front().expect("front exists");
+            let Some(request) = self.backlog.pop_front() else {
+                break;
+            };
             self.next_seq = seq;
             self.ordered.insert(request.digest());
             let pp = PrePrepare {
@@ -312,7 +314,9 @@ impl<S: StateMachine> Replica<S> {
     }
 
     fn on_prepare(&mut self, sender: ReplicaId, prepare: Prepare) {
-        if sender != prepare.replica || prepare.view != self.view || !self.log.in_window(prepare.seq)
+        if sender != prepare.replica
+            || prepare.view != self.view
+            || !self.log.in_window(prepare.seq)
         {
             return;
         }
@@ -336,7 +340,11 @@ impl<S: StateMachine> Replica<S> {
             self.try_execute();
             return;
         }
-        let digest = digest.expect("prepared implies pre-prepare");
+        // prepared implies a pre-prepare digest; an inconsistent entry
+        // simply does not advance to commit
+        let Some(digest) = digest else {
+            return;
+        };
         let commit = Commit {
             view,
             seq,
@@ -357,8 +365,7 @@ impl<S: StateMachine> Replica<S> {
         // (crash, partition): fetch the latest stable checkpoint instead
         // of waiting for requests that will never be retransmitted
         if commit.seq.0 > self.last_executed.0 + self.config.checkpoint_interval {
-            let target =
-                SeqNo(commit.seq.0 - commit.seq.0 % self.config.checkpoint_interval);
+            let target = SeqNo(commit.seq.0 - commit.seq.0 % self.config.checkpoint_interval);
             if target > self.last_executed {
                 self.request_state(target, Digest::default());
             }
@@ -379,12 +386,14 @@ impl<S: StateMachine> Replica<S> {
             let next = SeqNo(self.last_executed.0 + 1);
             let view = self.view;
             let request = match self.log.entry_ref(view, next) {
-                Some(entry) if !entry.executed && entry.committed_local(&self.config) => entry
-                    .pre_prepare
-                    .as_ref()
-                    .expect("committed implies pre-prepare")
-                    .request
-                    .clone(),
+                Some(entry) if !entry.executed && entry.committed_local(&self.config) => {
+                    // committed implies a pre-prepare; stall rather than
+                    // panic on an inconsistent entry
+                    match entry.pre_prepare.as_ref() {
+                        Some(pp) => pp.request.clone(),
+                        None => break,
+                    }
+                }
                 _ => break,
             };
             progressed = true;
@@ -591,6 +600,19 @@ impl<S: StateMachine> Replica<S> {
         if epoch != self.timer_epoch || self.pending.is_empty() {
             return;
         }
+        // A commit certificate beyond our next execution slot proves the
+        // group is live and ordered past us: we crashed or were partitioned,
+        // and the missing entries will never be retransmitted. A view change
+        // cannot fill that gap — the primary is fine, *we* are the straggler
+        // — and nobody would join it, so cascading one per timeout floods
+        // the group forever. Go quiet (no timer re-arm) and re-announce a
+        // state fetch; checkpoint traffic completes the transfer as soon as
+        // a fresh-enough stable checkpoint exists.
+        if self.log.committed_beyond(self.last_executed, &self.config) {
+            self.fetching = None;
+            self.request_state(SeqNo(self.last_executed.0 + 1), Digest::default());
+            return;
+        }
         self.start_view_change(View(self.view.0 + 1 + self.view_change_attempts as u64));
     }
 
@@ -622,11 +644,7 @@ impl<S: StateMachine> Replica<S> {
         self.collect_view_change(vc.clone());
         // liveness rule: if f+1 replicas are already in a higher view, join
         let target = vc.new_view;
-        let count = self
-            .view_changes
-            .get(&target)
-            .map(|m| m.len())
-            .unwrap_or(0);
+        let count = self.view_changes.get(&target).map(|m| m.len()).unwrap_or(0);
         if count > self.config.f && !self.in_view_change {
             self.start_view_change(target);
         }
@@ -1136,7 +1154,9 @@ mod tests {
             g.pump(&[]);
         }
         // silent corruption of replica 2's application state
-        g.replicas[2].app_mut().restore(&CounterMachine::new().snapshot());
+        g.replicas[2]
+            .app_mut()
+            .restore(&CounterMachine::new().snapshot());
         assert_ne!(g.replicas[2].app().digest(), g.replicas[0].app().digest());
         g.replicas[2].start_recovery();
         assert!(g.replicas[2].is_recovering());
@@ -1152,6 +1172,40 @@ mod tests {
             g.replicas[2].app().digest(),
             g.replicas[0].app().digest(),
             "clean state restored from peers"
+        );
+    }
+
+    #[test]
+    fn straggler_fetches_state_instead_of_cascading_view_changes() {
+        let mut g = Group::new();
+        // replica 3 misses requests 1..=5 (crashed / partitioned)
+        for ts in 1..=5 {
+            g.replicas[0].on_request(request(ts, 2));
+            g.pump(&[3]);
+        }
+        // it rejoins and observes request 6 committed at seq 6, which it
+        // cannot execute across the gap left by 1..=5
+        g.replicas[0].on_request(request(6, 2));
+        g.pump(&[]);
+        assert_eq!(g.replicas[3].last_executed(), SeqNo(0), "stuck behind gap");
+        // its view timer expires: a lone view change would never gather
+        // joiners (the primary is live), so it must go quiet and ask for
+        // state instead of flooding the group once per timeout
+        let epoch = g.replicas[3].timer_epoch;
+        g.replicas[3].on_view_timeout(epoch);
+        assert!(!g.replicas[3].in_view_change(), "no lone view change");
+        let outs = g.replicas[3].take_outputs();
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, Output::ToAllReplicas(Message::StateFetch(_)))),
+            "state fetch announced"
+        );
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                Output::ToAllReplicas(Message::ViewChange(_)) | Output::StartViewTimer { .. }
+            )),
+            "no view-change flood, no timer re-arm"
         );
     }
 

@@ -60,7 +60,8 @@ impl StateMachine for CounterMachine {
     fn execute(&mut self, operation: &[u8]) -> Vec<u8> {
         let delta = operation
             .get(..8)
-            .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .and_then(|b| <[u8; 8]>::try_from(b).ok())
+            .map(i64::from_le_bytes)
             .unwrap_or(0);
         self.total = self.total.wrapping_add(delta);
         self.applied += 1;
@@ -83,9 +84,13 @@ impl StateMachine for CounterMachine {
     }
 
     fn restore(&mut self, snapshot: &[u8]) {
-        if snapshot.len() >= 16 {
-            self.total = i64::from_le_bytes(snapshot[..8].try_into().expect("8 bytes"));
-            self.applied = u64::from_le_bytes(snapshot[8..16].try_into().expect("8 bytes"));
+        let total = snapshot.get(..8).and_then(|b| <[u8; 8]>::try_from(b).ok());
+        let applied = snapshot
+            .get(8..16)
+            .and_then(|b| <[u8; 8]>::try_from(b).ok());
+        if let (Some(total), Some(applied)) = (total, applied) {
+            self.total = i64::from_le_bytes(total);
+            self.applied = u64::from_le_bytes(applied);
         }
     }
 }
@@ -99,7 +104,10 @@ mod tests {
         let mut a = CounterMachine::new();
         let mut b = CounterMachine::new();
         for delta in [5i64, -3, 100] {
-            assert_eq!(a.execute(&CounterMachine::op(delta)), b.execute(&CounterMachine::op(delta)));
+            assert_eq!(
+                a.execute(&CounterMachine::op(delta)),
+                b.execute(&CounterMachine::op(delta))
+            );
         }
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.total(), 102);

@@ -105,12 +105,14 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let raw = self.take(4)?.try_into().map_err(|_| WireError)?;
+        Ok(u32::from_le_bytes(raw))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let raw = self.take(8)?.try_into().map_err(|_| WireError)?;
+        Ok(u64::from_le_bytes(raw))
     }
 
     /// Reads length-prefixed bytes.
@@ -146,7 +148,11 @@ mod tests {
     #[test]
     fn round_trip_all_field_kinds() {
         let mut w = Writer::new();
-        w.u8(7).u32(0xDEAD).u64(u64::MAX).bytes(b"hello").raw(&[1, 2]);
+        w.u8(7)
+            .u32(0xDEAD)
+            .u64(u64::MAX)
+            .bytes(b"hello")
+            .raw(&[1, 2]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);

@@ -21,7 +21,7 @@
 //! key; ≤ `f` shares yield nothing; a corrupted share is detected by its
 //! proof; corrupt elements cannot shift the combined key.
 
-use rand::Rng;
+use xrand::Rng;
 
 use crate::group::Element;
 use crate::hash::Digest;
@@ -286,8 +286,8 @@ pub fn evaluate_master(holders: &[Shareholder], x: &[u8]) -> Option<SymmetricKey
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn dprf(f: usize, n: usize) -> Dprf {
         Dprf::deal(f, n, &mut SmallRng::seed_from_u64(7))

@@ -273,8 +273,8 @@ mod tests {
     #[test]
     fn digest_to_u64_is_big_endian_prefix() {
         let d = Digest([
-            0, 0, 0, 0, 0, 0, 0, 42, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
-            9, 9, 9, 9,
+            0, 0, 0, 0, 0, 0, 0, 42, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
+            9, 9, 9,
         ]);
         assert_eq!(d.to_u64(), 42);
     }

@@ -54,11 +54,7 @@ pub fn hmac_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
 /// constant-time idiom so the code reads like the real thing.
 pub fn verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
     let expect = hmac(key, message);
-    let mut diff = 0u8;
-    for (a, b) in expect.as_bytes().iter().zip(tag.as_bytes()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    crate::ct::ct_eq(expect.as_bytes(), tag.as_bytes())
 }
 
 #[cfg(test)]
@@ -99,7 +95,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
-        let tag = hmac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             tag.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -108,10 +107,7 @@ mod tests {
 
     #[test]
     fn parts_equal_concatenation() {
-        assert_eq!(
-            hmac_parts(b"k", &[b"ab", b"cd", b""]),
-            hmac(b"k", b"abcd")
-        );
+        assert_eq!(hmac_parts(b"k", &[b"ab", b"cd", b""]), hmac(b"k", b"abcd"));
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //!
 //! ```
 //! use itdos_crypto::dprf::{combine, Dprf};
+//! use xrand::rngs::SmallRng;
+//! use xrand::SeedableRng;
 //!
-//! let mut rng = rand::thread_rng();
+//! let mut rng = SmallRng::seed_from_u64(0xD9F);
 //! // Group Manager domain with f = 1, n = 4 elements.
 //! let dprf = Dprf::deal(1, 4, &mut rng);
 //!
@@ -45,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ct;
 pub mod dleq;
 pub mod dprf;
 pub mod group;

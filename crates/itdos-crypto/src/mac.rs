@@ -53,11 +53,13 @@ impl Authenticator {
     /// Verifies the entry for receiver `index` with the pairwise `key`.
     ///
     /// Returns false for out-of-range indices (a Byzantine sender may send
-    /// a short authenticator).
+    /// a short authenticator). The tag comparison is constant-time: an
+    /// early-exit `==` would let a sender measure how long a forged prefix
+    /// survived.
     pub fn verify(&self, index: usize, key: &SymmetricKey, message: &[u8]) -> bool {
         self.tags
             .get(index)
-            .is_some_and(|tag| *tag == MacTag::compute(key, message))
+            .is_some_and(|tag| crate::ct::ct_eq(&tag.0, &MacTag::compute(key, message).0))
     }
 
     /// Number of entries.

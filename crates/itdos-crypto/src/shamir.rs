@@ -6,7 +6,7 @@
 //! its share against public data, so a corrupted dealer or tampered share
 //! is detected at distribution time.
 
-use rand::Rng;
+use xrand::Rng;
 
 use crate::group::{Element, Scalar};
 
@@ -95,8 +95,10 @@ impl Commitments {
 /// ```
 /// use itdos_crypto::group::Scalar;
 /// use itdos_crypto::shamir::{combine, split};
+/// use xrand::rngs::SmallRng;
+/// use xrand::SeedableRng;
 ///
-/// let mut rng = rand::thread_rng();
+/// let mut rng = SmallRng::seed_from_u64(0xD5A1);
 /// let secret = Scalar::new(12345);
 /// let (shares, commitments) = split(secret, 2, 4, &mut rng);
 /// assert!(shares.iter().all(|s| commitments.verify(s)));
@@ -220,8 +222,8 @@ pub fn lagrange_at_zero(shares: &[Share]) -> Result<Vec<Scalar>, CombineError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(99)

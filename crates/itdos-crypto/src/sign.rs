@@ -69,8 +69,7 @@ impl SigningKey {
 
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        let k_digest =
-            Digest::of_parts(&[b"itdos-nonce", &self.secret.to_bytes(), message]);
+        let k_digest = Digest::of_parts(&[b"itdos-nonce", &self.secret.to_bytes(), message]);
         let mut k = Scalar::from_digest(&k_digest);
         if k == Scalar::ZERO {
             k = Scalar::ONE;

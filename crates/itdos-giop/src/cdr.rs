@@ -75,19 +75,28 @@ impl std::fmt::Display for CdrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CdrError::Truncated { needed, remaining } => {
-                write!(f, "truncated input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {remaining} remain"
+                )
             }
             CdrError::BadString => write!(f, "malformed CDR string"),
             CdrError::BadBoolean(b) => write!(f, "invalid boolean octet {b:#04x}"),
             CdrError::BadEnum {
                 discriminant,
                 variants,
-            } => write!(f, "enum discriminant {discriminant} out of range ({variants} variants)"),
+            } => write!(
+                f,
+                "enum discriminant {discriminant} out of range ({variants} variants)"
+            ),
             CdrError::OversizedSequence(n) => write!(f, "sequence length {n} exceeds limit"),
             CdrError::TypeMismatch {
                 value_kind,
                 expected,
-            } => write!(f, "value of kind {value_kind} does not match type {expected}"),
+            } => write!(
+                f,
+                "value of kind {value_kind} does not match type {expected}"
+            ),
         }
     }
 }
@@ -488,7 +497,8 @@ mod tests {
         // octet then longlong: longlong starts at offset 8
         let mut enc = Encoder::new(Endianness::Big);
         enc.encode(&Value::Octet(1), &TypeDesc::Octet).unwrap();
-        enc.encode(&Value::LongLong(1), &TypeDesc::LongLong).unwrap();
+        enc.encode(&Value::LongLong(1), &TypeDesc::LongLong)
+            .unwrap();
         assert_eq!(enc.into_bytes().len(), 16);
     }
 

@@ -213,14 +213,17 @@ fn encode_request(
     repo: &InterfaceRepository,
     endianness: Endianness,
 ) -> Result<Vec<u8>, GiopError> {
-    let op = repo
-        .lookup(&req.interface, &req.operation)
-        .ok_or_else(|| GiopError::UnknownOperation {
-            interface: req.interface.clone(),
-            operation: req.operation.clone(),
-        })?;
+    let op =
+        repo.lookup(&req.interface, &req.operation)
+            .ok_or_else(|| GiopError::UnknownOperation {
+                interface: req.interface.clone(),
+                operation: req.operation.clone(),
+            })?;
     let mut enc = Encoder::new(endianness);
-    enc.encode(&Value::ULongLong(req.request_id), &crate::types::TypeDesc::ULongLong)?;
+    enc.encode(
+        &Value::ULongLong(req.request_id),
+        &crate::types::TypeDesc::ULongLong,
+    )?;
     enc.encode(
         &Value::Boolean(req.response_expected),
         &crate::types::TypeDesc::Boolean,
@@ -248,23 +251,32 @@ fn encode_reply(
     repo: &InterfaceRepository,
     endianness: Endianness,
 ) -> Result<Vec<u8>, GiopError> {
-    let op = repo
-        .lookup(&rep.interface, &rep.operation)
-        .ok_or_else(|| GiopError::UnknownOperation {
-            interface: rep.interface.clone(),
-            operation: rep.operation.clone(),
-        })?;
+    let op =
+        repo.lookup(&rep.interface, &rep.operation)
+            .ok_or_else(|| GiopError::UnknownOperation {
+                interface: rep.interface.clone(),
+                operation: rep.operation.clone(),
+            })?;
     let mut enc = Encoder::new(endianness);
-    enc.encode(&Value::ULongLong(rep.request_id), &crate::types::TypeDesc::ULongLong)?;
+    enc.encode(
+        &Value::ULongLong(rep.request_id),
+        &crate::types::TypeDesc::ULongLong,
+    )?;
     enc.put_string(&rep.interface);
     enc.put_string(&rep.operation);
     match &rep.body {
         ReplyBody::Result(result) => {
-            enc.encode(&Value::ULong(STATUS_NO_EXCEPTION), &crate::types::TypeDesc::ULong)?;
+            enc.encode(
+                &Value::ULong(STATUS_NO_EXCEPTION),
+                &crate::types::TypeDesc::ULong,
+            )?;
             enc.encode(result, &op.result)?;
         }
         ReplyBody::UserException { name } => {
-            enc.encode(&Value::ULong(STATUS_USER_EXCEPTION), &crate::types::TypeDesc::ULong)?;
+            enc.encode(
+                &Value::ULong(STATUS_USER_EXCEPTION),
+                &crate::types::TypeDesc::ULong,
+            )?;
             enc.put_string(name);
         }
         ReplyBody::SystemException { minor } => {
@@ -285,10 +297,7 @@ fn encode_reply(
 ///
 /// Any [`GiopError`] on malformed frames or unknown interfaces; Byzantine
 /// peers control these bytes, so every failure is non-panicking.
-pub fn decode_message(
-    bytes: &[u8],
-    repo: &InterfaceRepository,
-) -> Result<GiopMessage, GiopError> {
+pub fn decode_message(bytes: &[u8], repo: &InterfaceRepository) -> Result<GiopMessage, GiopError> {
     if bytes.len() < 12 {
         return Err(GiopError::Truncated);
     }
@@ -521,20 +530,29 @@ mod tests {
         let mut bytes =
             encode_message(&GiopMessage::CloseConnection, &repo, Endianness::Big).unwrap();
         bytes[4] = 9;
-        assert_eq!(decode_message(&bytes, &repo), Err(GiopError::BadVersion(9, 2)));
+        assert_eq!(
+            decode_message(&bytes, &repo),
+            Err(GiopError::BadVersion(9, 2))
+        );
     }
 
     #[test]
     fn truncated_frame_rejected() {
         let repo = repo();
-        let bytes =
-            encode_message(&GiopMessage::Request(sample_request()), &repo, Endianness::Big)
-                .unwrap();
+        let bytes = encode_message(
+            &GiopMessage::Request(sample_request()),
+            &repo,
+            Endianness::Big,
+        )
+        .unwrap();
         assert_eq!(
             decode_message(&bytes[..bytes.len() - 1], &repo),
             Err(GiopError::Truncated)
         );
-        assert_eq!(decode_message(&bytes[..5], &repo), Err(GiopError::Truncated));
+        assert_eq!(
+            decode_message(&bytes[..5], &repo),
+            Err(GiopError::Truncated)
+        );
     }
 
     #[test]
@@ -571,7 +589,8 @@ mod tests {
         let repo = repo();
         // craft a reply with status 7 by hand
         let mut enc = Encoder::new(Endianness::Big);
-        enc.encode(&Value::ULongLong(1), &TypeDesc::ULongLong).unwrap();
+        enc.encode(&Value::ULongLong(1), &TypeDesc::ULongLong)
+            .unwrap();
         enc.put_string("Sensor::Array");
         enc.put_string("read");
         enc.encode(&Value::ULong(7), &TypeDesc::ULong).unwrap();

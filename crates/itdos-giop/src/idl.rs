@@ -164,10 +164,7 @@ mod tests {
     fn param_types_projects_schema() {
         let op = OperationDef::new(
             "f",
-            vec![
-                ("a".into(), TypeDesc::Long),
-                ("b".into(), TypeDesc::String),
-            ],
+            vec![("a".into(), TypeDesc::Long), ("b".into(), TypeDesc::String)],
             TypeDesc::Void,
         );
         assert_eq!(op.param_types(), vec![TypeDesc::Long, TypeDesc::String]);
@@ -185,9 +182,11 @@ mod tests {
     fn register_replaces() {
         let mut repo = InterfaceRepository::new();
         repo.register(InterfaceDef::new("I"));
-        repo.register(
-            InterfaceDef::new("I").with_operation(OperationDef::new("f", vec![], TypeDesc::Void)),
-        );
+        repo.register(InterfaceDef::new("I").with_operation(OperationDef::new(
+            "f",
+            vec![],
+            TypeDesc::Void,
+        )));
         assert_eq!(repo.len(), 1);
         assert!(repo.lookup("I", "f").is_some());
     }

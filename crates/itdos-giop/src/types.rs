@@ -76,10 +76,7 @@ impl Value {
             }
             (Value::Struct(values), TypeDesc::Struct { fields, .. }) => {
                 values.len() == fields.len()
-                    && values
-                        .iter()
-                        .zip(fields)
-                        .all(|(v, (_, t))| v.conforms(t))
+                    && values.iter().zip(fields).all(|(v, (_, t))| v.conforms(t))
             }
             (Value::Enum(d), TypeDesc::Enum { variants, .. }) => (*d as usize) < variants.len(),
             _ => false,
@@ -255,7 +252,10 @@ mod tests {
     fn point_type() -> TypeDesc {
         TypeDesc::Struct {
             name: "Point".into(),
-            fields: vec![("x".into(), TypeDesc::Double), ("y".into(), TypeDesc::Double)],
+            fields: vec![
+                ("x".into(), TypeDesc::Double),
+                ("y".into(), TypeDesc::Double),
+            ],
         }
     }
 
@@ -298,9 +298,7 @@ mod tests {
         assert!(Value::Double(1.0).contains_float());
         assert!(Value::Struct(vec![Value::Long(1), Value::Float(0.5)]).contains_float());
         assert!(!Value::Sequence(vec![Value::Long(1)]).contains_float());
-        assert!(
-            Value::Sequence(vec![Value::Struct(vec![Value::Double(0.0)])]).contains_float()
-        );
+        assert!(Value::Sequence(vec![Value::Struct(vec![Value::Double(0.0)])]).contains_float());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use itdos_crypto::dprf::{self, Dprf, KeyShare, Shareholder, Verifier};
 use itdos_crypto::keys::{CommunicationKey, SymmetricKey};
-use rand::Rng;
+use xrand::Rng;
 
 /// The threshold (DPRF) keying deployment for a Group Manager domain.
 #[derive(Debug, Clone)]
@@ -164,8 +164,8 @@ pub fn exposure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(5)
@@ -184,8 +184,14 @@ mod tests {
     #[test]
     fn threshold_resists_f_compromises() {
         let k = ThresholdKeying::deal(1, 4, &mut rng());
-        assert!(k.attacker_key(&[0], b"x").is_none(), "f=1 element learns nothing");
-        assert!(k.attacker_key(&[0, 2], b"x").is_some(), "f+1 elements break it");
+        assert!(
+            k.attacker_key(&[0], b"x").is_none(),
+            "f=1 element learns nothing"
+        );
+        assert!(
+            k.attacker_key(&[0, 2], b"x").is_some(),
+            "f+1 elements break it"
+        );
         // and the broken key is the real one (soundness of the model)
         let shares: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"x")).collect();
         assert_eq!(
@@ -210,9 +216,18 @@ mod tests {
         let e0 = exposure(&threshold, &traditional, 0, &inputs);
         let e1 = exposure(&threshold, &traditional, 1, &inputs);
         let e2 = exposure(&threshold, &traditional, 2, &inputs);
-        assert_eq!((e0.traditional_keys_exposed, e0.threshold_keys_exposed), (0, 0));
-        assert_eq!((e1.traditional_keys_exposed, e1.threshold_keys_exposed), (10, 0));
-        assert_eq!((e2.traditional_keys_exposed, e2.threshold_keys_exposed), (10, 10));
+        assert_eq!(
+            (e0.traditional_keys_exposed, e0.threshold_keys_exposed),
+            (0, 0)
+        );
+        assert_eq!(
+            (e1.traditional_keys_exposed, e1.threshold_keys_exposed),
+            (10, 0)
+        );
+        assert_eq!(
+            (e2.traditional_keys_exposed, e2.threshold_keys_exposed),
+            (10, 10)
+        );
     }
 
     #[test]

@@ -276,9 +276,10 @@ impl GroupManager {
         comparator: &Comparator,
     ) -> Result<Vec<Expulsion>, ChangeError> {
         // all accused must be in one (active) domain; thresholds come from it
-        let first = *proof.accused.first().ok_or(ChangeError::BadProof(
-            ProofError::NothingAccused,
-        ))?;
+        let first = *proof
+            .accused
+            .first()
+            .ok_or(ChangeError::BadProof(ProofError::NothingAccused))?;
         let domain = self
             .membership
             .domain_of(first)
@@ -382,14 +383,20 @@ impl GroupManager {
                 let rec = &self.connections[&id];
                 self.connection_input(id, rec.epoch + 1)
             };
-            let rec = self.connections.get_mut(&id).expect("listed above");
+            // `id` was just collected from self.connections, but a missing
+            // record must drop the rekey, not crash the Group Manager
+            let Some(rec) = self.connections.get_mut(&id) else {
+                continue;
+            };
             rec.epoch += 1;
             let epoch = rec.epoch;
-            let rec = self.connections[&id].clone();
-            let mut recipients: Vec<Endpoint> = self
-                .membership
-                .domain(rec.server)
-                .expect("server domain exists")
+            let rec = rec.clone();
+            // the server domain can only vanish through a concurrent
+            // membership change; skip the connection rather than panic
+            let Some(server_domain) = self.membership.domain(rec.server) else {
+                continue;
+            };
+            let mut recipients: Vec<Endpoint> = server_domain
                 .active_elements()
                 .map(|e| Endpoint::Element(e.id))
                 .collect();
@@ -568,10 +575,18 @@ mod tests {
         assert_eq!(a, b, "same association reuses the connection (§3.4)");
         // the n parallel opens from a client domain's elements dedup too
         let c1 = gm
-            .open_request(Endpoint::Element(SenderId(10)), Some(DomainId(2)), DomainId(1))
+            .open_request(
+                Endpoint::Element(SenderId(10)),
+                Some(DomainId(2)),
+                DomainId(1),
+            )
             .unwrap();
         let c2 = gm
-            .open_request(Endpoint::Element(SenderId(11)), Some(DomainId(2)), DomainId(1))
+            .open_request(
+                Endpoint::Element(SenderId(11)),
+                Some(DomainId(2)),
+                DomainId(1),
+            )
             .unwrap();
         assert_eq!(c1.connection, c2.connection);
     }
@@ -597,7 +612,11 @@ mod tests {
             !rekey.recipients.contains(&Endpoint::Element(SenderId(3))),
             "expelled element keyed out"
         );
-        assert!(!gm.membership().domain(DomainId(1)).unwrap().is_active(SenderId(3)));
+        assert!(!gm
+            .membership()
+            .domain(DomainId(1))
+            .unwrap()
+            .is_active(SenderId(3)));
     }
 
     #[test]
@@ -607,8 +626,15 @@ mod tests {
         let err = gm
             .change_request_with_proof(&proof(100, 100, 1), &repo(), &Comparator::Exact)
             .unwrap_err();
-        assert!(matches!(err, ChangeError::BadProof(ProofError::AccusedNotFaulty(_))));
-        assert!(gm.membership().domain(DomainId(1)).unwrap().is_active(SenderId(3)));
+        assert!(matches!(
+            err,
+            ChangeError::BadProof(ProofError::AccusedNotFaulty(_))
+        ));
+        assert!(gm
+            .membership()
+            .domain(DomainId(1))
+            .unwrap()
+            .is_active(SenderId(3)));
     }
 
     #[test]
@@ -633,7 +659,8 @@ mod tests {
     fn domain_change_request_needs_f_plus_1_votes() {
         let mut gm = manager();
         assert_eq!(
-            gm.change_request_from_domain(SenderId(0), SenderId(3)).unwrap(),
+            gm.change_request_from_domain(SenderId(0), SenderId(3))
+                .unwrap(),
             None,
             "one vote insufficient for f=1"
         );
@@ -648,11 +675,13 @@ mod tests {
     fn duplicate_votes_do_not_count_twice() {
         let mut gm = manager();
         assert_eq!(
-            gm.change_request_from_domain(SenderId(0), SenderId(3)).unwrap(),
+            gm.change_request_from_domain(SenderId(0), SenderId(3))
+                .unwrap(),
             None
         );
         assert_eq!(
-            gm.change_request_from_domain(SenderId(0), SenderId(3)).unwrap(),
+            gm.change_request_from_domain(SenderId(0), SenderId(3))
+                .unwrap(),
             None,
             "same voter repeated"
         );
@@ -664,7 +693,8 @@ mod tests {
         // domain 1's element 3: f(domain 2)+1 = 2 votes expel it
         let mut gm = manager();
         assert_eq!(
-            gm.change_request_from_domain(SenderId(10), SenderId(3)).unwrap(),
+            gm.change_request_from_domain(SenderId(10), SenderId(3))
+                .unwrap(),
             None
         );
         let expulsion = gm
@@ -691,8 +721,10 @@ mod tests {
     #[test]
     fn expelled_element_cannot_be_expelled_again() {
         let mut gm = manager();
-        gm.change_request_from_domain(SenderId(0), SenderId(3)).unwrap();
-        gm.change_request_from_domain(SenderId(1), SenderId(3)).unwrap();
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(1), SenderId(3))
+            .unwrap();
         assert_eq!(
             gm.change_request_from_domain(SenderId(0), SenderId(3)),
             Err(ChangeError::NotActive(SenderId(3)))
@@ -709,7 +741,8 @@ mod tests {
         )
         .unwrap();
         // expel an element of the CLIENT domain; the connection must rekey
-        gm.change_request_from_domain(SenderId(10), SenderId(13)).unwrap();
+        gm.change_request_from_domain(SenderId(10), SenderId(13))
+            .unwrap();
         let expulsion = gm
             .change_request_from_domain(SenderId(11), SenderId(13))
             .unwrap()
@@ -727,7 +760,8 @@ mod tests {
             .open_request(Endpoint::Singleton(100), None, DomainId(1))
             .unwrap();
         gm.close_connection(dist.connection);
-        gm.change_request_from_domain(SenderId(0), SenderId(3)).unwrap();
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
         let expulsion = gm
             .change_request_from_domain(SenderId(1), SenderId(3))
             .unwrap()

@@ -197,7 +197,9 @@ mod tests {
         DomainRecord::new(
             DomainId(id),
             f,
-            (first_element..first_element + n as u32).map(element).collect(),
+            (first_element..first_element + n as u32)
+                .map(element)
+                .collect(),
         )
     }
 

@@ -1,0 +1,99 @@
+//! CLI driver: `cargo run -p itdos-lint [-- --json] [--root PATH]`.
+//!
+//! Exit codes: 0 — no unwaived findings; 1 — unwaived findings present;
+//! 2 — usage or I/O error.
+
+use itdos_lint::run_workspace;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "itdos-lint: ITDOS workspace invariant checker\n\n\
+         USAGE: itdos-lint [--json] [--root PATH] [--all]\n\n\
+         --json   emit findings as JSON lines on stdout\n\
+         --root   workspace root (default: nearest ancestor with a [workspace] Cargo.toml)\n\
+         --all    also print waived findings in human output"
+    );
+    std::process::exit(2);
+}
+
+/// Nearest ancestor of cwd whose Cargo.toml declares `[workspace]`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut show_waived = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all" => show_waived = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("itdos-lint: no workspace root found (use --root)");
+            std::process::exit(2);
+        }
+    };
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("itdos-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if json {
+        for f in &report.findings {
+            println!("{}", f.to_json());
+        }
+    } else {
+        for f in report.active() {
+            println!("{f}\n");
+        }
+        if show_waived {
+            for f in report.findings.iter().filter(|f| !f.is_active()) {
+                println!("{f}\n");
+            }
+        }
+        println!(
+            "itdos-lint: {} active, {} waived",
+            report.active_count(),
+            report.waived_count()
+        );
+        for (rule, active, waived) in report.per_rule() {
+            println!("  {rule:<20} active {active:>3}   waived {waived:>3}");
+        }
+    }
+
+    std::process::exit(if report.active_count() == 0 { 0 } else { 1 });
+}

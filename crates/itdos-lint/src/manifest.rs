@@ -1,0 +1,333 @@
+//! L1 hermeticity: a TOML-subset reader for `Cargo.toml` dependency tables.
+//!
+//! The rule: every entry in every `[dependencies]`-like table must resolve
+//! inside the workspace — either `{ path = "..." }` directly, or
+//! `{ workspace = true }` where the root `[workspace.dependencies]` entry is
+//! itself a path dependency. Anything else (version strings, registry
+//! tables, `git = ...`) needs the network at resolution time and breaks
+//! `cargo build --offline`, which is the tier-1 gate.
+//!
+//! This parses just enough TOML for Cargo manifests in this workspace:
+//! section headers, `key = value` pairs, dotted keys, inline tables, and
+//! `#` comments. It does not aim to be a general TOML parser.
+
+use crate::findings::{Finding, Rule};
+use crate::source::has_word;
+
+/// How one dependency entry is specified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepSpec {
+    /// `{ path = "..." }` — hermetic.
+    Path,
+    /// `{ workspace = true }` — hermetic iff the workspace entry is.
+    Workspace,
+    /// Registry or git dependency — not hermetic.
+    External,
+}
+
+/// A dependency entry found in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// Crate name as written.
+    pub name: String,
+    /// Table it appeared in (e.g. `dependencies`, `dev-dependencies`,
+    /// `workspace.dependencies`).
+    pub table: String,
+    /// 1-based line of the entry.
+    pub line: usize,
+    /// Raw line text, trimmed.
+    pub text: String,
+    /// Parsed shape.
+    pub spec: DepSpec,
+    /// Waiver justification from a trailing `# itdos-lint: allow(...)`.
+    pub waiver: Option<String>,
+}
+
+/// True for table names whose entries are dependency specs.
+fn is_dep_table(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || (name.starts_with("target.") && name.ends_with(".dependencies"))
+}
+
+/// If `section` is a subtable of a dependency table (e.g.
+/// `dependencies.rand`), returns (table, dep name).
+fn dep_subtable(name: &str) -> Option<(&str, &str)> {
+    let (table, dep) = name.rsplit_once('.')?;
+    if is_dep_table(table) {
+        Some((table, dep))
+    } else {
+        None
+    }
+}
+
+/// Strips a `#` comment (respecting basic strings) and returns
+/// (code, comment).
+fn split_comment(line: &str) -> (&str, &str) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], &line[i..]),
+            _ => {}
+        }
+    }
+    (line, "")
+}
+
+/// Extracts the waiver justification from a manifest comment, if present
+/// and well-formed (`# itdos-lint: allow(hermeticity) -- why`).
+fn manifest_waiver(comment: &str) -> Option<String> {
+    let pos = comment.find("itdos-lint:")?;
+    let rest = comment[pos + "itdos-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    if Rule::from_key(rest[..close].trim()) != Some(Rule::Hermeticity) {
+        return None;
+    }
+    let just = rest[close + 1..].trim_start().strip_prefix("--")?.trim();
+    if just.is_empty() {
+        None
+    } else {
+        Some(just.to_string())
+    }
+}
+
+/// Classifies the right-hand side of a dependency entry.
+fn classify_value(value: &str) -> DepSpec {
+    let v = value.trim();
+    if v.starts_with('{') {
+        if has_word(v, "path") {
+            DepSpec::Path
+        } else if has_word(v, "workspace") {
+            DepSpec::Workspace
+        } else {
+            DepSpec::External
+        }
+    } else {
+        // bare version string, array, or anything else: external
+        DepSpec::External
+    }
+}
+
+/// Parses every dependency entry out of one manifest.
+pub fn parse_deps(text: &str) -> Vec<Dep> {
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    // state for `[dependencies.foo]` subtables
+    let mut subtable: Option<(String, String, usize, DepSpec, Option<String>)> = None;
+
+    let flush_subtable = |sub: &mut Option<(String, String, usize, DepSpec, Option<String>)>,
+                          deps: &mut Vec<Dep>| {
+        if let Some((table, name, line, spec, waiver)) = sub.take() {
+            deps.push(Dep {
+                text: format!("[{table}.{name}]"),
+                name,
+                table,
+                line,
+                spec,
+                waiver,
+            });
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let (code, comment) = split_comment(raw);
+        let line = code.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_subtable(&mut subtable, &mut deps);
+            section = line[1..line.len() - 1].trim().to_string();
+            if let Some((table, dep)) = dep_subtable(&section) {
+                subtable = Some((
+                    table.to_string(),
+                    dep.trim_matches('"').to_string(),
+                    idx + 1,
+                    DepSpec::External,
+                    manifest_waiver(comment),
+                ));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(sub) = &mut subtable {
+            // inside [dependencies.foo]: look for path/workspace keys
+            if let Some((key, _)) = line.split_once('=') {
+                let key = key.trim();
+                if key == "path" {
+                    sub.3 = DepSpec::Path;
+                } else if key == "workspace" {
+                    sub.3 = DepSpec::Workspace;
+                }
+            }
+            if let Some(w) = manifest_waiver(comment) {
+                sub.4 = Some(w);
+            }
+            continue;
+        }
+        if !is_dep_table(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let mut name = key.trim().trim_matches('"').to_string();
+        let mut spec = classify_value(value);
+        // dotted key: `foo.workspace = true` / `foo.path = "..."`
+        if let Some((base, attr)) = name.clone().rsplit_once('.') {
+            match attr.trim() {
+                "workspace" => {
+                    name = base.trim_matches('"').to_string();
+                    spec = DepSpec::Workspace;
+                }
+                "path" => {
+                    name = base.trim_matches('"').to_string();
+                    spec = DepSpec::Path;
+                }
+                _ => {}
+            }
+        }
+        deps.push(Dep {
+            name,
+            table: section.clone(),
+            line: idx + 1,
+            text: line.to_string(),
+            spec,
+            waiver: manifest_waiver(comment),
+        });
+    }
+    flush_subtable(&mut subtable, &mut deps);
+    deps
+}
+
+/// Checks one manifest's dependencies; `workspace_path_deps` is the set of
+/// names declared as path deps in the root `[workspace.dependencies]`.
+pub fn check_manifest(
+    rel_path: &str,
+    text: &str,
+    workspace_path_deps: &std::collections::BTreeSet<String>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for dep in parse_deps(text) {
+        let hermetic = match dep.spec {
+            DepSpec::Path => true,
+            DepSpec::Workspace => workspace_path_deps.contains(&dep.name),
+            DepSpec::External => false,
+        };
+        if hermetic {
+            continue;
+        }
+        let why = match dep.spec {
+            DepSpec::Workspace => format!(
+                "`{}` inherits a non-path entry from [workspace.dependencies]; the workspace entry must use `path = ...`",
+                dep.name
+            ),
+            _ => format!(
+                "`{}` in [{}] is an external (registry/git) dependency; only workspace-path crates keep `cargo build --offline` green",
+                dep.name, dep.table
+            ),
+        };
+        findings.push(Finding {
+            rule: Rule::Hermeticity,
+            path: rel_path.to_string(),
+            line: dep.line,
+            snippet: dep.text.clone(),
+            message: why,
+            waiver: dep.waiver.clone(),
+        });
+    }
+    findings
+}
+
+/// Collects the names declared with `path = ...` under the root
+/// `[workspace.dependencies]`.
+pub fn workspace_path_deps(root_manifest: &str) -> std::collections::BTreeSet<String> {
+    parse_deps(root_manifest)
+        .into_iter()
+        .filter(|d| d.table == "workspace.dependencies" && d.spec == DepSpec::Path)
+        .map(|d| d.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    const ROOT: &str = r#"
+[workspace]
+members = ["crates/*"]
+
+[workspace.dependencies]
+good = { path = "crates/good" }
+bad = { version = "1", features = ["std"] }
+"#;
+
+    #[test]
+    fn workspace_path_deps_are_collected() {
+        let set = workspace_path_deps(ROOT);
+        assert!(set.contains("good"));
+        assert!(!set.contains("bad"));
+    }
+
+    #[test]
+    fn registry_dep_in_workspace_table_fires() {
+        let findings = check_manifest("Cargo.toml", ROOT, &workspace_path_deps(ROOT));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Hermeticity);
+        assert!(findings[0].snippet.contains("bad"));
+    }
+
+    #[test]
+    fn version_string_and_git_deps_fire() {
+        let m = "[dependencies]\nserde = \"1\"\nx = { git = \"https://example.com/x\" }\nok = { path = \"../ok\" }\n";
+        let findings = check_manifest("crates/a/Cargo.toml", m, &BTreeSet::new());
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.is_active()));
+    }
+
+    #[test]
+    fn workspace_true_resolves_through_root() {
+        let m = "[dependencies]\ngood = { workspace = true }\nbad = { workspace = true }\n";
+        let mut ws = BTreeSet::new();
+        ws.insert("good".to_string());
+        let findings = check_manifest("crates/a/Cargo.toml", m, &ws);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("non-path entry"));
+    }
+
+    #[test]
+    fn dotted_keys_and_subtables() {
+        let m = "[dependencies]\nfoo.workspace = true\n[dependencies.rand]\nversion = \"0.8\"\n[dependencies.local]\npath = \"../local\"\n";
+        let mut ws = BTreeSet::new();
+        ws.insert("foo".to_string());
+        let findings = check_manifest("crates/a/Cargo.toml", m, &ws);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].snippet.contains("rand"));
+    }
+
+    #[test]
+    fn dev_and_target_tables_are_checked() {
+        let m = "[dev-dependencies]\nproptest = \"1\"\n[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        let findings = check_manifest("crates/a/Cargo.toml", m, &BTreeSet::new());
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn waived_manifest_entry_is_inactive() {
+        let m = "[dependencies]\nrand = \"0.8\" # itdos-lint: allow(hermeticity) -- vendored in CI image\n";
+        let findings = check_manifest("crates/a/Cargo.toml", m, &BTreeSet::new());
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_active());
+        assert_eq!(findings[0].waiver.as_deref(), Some("vendored in CI image"));
+    }
+
+    #[test]
+    fn non_dep_tables_are_ignored() {
+        let m = "[package]\nname = \"x\"\nversion = \"1\"\n[features]\ndefault = []\n";
+        assert!(check_manifest("crates/a/Cargo.toml", m, &BTreeSet::new()).is_empty());
+    }
+}

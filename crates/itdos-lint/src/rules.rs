@@ -1,0 +1,312 @@
+//! Source-level rules: L2 determinism, L3 panic-freedom, L4 constant-time
+//! crypto comparisons.
+//!
+//! All three are lexical pattern rules over the masked source model
+//! ([`crate::source::SourceFile`]): comments and string contents never fire,
+//! `#[cfg(test)]` regions are exempt (test code does not run inside a
+//! replica), and any hit can be waived in place with
+//! `// itdos-lint: allow(<rule>) -- <justification>`.
+
+use crate::findings::{Finding, Rule};
+use crate::source::{has_word, SourceFile};
+
+/// Crates whose code executes inside a replicated deterministic state
+/// machine: any nondeterminism here can leak into marshalled or voted bytes
+/// and break middleware voting across heterogeneous replicas (PAPER.md
+/// §3.4).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "itdos-bft",
+    "itdos-vote",
+    "itdos-giop",
+    "itdos-orb",
+    "itdos-groupmgr",
+    "itdos", // crates/core
+];
+
+/// Crates whose message handlers face Byzantine input directly: a panic
+/// there turns hostile bytes into an availability attack.
+pub const PANIC_FREE_CRATES: &[&str] = &["itdos-bft", "itdos-groupmgr"];
+
+/// Crates holding secret material whose comparisons must be constant-time.
+pub const CT_CRATES: &[&str] = &["itdos-crypto"];
+
+/// One lexical pattern with its explanation.
+struct Pattern {
+    /// Token to find (word-bounded unless `substring`).
+    needle: &'static str,
+    /// Match as plain substring (for method-call shapes like `.unwrap()`).
+    substring: bool,
+    /// Why this is a violation / what to use instead.
+    message: &'static str,
+}
+
+const DETERMINISM_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "SystemTime::now",
+        substring: false,
+        message: "wall-clock read in replica-deterministic code; derive time from the simulation clock or the agreed sequence number",
+    },
+    Pattern {
+        needle: "Instant::now",
+        substring: false,
+        message: "monotonic-clock read in replica-deterministic code; timers must come from the deterministic event loop",
+    },
+    Pattern {
+        needle: "thread_rng",
+        substring: false,
+        message: "OS-entropy RNG in replica-deterministic code; use a seeded xrand::rngs::SmallRng owned by the caller",
+    },
+    Pattern {
+        needle: "from_entropy",
+        substring: false,
+        message: "OS-entropy RNG construction in replica-deterministic code; seed explicitly from agreed state",
+    },
+    Pattern {
+        needle: "OsRng",
+        substring: false,
+        message: "OS entropy source in replica-deterministic code; randomness must be dealt or derived deterministically",
+    },
+    Pattern {
+        needle: "std::env",
+        substring: true,
+        message: "process environment read in replica-deterministic code; configuration must arrive through agreed protocol state",
+    },
+    Pattern {
+        needle: "HashMap",
+        substring: false,
+        message: "RandomState-ordered HashMap in replica-deterministic code; iteration order differs per process — use BTreeMap (or waive with proof that order never escapes)",
+    },
+    Pattern {
+        needle: "HashSet",
+        substring: false,
+        message: "RandomState-ordered HashSet in replica-deterministic code; iteration order differs per process — use BTreeSet (or waive with proof that order never escapes)",
+    },
+];
+
+const PANIC_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: ".unwrap()",
+        substring: true,
+        message: "unwrap() in a protocol message-handling crate; Byzantine input must surface as a typed Err, not a panic",
+    },
+    Pattern {
+        needle: ".expect(",
+        substring: true,
+        message: "expect() in a protocol message-handling crate; Byzantine input must surface as a typed Err, not a panic",
+    },
+    Pattern {
+        needle: "panic!",
+        substring: true,
+        message: "panic! in a protocol message-handling crate; return an error and let the caller brand the sender faulty",
+    },
+    Pattern {
+        needle: "unreachable!",
+        substring: true,
+        message: "unreachable! in a protocol message-handling crate; hostile senders find the \"unreachable\" arm",
+    },
+    Pattern {
+        needle: "todo!",
+        substring: true,
+        message: "todo! in a protocol message-handling crate; unimplemented paths are availability holes",
+    },
+    Pattern {
+        needle: "unimplemented!",
+        substring: true,
+        message: "unimplemented! in a protocol message-handling crate; unimplemented paths are availability holes",
+    },
+];
+
+/// Identifiers that mark a comparison as touching MAC/digest/key material.
+const SECRET_TOKENS: &[&str] = &["mac", "tag", "digest", "hmac", "key", "MacTag", "Digest"];
+
+/// Runs the determinism (L2) patterns over one file.
+pub fn check_determinism(rel_path: &str, file: &SourceFile) -> Vec<Finding> {
+    check_patterns(rel_path, file, Rule::Determinism, DETERMINISM_PATTERNS)
+}
+
+/// Runs the panic-freedom (L3) patterns over one file.
+pub fn check_panic_freedom(rel_path: &str, file: &SourceFile) -> Vec<Finding> {
+    check_patterns(rel_path, file, Rule::PanicFreedom, PANIC_PATTERNS)
+}
+
+fn check_patterns(
+    rel_path: &str,
+    file: &SourceFile,
+    rule: Rule,
+    patterns: &[Pattern],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, masked) in file.masked.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        for p in patterns {
+            let hit = if p.substring {
+                masked.contains(p.needle)
+            } else {
+                has_word(masked, p.needle)
+            };
+            if !hit {
+                continue;
+            }
+            findings.push(Finding {
+                rule,
+                path: rel_path.to_string(),
+                line: idx + 1,
+                snippet: file.lines[idx].trim().to_string(),
+                message: format!("`{}`: {}", p.needle, p.message),
+                waiver: file.waiver_for(rule, idx + 1).map(str::to_string),
+            });
+        }
+    }
+    findings
+}
+
+/// Runs the constant-time comparison rule (L4) over one file.
+///
+/// Fires on `==` / `!=` where either side of the comparison names
+/// MAC/digest/key material. The sanctioned alternative is
+/// `itdos_crypto::ct::ct_eq`, which compares full buffers with a
+/// data-independent access pattern.
+pub fn check_ct_crypto(rel_path: &str, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, masked) in file.masked.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let Some(cmp) = find_comparison(masked) else {
+            continue;
+        };
+        // only the comparison's expression text matters, not e.g. a type
+        // annotation elsewhere on the line
+        let (lhs, rhs) = masked.split_at(cmp);
+        let rhs = &rhs[2..];
+        let touches_secret = SECRET_TOKENS
+            .iter()
+            .any(|t| has_word_ci(lhs, t) || has_word_ci(rhs, t));
+        if !touches_secret {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::CtCrypto,
+            path: rel_path.to_string(),
+            line: idx + 1,
+            snippet: file.lines[idx].trim().to_string(),
+            message: "variable-time `==`/`!=` on MAC/digest/key material; early-exit comparison leaks a timing oracle — use itdos_crypto::ct::ct_eq".to_string(),
+            waiver: file.waiver_for(Rule::CtCrypto, idx + 1).map(str::to_string),
+        });
+    }
+    findings
+}
+
+/// Byte offset of the first `==` or `!=` comparison operator in `line`,
+/// skipping `<=`, `>=`, `=>`, and plain assignment.
+fn find_comparison(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let pair = &bytes[i..i + 2];
+        if pair == b"==" {
+            // reject `<==`? not valid rust; reject `===`? not valid either
+            return Some(i);
+        }
+        if pair == b"!=" {
+            return Some(i);
+        }
+        // skip over two-char operators containing '=' so `<=`, `>=`, `=>`
+        // don't confuse the scan; also skip single `=` (assignment)
+        if pair[1] == b'=' && (pair[0] == b'<' || pair[0] == b'>') {
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Case-insensitive word-bounded containment (ASCII).
+fn has_word_ci(haystack: &str, needle: &str) -> bool {
+    has_word(&haystack.to_ascii_lowercase(), &needle.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(src)
+    }
+
+    #[test]
+    fn determinism_fires_on_clock_and_entropy() {
+        let f = scan("let t = std::time::SystemTime::now();\nlet r = rand::thread_rng();\nlet m: HashMap<u32, u32> = HashMap::new();");
+        let findings = check_determinism("x.rs", &f);
+        // line 3 fires twice (two HashMap tokens collapse to one per pattern)
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert!(lines.contains(&1) && lines.contains(&2) && lines.contains(&3));
+        assert!(findings.iter().all(|f| f.is_active()));
+    }
+
+    #[test]
+    fn determinism_skips_tests_comments_strings() {
+        let f = scan("// SystemTime::now is forbidden\nlet s = \"Instant::now\";\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}");
+        assert!(check_determinism("x.rs", &f).is_empty());
+    }
+
+    #[test]
+    fn determinism_waiver_is_honored() {
+        let f = scan("let m: HashMap<u32, u32> = HashMap::new(); // itdos-lint: allow(determinism) -- drained sorted before hashing");
+        let findings = check_determinism("x.rs", &f);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().all(|f| !f.is_active()));
+        assert_eq!(
+            findings[0].waiver.as_deref(),
+            Some("drained sorted before hashing")
+        );
+    }
+
+    #[test]
+    fn panic_freedom_fires_and_waives() {
+        let f = scan("let a = x.unwrap();\nlet b = y.expect(\"present\");\npanic!(\"boom\");\n// itdos-lint: allow(panic-freedom) -- index bounded by quorum size\nlet c = z.unwrap();");
+        let findings = check_panic_freedom("x.rs", &f);
+        assert_eq!(findings.len(), 4);
+        assert_eq!(findings.iter().filter(|f| f.is_active()).count(), 3);
+    }
+
+    #[test]
+    fn panic_freedom_ignores_unwrap_or_variants() {
+        let f = scan("let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(|| 1);\nlet c = z.unwrap_or_default();");
+        assert!(check_panic_freedom("x.rs", &f).is_empty());
+    }
+
+    #[test]
+    fn ct_crypto_fires_on_secret_comparisons_only() {
+        let f = scan("if tag == MacTag::compute(key, msg) { }\nif index == other.index { }\nwhile self.buffered != 56 { }");
+        let findings = check_ct_crypto("x.rs", &f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn ct_crypto_ignores_le_ge_and_assignment() {
+        let f = scan("let key = derive();\nif key_len <= 32 { }\nlet go = |key| key;");
+        assert!(check_ct_crypto("x.rs", &f).is_empty());
+    }
+
+    #[test]
+    fn ct_crypto_waiver_is_honored() {
+        let f = scan("if digest == expected { } // itdos-lint: allow(ct-crypto) -- public transcript hash, no secret involved");
+        let findings = check_ct_crypto("x.rs", &f);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_active());
+    }
+
+    #[test]
+    fn scopes_list_expected_crates() {
+        assert!(DETERMINISTIC_CRATES.contains(&"itdos-giop"));
+        assert!(PANIC_FREE_CRATES.contains(&"itdos-bft"));
+        assert!(CT_CRATES.contains(&"itdos-crypto"));
+        assert!(!DETERMINISTIC_CRATES.contains(&"simnet"));
+    }
+}

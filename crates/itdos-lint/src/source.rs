@@ -1,0 +1,462 @@
+//! Lexical model of one Rust source file.
+//!
+//! The lint rules are lexical, so before matching patterns we build, per
+//! line:
+//!
+//! * a **masked** copy where comment bodies and string/char literal contents
+//!   are blanked out (lengths preserved) — pattern hits inside doc examples,
+//!   prose, or log strings must not fire;
+//! * the **comment text**, for waiver detection;
+//! * whether the line sits inside a `#[cfg(test)]` region — test-only code
+//!   never runs in a replica, so determinism and panic-freedom rules skip it.
+//!
+//! This is deliberately not a full parser: it only has to be exact about
+//! comment/string boundaries and brace depth, which a hand-rolled scanner
+//! handles in a few hundred lines with zero dependencies.
+
+use crate::findings::Rule;
+
+/// A waiver comment: `itdos-lint: allow(<rule>) -- <justification>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule being waived.
+    pub rule: Rule,
+    /// Mandatory human justification.
+    pub justification: String,
+    /// True for `allow-file(...)`: applies to the whole file.
+    pub file_scope: bool,
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// True when the waiver's line holds nothing but the comment, in which
+    /// case it covers the next code line instead of its own.
+    pub own_line: bool,
+}
+
+/// Scanned view of one source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Original lines.
+    pub lines: Vec<String>,
+    /// Lines with comments and literal contents blanked (same lengths).
+    pub masked: Vec<String>,
+    /// Comment text per line (concatenated if several).
+    pub comments: Vec<String>,
+    /// Per line: inside a `#[cfg(test)]` item?
+    pub in_test: Vec<bool>,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Scans `text` into the per-line model.
+    pub fn scan(text: &str) -> SourceFile {
+        let (masked, comments) = mask_lines(text);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let in_test = test_regions(&masked);
+        let waivers = parse_waivers(&comments, &masked);
+        SourceFile {
+            lines,
+            masked,
+            comments,
+            in_test,
+            waivers,
+        }
+    }
+
+    /// Returns the justification if `rule` is waived at `line` (1-based):
+    /// either by a trailing comment on the same line, an own-line waiver
+    /// directly above (blank lines and other comments may intervene), or a
+    /// file-scope waiver anywhere.
+    pub fn waiver_for(&self, rule: Rule, line: usize) -> Option<&str> {
+        for w in &self.waivers {
+            if w.rule != rule {
+                continue;
+            }
+            if w.file_scope {
+                return Some(&w.justification);
+            }
+            if !w.own_line && w.line == line {
+                return Some(&w.justification);
+            }
+            if w.own_line && w.line < line {
+                // own-line waiver covers the next non-blank, non-comment line
+                let covers = (w.line..line - 1).all(|i| {
+                    let code_blank = self.masked[i].trim().is_empty();
+                    code_blank
+                });
+                if covers {
+                    return Some(&w.justification);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Blanks comments and literal contents, returning (masked, comment-text)
+/// per line. String delimiters themselves are kept so `"` stays visible;
+/// contents become spaces.
+fn mask_lines(text: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        Block(u32),    // nested /* */ depth
+        Str,           // "..."
+        RawStr(usize), // r##"..."## with hash count
+    }
+
+    let mut masked = Vec::new();
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+
+    for line in text.lines() {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match state {
+                State::Block(depth) => {
+                    if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                        out.push_str("  ");
+                        i += 2;
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                    } else if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                        out.push_str("  ");
+                        comment.push_str("/*");
+                        i += 2;
+                        state = State::Block(depth + 1);
+                    } else {
+                        comment.push(bytes[i]);
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if bytes[i] == '\\' && i + 1 < bytes.len() {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if bytes[i] == '"'
+                        && bytes[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+                    {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += 1 + hashes;
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = bytes[i];
+                    if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                        // line comment: rest of line is comment text
+                        comment.push_str(&bytes[i..].iter().collect::<String>());
+                        for _ in i..bytes.len() {
+                            out.push(' ');
+                        }
+                        i = bytes.len();
+                    } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                        out.push_str("  ");
+                        comment.push_str("/*");
+                        i += 2;
+                        state = State::Block(1);
+                    } else if c == '"' {
+                        out.push('"');
+                        i += 1;
+                        state = State::Str;
+                    } else if c == 'r'
+                        && (i == 0 || !is_ident_char(bytes[i - 1]))
+                        && raw_str_hashes(&bytes[i + 1..]).is_some()
+                    {
+                        let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                        out.push('r');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        out.push('"');
+                        i += 2 + hashes;
+                        state = State::RawStr(hashes);
+                    } else if c == 'b'
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1] == '"'
+                        && (i == 0 || !is_ident_char(bytes[i - 1]))
+                    {
+                        out.push_str("b\"");
+                        i += 2;
+                        state = State::Str;
+                    } else if c == '\'' {
+                        // char literal vs lifetime: a char literal closes
+                        // within a few chars; otherwise treat as lifetime
+                        if let Some(close) = char_literal_len(&bytes[i..]) {
+                            out.push('\'');
+                            for _ in 1..close - 1 {
+                                out.push(' ');
+                            }
+                            out.push('\'');
+                            i += close;
+                        } else {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        masked.push(out);
+        comments.push(comment);
+    }
+    (masked, comments)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// If `rest` (after a leading `r`) starts a raw string, returns hash count.
+fn raw_str_hashes(rest: &[char]) -> Option<usize> {
+    let hashes = rest.iter().take_while(|&&c| c == '#').count();
+    if rest.get(hashes) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// If `chars` starts a char literal (`'x'`, `'\n'`, `'\u{1F}'`), returns its
+/// total length including quotes; `None` for lifetimes.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    if chars.len() < 3 {
+        return None;
+    }
+    if chars[1] == '\\' {
+        // escaped: find closing quote within a small window
+        for (j, &c) in chars.iter().enumerate().skip(2).take(10) {
+            if c == '\'' {
+                return Some(j + 1);
+            }
+        }
+        None
+    } else if chars[2] == '\'' && chars[1] != '\'' {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]`-attributed items by tracking the brace
+/// block that follows the attribute.
+fn test_regions(masked: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    let mut i = 0usize;
+    while i < masked.len() {
+        let t = masked[i].trim();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
+            // the region runs from here to the close of the next brace block
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < masked.len() {
+                in_test[j] = true;
+                for c in masked[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                // attribute not followed by a braced item within 5 lines:
+                // bail out rather than swallow the file
+                if !opened && j > i + 5 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Extracts waiver directives from comment text.
+///
+/// Grammar: `itdos-lint: allow(<rule>) -- <justification>` and
+/// `itdos-lint: allow-file(<rule>) -- <justification>`. A justification is
+/// mandatory; a waiver without one is ignored (and the finding stays
+/// active), which makes "empty excuse" waivers impossible.
+fn parse_waivers(comments: &[String], masked: &[String]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, comment) in comments.iter().enumerate() {
+        let Some(pos) = comment.find("itdos-lint:") else {
+            continue;
+        };
+        let rest = comment[pos + "itdos-lint:".len()..].trim_start();
+        let file_scope = rest.starts_with("allow-file(");
+        let open = match rest.find('(') {
+            Some(p) if rest.starts_with("allow(") || file_scope => p,
+            _ => continue,
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        let key = rest[open + 1..open + close].trim();
+        let Some(rule) = Rule::from_key(key) else {
+            continue;
+        };
+        let after = rest[open + close + 1..].trim_start();
+        let Some(just) = after.strip_prefix("--") else {
+            continue;
+        };
+        let justification = just.trim().to_string();
+        if justification.is_empty() {
+            continue;
+        }
+        out.push(Waiver {
+            rule,
+            justification,
+            file_scope,
+            line: idx + 1,
+            own_line: masked[idx].trim().is_empty(),
+        });
+    }
+    out
+}
+
+/// True when `haystack` contains `needle` bounded by non-identifier chars.
+pub fn has_word(haystack: &str, needle: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(is_ident_char);
+        let after = abs + needle.len();
+        let after_ok =
+            after >= haystack.len() || !haystack[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = r#"let x = "SystemTime::now()"; // Instant::now in prose
+let y = 1; /* HashMap */ let z = 2;"#;
+        let f = SourceFile::scan(src);
+        assert!(!f.masked[0].contains("SystemTime"));
+        assert!(f.comments[0].contains("Instant::now"));
+        assert!(!f.masked[1].contains("HashMap"));
+        assert!(f.masked[1].contains("let z = 2;"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_masked() {
+        let src = "let a = r#\"panic!(inside)\"#; let b = b\"unwrap()\";\nlet c = a.unwrap();";
+        let f = SourceFile::scan(src);
+        assert!(!f.masked[0].contains("panic!"));
+        assert!(!f.masked[0].contains("unwrap"));
+        assert!(f.masked[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\\'' }\nlet q = '\"'; let s = \"HashSet\";";
+        let f = SourceFile::scan(src);
+        assert!(f.masked[0].contains("fn f<'a>(x: &'a str)"));
+        // the double-quote char literal must not open a string state
+        assert!(!f.masked[1].contains("HashSet"));
+        assert!(f.masked[1].contains("let s ="));
+    }
+
+    #[test]
+    fn multiline_block_comments_mask_until_close() {
+        let src = "code();\n/* one\n   HashMap here\n   two */ after();\ncode2();";
+        let f = SourceFile::scan(src);
+        assert!(!f.masked[2].contains("HashMap"));
+        assert!(f.masked[3].contains("after();"));
+        assert!(f.masked[4].contains("code2();"));
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn prod2() {}";
+        let f = SourceFile::scan(src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn waiver_same_line_and_own_line() {
+        let src = "let a = x.unwrap(); // itdos-lint: allow(panic-freedom) -- checked above\n// itdos-lint: allow(determinism) -- replay-stable map\nlet b = 1;\nlet c = 2;";
+        let f = SourceFile::scan(src);
+        assert_eq!(f.waiver_for(Rule::PanicFreedom, 1), Some("checked above"));
+        assert_eq!(f.waiver_for(Rule::PanicFreedom, 2), None);
+        assert_eq!(
+            f.waiver_for(Rule::Determinism, 3),
+            Some("replay-stable map")
+        );
+        // own-line waiver does not leak past its next code line
+        assert_eq!(f.waiver_for(Rule::Determinism, 4), None);
+    }
+
+    #[test]
+    fn waiver_requires_justification() {
+        let src = "let a = x.unwrap(); // itdos-lint: allow(panic-freedom)\nlet b = y.unwrap(); // itdos-lint: allow(panic-freedom) --   ";
+        let f = SourceFile::scan(src);
+        assert!(f.waivers.is_empty());
+    }
+
+    #[test]
+    fn file_scope_waiver_covers_everything() {
+        let src = "// itdos-lint: allow-file(ct-crypto) -- test vectors only\nfn f() {}\nfn g() {}";
+        let f = SourceFile::scan(src);
+        assert_eq!(f.waiver_for(Rule::CtCrypto, 3), Some("test vectors only"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("let m: HashMap<u32, u32>", "HashMap"));
+        assert!(!has_word("let m: MyHashMapLike", "HashMap"));
+        assert!(has_word("tag == other", "tag"));
+        assert!(!has_word("stage == other", "tag"));
+    }
+}

@@ -3,8 +3,7 @@
 
 use itdos_giop::cdr::Endianness;
 use itdos_giop::giop::{
-    decode_message, encode_message, GiopError, GiopMessage, ReplyBody, ReplyMessage,
-    RequestMessage,
+    decode_message, encode_message, GiopError, GiopMessage, ReplyBody, ReplyMessage, RequestMessage,
 };
 use itdos_giop::idl::InterfaceRepository;
 use itdos_giop::platform::PlatformProfile;
@@ -270,10 +269,7 @@ mod tests {
                 ))
                 .with_operation(OperationDef::new(
                     "avg",
-                    vec![(
-                        "xs".into(),
-                        TypeDesc::sequence_of(TypeDesc::Double),
-                    )],
+                    vec![("xs".into(), TypeDesc::sequence_of(TypeDesc::Double))],
                     TypeDesc::Double,
                 )),
         );
@@ -365,8 +361,8 @@ mod tests {
     fn bad_arguments_rejected_before_servant() {
         let mut orb = orb(PlatformProfile::SPARC_SOLARIS);
         for args in [
-            vec![Value::Long(1)],                         // arity
-            vec![Value::Long(1), Value::Double(2.0)],     // type
+            vec![Value::Long(1)],                     // arity
+            vec![Value::Long(1), Value::Double(2.0)], // type
         ] {
             match orb.handle_request(&request("add", args)) {
                 Dispatch::Reply(r) => assert_eq!(
@@ -415,7 +411,9 @@ mod tests {
         let mut orb = Orb::new(repo(), PlatformProfile::SPARC_SOLARIS);
         orb.activate(
             ObjectKey::from_name("calc"),
-            Box::new(FnServant::new("Calc", |_, _| Ok(Value::String("no".into())))),
+            Box::new(FnServant::new("Calc", |_, _| {
+                Ok(Value::String("no".into()))
+            })),
         );
         match orb.handle_request(&request("add", vec![Value::Long(1), Value::Long(2)])) {
             Dispatch::Reply(r) => assert_eq!(
@@ -501,10 +499,9 @@ mod tests {
         assert_eq!(nested.target.domain, crate::object::DomainAddr(9));
         // while suspended, new requests are refused (single-threaded model)
         match orb.handle_request(&request("add", vec![Value::Long(1), Value::Long(2)])) {
-            Dispatch::Reply(r) => assert_eq!(
-                r.body,
-                ReplyBody::SystemException { minor: minor::BUSY }
-            ),
+            Dispatch::Reply(r) => {
+                assert_eq!(r.body, ReplyBody::SystemException { minor: minor::BUSY })
+            }
             other => panic!("unexpected {other:?}"),
         }
         // nested reply arrives; the original request completes

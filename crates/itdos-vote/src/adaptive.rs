@@ -60,10 +60,7 @@ impl AdaptiveVoter {
     /// Panics on an empty ladder or non-positive epsilon.
     pub fn new(mut ladder: Vec<f64>) -> AdaptiveVoter {
         assert!(!ladder.is_empty(), "epsilon ladder must not be empty");
-        assert!(
-            ladder.iter().all(|e| *e > 0.0),
-            "epsilons must be positive"
-        );
+        assert!(ladder.iter().all(|e| *e > 0.0), "epsilons must be positive");
         ladder.sort_by(|a, b| a.partial_cmp(b).expect("no NaN epsilons"));
         AdaptiveVoter { ladder }
     }
@@ -100,8 +97,8 @@ impl AdaptiveVoter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use itdos_giop::types::Value;
     use crate::vote::SenderId;
+    use itdos_giop::types::Value;
 
     fn candidates(values: &[f64]) -> Vec<Candidate> {
         values
@@ -156,7 +153,10 @@ mod tests {
         let voter = AdaptiveVoter::new(vec![1e-3]);
         let cs = candidates(&[10.0, 10.0, 10.005]);
         let d = voter.vote(&cs, 3).unwrap();
-        assert!(d.decision.dissenters.is_empty(), "outlier admitted at loose eps");
+        assert!(
+            d.decision.dissenters.is_empty(),
+            "outlier admitted at loose eps"
+        );
     }
 
     #[test]

@@ -117,7 +117,11 @@ mod tests {
         // at threshold 2 it "decides" but wrongly brands replica 1 faulty
         match byte_vote(&frames, 2) {
             ByteVoteOutcome::Decided { dissenters, .. } => {
-                assert_eq!(dissenters, vec![SenderId(1)], "correct replica branded faulty");
+                assert_eq!(
+                    dissenters,
+                    vec![SenderId(1)],
+                    "correct replica branded faulty"
+                );
             }
             ByteVoteOutcome::Pending => panic!("expected decision"),
         }

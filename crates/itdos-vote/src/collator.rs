@@ -198,11 +198,7 @@ impl Collator {
         if self.candidates.len() < self.thresholds.quorum() {
             return Accept::Collected;
         }
-        match vote(
-            &self.candidates,
-            &self.comparator,
-            self.thresholds.decide(),
-        ) {
+        match vote(&self.candidates, &self.comparator, self.thresholds.decide()) {
             VoteOutcome::Decided(decision) => {
                 self.decision = Some(decision.clone());
                 self.stats.decided = true;
@@ -293,7 +289,10 @@ mod tests {
         c.offer(1, SenderId(0), long(5));
         c.offer(1, SenderId(1), long(5));
         c.offer(1, SenderId(2), long(5));
-        assert_eq!(c.offer(1, SenderId(3), long(5)), Accept::Late { suspect: None });
+        assert_eq!(
+            c.offer(1, SenderId(3), long(5)),
+            Accept::Late { suspect: None }
+        );
         assert!(c.suspects().is_empty());
     }
 

@@ -81,8 +81,7 @@ impl Comparator {
             },
             Comparator::Sequence(elem) => match (a, b) {
                 (Value::Sequence(xs), Value::Sequence(ys)) => {
-                    xs.len() == ys.len()
-                        && xs.iter().zip(ys).all(|(x, y)| elem.equivalent(x, y))
+                    xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| elem.equivalent(x, y))
                 }
                 _ => false,
             },
@@ -195,10 +194,7 @@ mod tests {
     fn inexact_recurses_into_composites() {
         let c = Comparator::InexactRel(1e-6);
         let a = Value::Sequence(vec![Value::Double(1.0), Value::Double(2.0)]);
-        let b = Value::Sequence(vec![
-            Value::Double(1.0 + 1e-8),
-            Value::Double(2.0 - 1e-8),
-        ]);
+        let b = Value::Sequence(vec![Value::Double(1.0 + 1e-8), Value::Double(2.0 - 1e-8)]);
         assert!(c.equivalent(&a, &b));
     }
 
@@ -207,10 +203,7 @@ mod tests {
         let c = Comparator::InexactAbs(10.0);
         assert!(!c.equivalent(&Value::Long(1), &Value::Long(2)));
         assert!(c.equivalent(&Value::Long(1), &Value::Long(1)));
-        assert!(!c.equivalent(
-            &Value::String("a".into()),
-            &Value::String("b".into())
-        ));
+        assert!(!c.equivalent(&Value::String("a".into()), &Value::String("b".into())));
     }
 
     #[test]
@@ -257,10 +250,7 @@ mod tests {
     #[test]
     fn infinities_compare_equal_to_themselves() {
         let c = Comparator::InexactRel(1e-9);
-        assert!(c.equivalent(
-            &Value::Double(f64::INFINITY),
-            &Value::Double(f64::INFINITY)
-        ));
+        assert!(c.equivalent(&Value::Double(f64::INFINITY), &Value::Double(f64::INFINITY)));
         assert!(!c.equivalent(
             &Value::Double(f64::INFINITY),
             &Value::Double(f64::NEG_INFINITY)

@@ -112,7 +112,11 @@ impl std::fmt::Display for ProofError {
             ProofError::BadSignature(s) => write!(f, "bad signature from element {}", s.0),
             ProofError::UnknownSender(s) => write!(f, "unknown element {}", s.0),
             ProofError::Replayed { sender, sequence } => {
-                write!(f, "replayed message from element {} (seq {sequence})", sender.0)
+                write!(
+                    f,
+                    "replayed message from element {} (seq {sequence})",
+                    sender.0
+                )
             }
             ProofError::Undecodable(s) => write!(f, "undecodable frame from element {}", s.0),
             ProofError::RequestIdMismatch(s) => {
@@ -153,8 +157,8 @@ fn reply_value(
     repo: &InterfaceRepository,
     request_id: u64,
 ) -> Result<Value, ProofError> {
-    let decoded =
-        decode_message(&message.frame, repo).map_err(|_| ProofError::Undecodable(message.sender))?;
+    let decoded = decode_message(&message.frame, repo)
+        .map_err(|_| ProofError::Undecodable(message.sender))?;
     let GiopMessage::Reply(reply) = decoded else {
         return Err(ProofError::Undecodable(message.sender));
     };
@@ -211,8 +215,7 @@ pub fn verify_proof(
             value: reply_value(message, repo, proof.request_id)?,
         });
     }
-    let VoteOutcome::Decided(decision) = vote(&candidates, comparator, thresholds.decide())
-    else {
+    let VoteOutcome::Decided(decision) = vote(&candidates, comparator, thresholds.decide()) else {
         return Err(ProofError::VoteInconclusive);
     };
     for accused in &proof.accused {
@@ -289,7 +292,12 @@ mod tests {
                 Endianness::Little
             };
             let frame = reply_frame(7, value, e);
-            messages.push(SignedReply::sign(sk, SenderId(i as u32), 100 + i as u64, frame));
+            messages.push(SignedReply::sign(
+                sk,
+                SenderId(i as u32),
+                100 + i as u64,
+                frame,
+            ));
         }
         (
             FaultProof {
@@ -389,7 +397,10 @@ mod tests {
     fn unknown_sender_rejected() {
         let (proof, mut vks) = sample_proof(100, 666);
         vks.remove(&SenderId(2));
-        assert_eq!(verify(&proof, &vks), Err(ProofError::UnknownSender(SenderId(2))));
+        assert_eq!(
+            verify(&proof, &vks),
+            Err(ProofError::UnknownSender(SenderId(2)))
+        );
     }
 
     #[test]
@@ -452,7 +463,10 @@ mod tests {
         // re-sign a garbage frame so the signature verifies but decode fails
         let sk = SigningKey::from_seed(&0u32.to_le_bytes());
         proof.messages[0] = SignedReply::sign(&sk, SenderId(0), 200, vec![1, 2, 3]);
-        assert_eq!(verify(&proof, &vks), Err(ProofError::Undecodable(SenderId(0))));
+        assert_eq!(
+            verify(&proof, &vks),
+            Err(ProofError::Undecodable(SenderId(0)))
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! comparator program covers it: headers compare exactly, the body uses
 //! the interface's registered program (e.g. inexact floats).
 
+use crate::comparator::Comparator;
 use itdos_giop::giop::{ReplyBody, ReplyMessage, RequestMessage};
 use itdos_giop::types::Value;
-use crate::comparator::Comparator;
 
 /// Folds a request into a votable value:
 /// `{interface, operation, object_key, args…}`.

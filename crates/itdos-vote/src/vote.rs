@@ -204,7 +204,10 @@ mod tests {
     fn vote_is_deterministic_in_candidate_order() {
         let a = vec![cand(2, 5), cand(0, 7), cand(1, 5)];
         let b = vec![cand(0, 7), cand(1, 5), cand(2, 5)];
-        assert_eq!(vote(&a, &Comparator::Exact, 2), vote(&b, &Comparator::Exact, 2));
+        assert_eq!(
+            vote(&a, &Comparator::Exact, 2),
+            vote(&b, &Comparator::Exact, 2)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! implementations; this module models the *network* half: an interceptor
 //! consulted for every message copy before it is scheduled for delivery.
 
-use bytes::Bytes;
-use rand::rngs::SmallRng;
+use xbytes::Bytes;
+use xrand::rngs::SmallRng;
 
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
@@ -152,7 +152,7 @@ impl Adversary for Scripted {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use xrand::SeedableRng;
 
     fn n(i: u32) -> NodeId {
         NodeId::from_raw(i)
@@ -165,7 +165,13 @@ mod tests {
     #[test]
     fn passthrough_passes() {
         let mut a = PassThrough;
-        let v = a.intercept(SimTime::ZERO, n(0), n(1), &Bytes::from_static(b"x"), &mut rng());
+        let v = a.intercept(
+            SimTime::ZERO,
+            n(0),
+            n(1),
+            &Bytes::from_static(b"x"),
+            &mut rng(),
+        );
         assert_eq!(v, Verdict::Pass);
     }
 
@@ -173,7 +179,9 @@ mod tests {
     fn scripted_first_match_wins() {
         let mut a = Scripted::new();
         a.rule(Some(n(0)), None, |_, _| Verdict::Drop);
-        a.rule(None, None, |_, _| Verdict::Delay(SimDuration::from_micros(1)));
+        a.rule(None, None, |_, _| {
+            Verdict::Delay(SimDuration::from_micros(1))
+        });
         let v = a.intercept(SimTime::ZERO, n(0), n(1), &Bytes::new(), &mut rng());
         assert_eq!(v, Verdict::Drop);
         let v = a.intercept(SimTime::ZERO, n(2), n(1), &Bytes::new(), &mut rng());

@@ -14,7 +14,7 @@
 //! # Examples
 //!
 //! ```
-//! use bytes::Bytes;
+//! use xbytes::Bytes;
 //! use simnet::{Context, NodeId, Process, Simulator};
 //!
 //! /// Replies "pong" to every message.

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rand::Rng;
+use xrand::Rng;
 
 use crate::node::NodeId;
 use crate::time::SimDuration;
@@ -134,8 +134,8 @@ impl NetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use xrand::rngs::SmallRng;
+    use xrand::SeedableRng;
 
     fn n(i: u32) -> NodeId {
         NodeId::from_raw(i)

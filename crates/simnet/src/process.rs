@@ -2,8 +2,8 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
-use rand::rngs::SmallRng;
+use xbytes::Bytes;
+use xrand::rngs::SmallRng;
 
 use crate::node::{GroupId, NodeId};
 use crate::time::{SimDuration, SimTime};
@@ -187,7 +187,7 @@ pub trait Process: AsAny {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use xrand::SeedableRng;
 
     #[test]
     fn context_buffers_actions() {

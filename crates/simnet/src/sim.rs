@@ -3,9 +3,9 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use bytes::Bytes;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xbytes::Bytes;
+use xrand::rngs::SmallRng;
+use xrand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, PassThrough, Verdict};
 use crate::net::NetConfig;
@@ -48,7 +48,7 @@ struct NodeSlot {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use xbytes::Bytes;
 /// use simnet::{Context, NodeId, Process, Simulator};
 ///
 /// struct Echo;

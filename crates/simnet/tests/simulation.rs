@@ -1,10 +1,10 @@
 //! simnet integration scenarios: multi-group topologies, healing
 //! partitions, adversarial duplication, and determinism guarantees.
 
-use bytes::Bytes;
 use simnet::adversary::{Scripted, Verdict};
 use simnet::net::Latency;
 use simnet::{Context, GroupId, NodeId, Process, SimDuration, Simulator, Timer};
+use xbytes::Bytes;
 
 /// Counts everything it receives; echoes external kicks into its group.
 struct Member {

@@ -24,13 +24,16 @@ fn main() {
 
     let mut builder = SystemBuilder::new(3);
     builder.repository(repo);
-    builder.add_domain(ECHO, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("echo"),
-            Box::new(FnServant::new("Echo", |_, args| Ok(args[0].clone())))
-                as Box<dyn Servant>,
-        )]
-    }));
+    builder.add_domain(
+        ECHO,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("echo"),
+                Box::new(FnServant::new("Echo", |_, args| Ok(args[0].clone()))) as Box<dyn Servant>,
+            )]
+        }),
+    );
     builder.add_client(CLIENT);
     let mut system = builder.build();
     system.sim.stats_mut().enable_ledger();
@@ -50,14 +53,29 @@ fn main() {
     // first appear — the Figure 3 arrows
     let ledger = system.sim.stats().ledger().to_vec();
     let phases: &[(&str, &str)] = &[
-        ("smiop-submit", "(1/4) client submits to an ordering group (open_request or invocation)"),
+        (
+            "smiop-submit",
+            "(1/4) client submits to an ordering group (open_request or invocation)",
+        ),
         ("bft-request", "      … relayed inside the BFT group"),
-        ("bft-pre-prepare", "      PBFT pre-prepare (primary proposes the order)"),
+        (
+            "bft-pre-prepare",
+            "      PBFT pre-prepare (primary proposes the order)",
+        ),
         ("bft-prepare", "      PBFT prepare"),
         ("bft-commit", "      PBFT commit"),
-        ("bft-reply", "      BFT static acknowledgements back to the submitter"),
-        ("gm-keyshare", "(2,3) GM elements push threshold key shares to server elements and client"),
-        ("smiop-reply", "(5)   server elements send voted replies directly to the client"),
+        (
+            "bft-reply",
+            "      BFT static acknowledgements back to the submitter",
+        ),
+        (
+            "gm-keyshare",
+            "(2,3) GM elements push threshold key shares to server elements and client",
+        ),
+        (
+            "smiop-reply",
+            "(5)   server elements send voted replies directly to the client",
+        ),
     ];
     for (label, description) in phases {
         let entries: Vec<_> = ledger.iter().filter(|e| e.label == *label).collect();
@@ -85,8 +103,6 @@ fn main() {
         vec![Value::String("again".into())],
     );
     let shares_after = system.sim.stats().label("gm-keyshare").messages;
-    println!(
-        "key-share messages: {shares_before} before, {shares_after} after (no new keying)"
-    );
+    println!("key-share messages: {shares_before} before, {shares_after} after (no new keying)");
     assert_eq!(shares_before, shares_after);
 }

@@ -18,11 +18,13 @@ const CLIENT: u64 = 1;
 
 fn repo() -> InterfaceRepository {
     let mut repo = InterfaceRepository::new();
-    repo.register(InterfaceDef::new("Sensor::Fusion").with_operation(OperationDef::new(
-        "fuse",
-        vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
-        TypeDesc::Double,
-    )));
+    repo.register(
+        InterfaceDef::new("Sensor::Fusion").with_operation(OperationDef::new(
+            "fuse",
+            vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
+            TypeDesc::Double,
+        )),
+    );
     repo
 }
 
@@ -43,9 +45,11 @@ fn build(comparator: Comparator, seed: u64) -> itdos::System {
     let mut builder = SystemBuilder::new(seed);
     builder.repository(repo());
     builder.comparator("Sensor::Fusion", comparator);
-    builder.add_domain(SENSORS, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("fusion"), fusion_servant())]
-    }));
+    builder.add_domain(
+        SENSORS,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("fusion"), fusion_servant())]),
+    );
     builder.platforms(SENSORS, PlatformProfile::ALL.to_vec());
     builder.add_client(CLIENT);
     builder.build()
@@ -80,13 +84,23 @@ fn main() {
     );
     println!("\ninexact voting (rel eps 1e-6):");
     println!("  fused reading -> {:?}", done.result);
-    println!("  suspects      -> {:?} (platform divergence tolerated)", done.suspects);
+    println!(
+        "  suspects      -> {:?} (platform divergence tolerated)",
+        done.suspects
+    );
 
     // Exact voting: the same deployment never assembles f+1 bit-identical
     // doubles — the invocation starves. This is why Immune-style byte
     // voting cannot support heterogeneity.
     let mut system = build(Comparator::Exact, 7);
-    system.invoke_async(CLIENT, SENSORS, b"fusion", "Sensor::Fusion", "fuse", samples);
+    system.invoke_async(
+        CLIENT,
+        SENSORS,
+        b"fusion",
+        "Sensor::Fusion",
+        "fuse",
+        samples,
+    );
     system
         .sim
         .run_until(simnet::SimTime::ZERO + simnet::SimDuration::from_secs(2));
@@ -101,9 +115,11 @@ fn main() {
     let mut builder = SystemBuilder::new(8);
     builder.repository(repo());
     builder.comparator("Sensor::Fusion", Comparator::InexactRel(1e-6));
-    builder.add_domain(SENSORS, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("fusion"), fusion_servant())]
-    }));
+    builder.add_domain(
+        SENSORS,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("fusion"), fusion_servant())]),
+    );
     builder.platforms(SENSORS, PlatformProfile::ALL.to_vec());
     builder.behavior(SENSORS, 2, itdos::Behavior::CorruptValue);
     builder.add_client(CLIENT);
@@ -114,9 +130,15 @@ fn main() {
         b"fusion",
         "Sensor::Fusion",
         "fuse",
-        vec![Value::Sequence(vec![Value::Double(20.0), Value::Double(20.2)])],
+        vec![Value::Sequence(vec![
+            Value::Double(20.0),
+            Value::Double(20.2),
+        ])],
     );
     println!("\ninexact voting with one corrupt replica:");
     println!("  fused reading -> {:?}", done.result);
-    println!("  suspects      -> {:?} (the lie is outside tolerance)", done.suspects);
+    println!(
+        "  suspects      -> {:?} (the lie is outside tolerance)",
+        done.suspects
+    );
 }

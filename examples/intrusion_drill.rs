@@ -18,11 +18,13 @@ const CLIENT: u64 = 1;
 
 fn repo() -> InterfaceRepository {
     let mut repo = InterfaceRepository::new();
-    repo.register(InterfaceDef::new("Ledger").with_operation(OperationDef::new(
-        "append",
-        vec![("entry".into(), TypeDesc::LongLong)],
-        TypeDesc::LongLong,
-    )));
+    repo.register(
+        InterfaceDef::new("Ledger").with_operation(OperationDef::new(
+            "append",
+            vec![("entry".into(), TypeDesc::LongLong)],
+            TypeDesc::LongLong,
+        )),
+    );
     repo
 }
 
@@ -40,9 +42,11 @@ fn drill(title: &str, behavior: Behavior, seed: u64) {
     println!("\n=== drill: {title} ===");
     let mut builder = SystemBuilder::new(seed);
     builder.repository(repo());
-    builder.add_domain(LEDGER, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("ledger"), ledger_servant())]
-    }));
+    builder.add_domain(
+        LEDGER,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("ledger"), ledger_servant())]),
+    );
     builder.behavior(LEDGER, 3, behavior.clone());
     builder.add_client(CLIENT);
     let mut system = builder.build();
@@ -59,7 +63,10 @@ fn drill(title: &str, behavior: Behavior, seed: u64) {
     println!("append(1000) -> {:?}", done.result);
     println!("suspects: {:?}", done.suspects);
     system.settle();
-    println!("proofs sent to Group Manager: {}", system.client(CLIENT).proofs_sent);
+    println!(
+        "proofs sent to Group Manager: {}",
+        system.client(CLIENT).proofs_sent
+    );
     let expelled = !system
         .gm_element(0)
         .replica()
@@ -69,10 +76,7 @@ fn drill(title: &str, behavior: Behavior, seed: u64) {
         .domain(LEDGER)
         .unwrap()
         .is_active(compromised);
-    println!(
-        "element {:?} expelled: {expelled}",
-        compromised
-    );
+    println!("element {:?} expelled: {expelled}", compromised);
     // service must continue either way
     let done = system.invoke(
         CLIENT,

@@ -55,33 +55,45 @@ impl Servant for Desk {
 
 fn main() {
     let mut repo = InterfaceRepository::new();
-    repo.register(InterfaceDef::new("Trade::Desk").with_operation(OperationDef::new(
-        "value_position",
-        vec![("quantity".into(), TypeDesc::LongLong)],
-        TypeDesc::LongLong,
-    )));
-    repo.register(InterfaceDef::new("Trade::Pricer").with_operation(OperationDef::new(
-        "unit_price",
-        vec![],
-        TypeDesc::LongLong,
-    )));
+    repo.register(
+        InterfaceDef::new("Trade::Desk").with_operation(OperationDef::new(
+            "value_position",
+            vec![("quantity".into(), TypeDesc::LongLong)],
+            TypeDesc::LongLong,
+        )),
+    );
+    repo.register(
+        InterfaceDef::new("Trade::Pricer").with_operation(OperationDef::new(
+            "unit_price",
+            vec![],
+            TypeDesc::LongLong,
+        )),
+    );
 
     let mut builder = SystemBuilder::new(99);
     builder.repository(repo);
-    builder.add_domain(DESK, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("desk"),
-            Box::new(Desk { quantity: None }) as Box<dyn Servant>,
-        )]
-    }));
-    builder.add_domain(PRICER, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("gold"),
-            Box::new(FnServant::new("Trade::Pricer", |_, _| {
-                Ok(Value::LongLong(1937))
-            })) as Box<dyn Servant>,
-        )]
-    }));
+    builder.add_domain(
+        DESK,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("desk"),
+                Box::new(Desk { quantity: None }) as Box<dyn Servant>,
+            )]
+        }),
+    );
+    builder.add_domain(
+        PRICER,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("gold"),
+                Box::new(FnServant::new("Trade::Pricer", |_, _| {
+                    Ok(Value::LongLong(1937))
+                })) as Box<dyn Servant>,
+            )]
+        }),
+    );
     builder.add_client(CLIENT);
     let mut system = builder.build();
 

@@ -36,30 +36,34 @@ fn main() {
     //    servant, plus one singleton client.
     let mut builder = SystemBuilder::new(2002);
     builder.repository(repo);
-    builder.add_domain(BANK, 1, Box::new(|replica_index| {
-        println!("  spawning replica {replica_index} of Bank::Account");
-        let mut balance: i64 = 0;
-        vec![(
-            ObjectKey::from_name("acct-1"),
-            Box::new(FnServant::new("Bank::Account", move |op, args| match op {
-                "deposit" => {
-                    if let Value::LongLong(v) = args[0] {
-                        balance += v;
-                    }
-                    Ok(Value::LongLong(balance))
-                }
-                "withdraw" => match args[0] {
-                    Value::LongLong(v) if v <= balance => {
-                        balance -= v;
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|replica_index| {
+            println!("  spawning replica {replica_index} of Bank::Account");
+            let mut balance: i64 = 0;
+            vec![(
+                ObjectKey::from_name("acct-1"),
+                Box::new(FnServant::new("Bank::Account", move |op, args| match op {
+                    "deposit" => {
+                        if let Value::LongLong(v) = args[0] {
+                            balance += v;
+                        }
                         Ok(Value::LongLong(balance))
                     }
-                    _ => Err(ServantException::new("Bank::InsufficientFunds")),
-                },
-                "balance" => Ok(Value::LongLong(balance)),
-                _ => Err(ServantException::new("Bank::NoSuchOp")),
-            })) as Box<dyn Servant>,
-        )]
-    }));
+                    "withdraw" => match args[0] {
+                        Value::LongLong(v) if v <= balance => {
+                            balance -= v;
+                            Ok(Value::LongLong(balance))
+                        }
+                        _ => Err(ServantException::new("Bank::InsufficientFunds")),
+                    },
+                    "balance" => Ok(Value::LongLong(balance)),
+                    _ => Err(ServantException::new("Bank::NoSuchOp")),
+                })) as Box<dyn Servant>,
+            )]
+        }),
+    );
     builder.add_client(CLIENT);
     let mut system = builder.build();
 

@@ -75,14 +75,18 @@ fn delayed_key_shares_are_survivable() {
     }
     system.sim.set_adversary(Box::new(adversary));
     let done = deposit(&mut system, 9);
-    assert_eq!(done.result, Ok(Value::LongLong(9)), "stalled frames replayed after keying");
+    assert_eq!(
+        done.result,
+        Ok(Value::LongLong(9)),
+        "stalled frames replayed after keying"
+    );
 }
 
 /// Loss on every link (5%) with duplication of the remainder: the
 /// retransmission machinery still completes a batch of invocations.
 #[test]
 fn lossy_duplicating_network_still_progresses() {
-    let mut system = bank_system(304).build();
+    let mut system = bank_system(305).build();
     system.sim.config_mut().loss_probability = 0.05;
     let mut adversary = Scripted::new();
     adversary.rule(None, None, |_, _| {
@@ -128,7 +132,9 @@ fn client_tampering_fails_closed() {
         );
     }
     // heal the network: the client's BFT retransmission finishes the job
-    system.sim.set_adversary(Box::new(simnet::adversary::PassThrough));
+    system
+        .sim
+        .set_adversary(Box::new(simnet::adversary::PassThrough));
     system.settle();
     assert_eq!(
         system.client(CLIENT).completed.len(),

@@ -28,21 +28,27 @@ pub fn repo() -> InterfaceRepository {
             ))
             .with_operation(OperationDef::new("balance", vec![], TypeDesc::LongLong)),
     );
-    repo.register(InterfaceDef::new("Sensor::Fusion").with_operation(OperationDef::new(
-        "read_average",
-        vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
-        TypeDesc::Double,
-    )));
-    repo.register(InterfaceDef::new("Trade::Desk").with_operation(OperationDef::new(
-        "value_position",
-        vec![("quantity".into(), TypeDesc::LongLong)],
-        TypeDesc::LongLong,
-    )));
-    repo.register(InterfaceDef::new("Trade::Pricer").with_operation(OperationDef::new(
-        "unit_price",
-        vec![],
-        TypeDesc::LongLong,
-    )));
+    repo.register(
+        InterfaceDef::new("Sensor::Fusion").with_operation(OperationDef::new(
+            "read_average",
+            vec![("samples".into(), TypeDesc::sequence_of(TypeDesc::Double))],
+            TypeDesc::Double,
+        )),
+    );
+    repo.register(
+        InterfaceDef::new("Trade::Desk").with_operation(OperationDef::new(
+            "value_position",
+            vec![("quantity".into(), TypeDesc::LongLong)],
+            TypeDesc::LongLong,
+        )),
+    );
+    repo.register(
+        InterfaceDef::new("Trade::Pricer").with_operation(OperationDef::new(
+            "unit_price",
+            vec![],
+            TypeDesc::LongLong,
+        )),
+    );
     repo
 }
 
@@ -131,9 +137,11 @@ pub fn bank_system(seed: u64) -> SystemBuilder {
     let mut builder = SystemBuilder::new(seed);
     builder.repository(repo());
     builder.comparator("Sensor::Fusion", Comparator::InexactRel(1e-6));
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), bank_servant())]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), bank_servant())]),
+    );
     builder.add_client(CLIENT);
     builder
 }

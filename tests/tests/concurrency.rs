@@ -16,9 +16,11 @@ use itdos_orb::object::ObjectKey;
 fn multiple_clients_serialize_on_one_domain() {
     let mut builder = SystemBuilder::new(201);
     builder.repository(repo());
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), bank_servant())]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), bank_servant())]),
+    );
     builder.add_client(1);
     builder.add_client(2);
     builder.add_client(3);
@@ -66,14 +68,9 @@ struct SystemBuilderProbe<'a>(&'a mut itdos::System);
 
 impl SystemBuilderProbe<'_> {
     fn assert_final_balance(&mut self, expected: i64) {
-        let done = self.0.invoke(
-            1,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "balance",
-            vec![],
-        );
+        let done = self
+            .0
+            .invoke(1, BANK, b"acct", "Bank::Account", "balance", vec![]);
         assert_eq!(done.result, Ok(Value::LongLong(expected)));
     }
 }
@@ -84,19 +81,41 @@ impl SystemBuilderProbe<'_> {
 fn one_client_two_domains() {
     let mut builder = SystemBuilder::new(202);
     builder.repository(repo());
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), bank_servant())]
-    }));
-    builder.add_domain(PRICER, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), bank_servant())]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), bank_servant())]),
+    );
+    builder.add_domain(
+        PRICER,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), bank_servant())]),
+    );
     builder.add_client(1);
     let mut system = builder.build();
 
-    let a = system.invoke(1, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(100)]);
-    let b = system.invoke(1, PRICER, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(7)]);
+    let a = system.invoke(
+        1,
+        BANK,
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(100)],
+    );
+    let b = system.invoke(
+        1,
+        PRICER,
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(7)],
+    );
     assert_eq!(a.result, Ok(Value::LongLong(100)));
-    assert_eq!(b.result, Ok(Value::LongLong(7)), "independent state per domain");
+    assert_eq!(
+        b.result,
+        Ok(Value::LongLong(7)),
+        "independent state per domain"
+    );
     let a2 = system.invoke(1, BANK, b"acct", "Bank::Account", "balance", vec![]);
     assert_eq!(a2.result, Ok(Value::LongLong(100)));
 }
@@ -108,15 +127,31 @@ fn clients_on_different_platforms_interoperate() {
     use itdos_giop::platform::PlatformProfile;
     let mut builder = SystemBuilder::new(203);
     builder.repository(repo());
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), bank_servant())]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), bank_servant())]),
+    );
     builder.platforms(BANK, PlatformProfile::ALL.to_vec());
     builder.add_client_with(1, PlatformProfile::SPARC_SOLARIS, true); // big-endian client
     builder.add_client_with(2, PlatformProfile::X86_LINUX, true); // little-endian client
     let mut system = builder.build();
-    let a = system.invoke(1, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(1)]);
-    let b = system.invoke(2, BANK, b"acct", "Bank::Account", "deposit", vec![Value::LongLong(2)]);
+    let a = system.invoke(
+        1,
+        BANK,
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(1)],
+    );
+    let b = system.invoke(
+        2,
+        BANK,
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(2)],
+    );
     assert_eq!(a.result, Ok(Value::LongLong(1)));
     assert_eq!(b.result, Ok(Value::LongLong(3)));
 }

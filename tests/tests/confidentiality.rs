@@ -25,7 +25,7 @@ fn deposit(system: &mut itdos::System, amount: i64) {
 fn gm_share_threshold_on_live_system() {
     let mut system = bank_system(61).build();
     deposit(&mut system, 5); // establish a connection (keys were dealt)
-    // compromise GM elements one by one and leak their raw Shamir shares
+                             // compromise GM elements one by one and leak their raw Shamir shares
     let leaked: Vec<shamir::Share> = (0..4)
         .map(|i| {
             system.gm_element_mut(i).compromised = true;
@@ -71,8 +71,8 @@ fn wire_traffic_is_encrypted() {
             _now: simnet::SimTime,
             _from: simnet::NodeId,
             _to: simnet::NodeId,
-            payload: &bytes::Bytes,
-            _rng: &mut rand::rngs::SmallRng,
+            payload: &xbytes::Bytes,
+            _rng: &mut xrand::rngs::SmallRng,
         ) -> Verdict {
             self.seen.borrow_mut().push(payload.to_vec());
             Verdict::Pass
@@ -80,7 +80,9 @@ fn wire_traffic_is_encrypted() {
     }
     let seen = Rc::new(RefCell::new(Vec::new()));
     let mut system2 = bank_system(63).build();
-    system2.sim.set_adversary(Box::new(Capture { seen: seen.clone() }));
+    system2
+        .sim
+        .set_adversary(Box::new(Capture { seen: seen.clone() }));
     deposit(&mut system2, marker);
     let captured = seen.borrow();
     assert!(!captured.is_empty(), "adversary observed traffic");
@@ -107,14 +109,7 @@ fn rekey_cuts_off_expelled_element() {
     deposit(&mut system, 10); // fault detected, proof sent, rekey done
     system.settle();
     // healthy elements carry the epoch-1 connection; invoke again
-    let done = system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "balance",
-        vec![],
-    );
+    let done = system.invoke(CLIENT, BANK, b"acct", "Bank::Account", "balance", vec![]);
     assert_eq!(done.result, Ok(Value::LongLong(10)));
     // the expelled element cannot contribute: the client decided among
     // the three remaining elements only
@@ -123,5 +118,9 @@ fn rekey_cuts_off_expelled_element() {
         !done.suspects.contains(&faulty),
         "expelled element's traffic no longer reaches the vote"
     );
-    assert_eq!(system.element(BANK, 3).replies_sent, 1, "only the pre-expulsion reply");
+    assert_eq!(
+        system.element(BANK, 3).replies_sent,
+        1,
+        "only the pre-expulsion reply"
+    );
 }

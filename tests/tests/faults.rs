@@ -43,7 +43,10 @@ fn silent_element_is_masked_without_accusation() {
     let mut system = builder.build();
     let done = deposit(&mut system, 77);
     assert_eq!(done.result, Ok(Value::LongLong(77)));
-    assert!(done.suspects.is_empty(), "no value evidence against silence");
+    assert!(
+        done.suspects.is_empty(),
+        "no value evidence against silence"
+    );
 }
 
 /// A deliberately slow element must not delay the vote: the decision
@@ -94,12 +97,16 @@ fn intermittent_fault_detected_on_odd_request() {
 fn f2_masks_two_colluding_elements() {
     let mut builder = itdos::SystemBuilder::new(25);
     builder.repository(common::repo());
-    builder.add_domain(BANK, 2, Box::new(|_| {
-        vec![(
-            itdos_orb::object::ObjectKey::from_name("acct"),
-            common::bank_servant(),
-        )]
-    }));
+    builder.add_domain(
+        BANK,
+        2,
+        Box::new(|_| {
+            vec![(
+                itdos_orb::object::ObjectKey::from_name("acct"),
+                common::bank_servant(),
+            )]
+        }),
+    );
     builder.add_client(CLIENT);
     builder.behavior(BANK, 5, Behavior::CorruptValue);
     builder.behavior(BANK, 6, Behavior::CorruptValue);

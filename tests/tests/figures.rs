@@ -64,8 +64,14 @@ fn figure2_stack_layers_all_exercised() {
     );
     let stats = system.sim.stats();
     // SMIOP layer: GIOP-in-BFT submission and the direct voted reply path
-    assert!(stats.label("smiop-submit").messages > 0, "SMIOP submissions");
-    assert!(stats.label("smiop-reply").messages >= 3, "2f+1 direct replies");
+    assert!(
+        stats.label("smiop-submit").messages > 0,
+        "SMIOP submissions"
+    );
+    assert!(
+        stats.label("smiop-reply").messages >= 3,
+        "2f+1 direct replies"
+    );
     // Secure Reliable Multicast layer: the three-phase ordering protocol
     assert!(stats.label("bft-pre-prepare").messages > 0);
     assert!(stats.label("bft-prepare").messages > 0);

@@ -18,9 +18,11 @@ fn sensor_system(seed: u64, comparator: Comparator) -> itdos::System {
     let mut builder = SystemBuilder::new(seed);
     builder.repository(repo());
     builder.comparator("Sensor::Fusion", comparator);
-    builder.add_domain(SENSORS, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("fusion"), sensor_servant())]
-    }));
+    builder.add_domain(
+        SENSORS,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("fusion"), sensor_servant())]),
+    );
     // all four platform profiles: two big-endian, two little-endian,
     // three distinct float lanes
     builder.platforms(SENSORS, PlatformProfile::ALL.to_vec());
@@ -77,7 +79,9 @@ fn exact_voting_starves_on_heterogeneous_floats() {
         samples(),
     );
     // bounded run: the system keeps retrying but can never decide
-    system.sim.run_until(simnet::SimTime::ZERO + SimDuration::from_secs(2));
+    system
+        .sim
+        .run_until(simnet::SimTime::ZERO + SimDuration::from_secs(2));
     assert!(
         system.client(CLIENT).completed.is_empty(),
         "exact voting must not reach a decision across float lanes"
@@ -91,9 +95,11 @@ fn inexact_voting_still_detects_byzantine_values() {
     let mut builder = SystemBuilder::new(43);
     builder.repository(repo());
     builder.comparator("Sensor::Fusion", Comparator::InexactRel(1e-6));
-    builder.add_domain(SENSORS, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("fusion"), sensor_servant())]
-    }));
+    builder.add_domain(
+        SENSORS,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("fusion"), sensor_servant())]),
+    );
     builder.platforms(SENSORS, PlatformProfile::ALL.to_vec());
     builder.behavior(SENSORS, 2, itdos::fault::Behavior::CorruptValue);
     builder.add_client(CLIENT);
@@ -117,9 +123,11 @@ fn inexact_voting_still_detects_byzantine_values() {
 fn integer_interfaces_vote_exactly_across_platforms() {
     let mut builder = SystemBuilder::new(44);
     builder.repository(repo());
-    builder.add_domain(DomainId(1), 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("acct"), common::bank_servant())]
-    }));
+    builder.add_domain(
+        DomainId(1),
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("acct"), common::bank_servant())]),
+    );
     builder.platforms(DomainId(1), PlatformProfile::ALL.to_vec());
     builder.add_client(CLIENT);
     let mut system = builder.build();

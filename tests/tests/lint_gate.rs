@@ -1,0 +1,58 @@
+//! Runs `itdos-lint` over the live workspace as part of the test suite,
+//! so an invariant regression (a new registry dependency, a clock read in
+//! replica code, an unwrap in a message handler, a variable-time MAC
+//! compare) fails `cargo test` — not just the standalone CLI.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // tests/ lives directly under the workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits inside the workspace")
+}
+
+/// The linter finds zero unwaived violations in the tree as committed.
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let report = itdos_lint::run_workspace(workspace_root()).expect("lint walk succeeds");
+    let active: Vec<String> = report.active().map(|f| f.to_string()).collect();
+    assert!(
+        active.is_empty(),
+        "unwaived itdos-lint findings:\n\n{}",
+        active.join("\n\n")
+    );
+}
+
+/// Waivers in the live tree are all justified (the parser refuses bare
+/// `allow(...)` without `-- reason`, so any recorded waiver carries one);
+/// this pins the count so silently accumulating waivers shows up in
+/// review.
+#[test]
+fn live_waivers_are_few_and_justified() {
+    let report = itdos_lint::run_workspace(workspace_root()).expect("lint walk succeeds");
+    let waived: Vec<_> = report.findings.iter().filter(|f| !f.is_active()).collect();
+    for f in &waived {
+        let just = f.waiver.as_deref().unwrap_or("");
+        assert!(
+            just.len() >= 10,
+            "waiver at {}:{} has a trivial justification: {just:?}",
+            f.path,
+            f.line
+        );
+    }
+    assert!(
+        waived.len() <= 8,
+        "waiver count crept up to {}; scrub them before raising this bound",
+        waived.len()
+    );
+}
+
+/// The four rule classes are all wired into the workspace run (guards
+/// against a refactor dropping a rule from the dispatch).
+#[test]
+fn all_rule_classes_are_exercised() {
+    let report = itdos_lint::run_workspace(workspace_root()).expect("lint walk succeeds");
+    let per_rule = report.per_rule();
+    assert_eq!(per_rule.len(), 4, "four rule classes");
+}

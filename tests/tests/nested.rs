@@ -21,15 +21,21 @@ fn pricer_servant(price: i64) -> Box<dyn Servant> {
 fn trading_system(seed: u64) -> SystemBuilder {
     let mut builder = SystemBuilder::new(seed);
     builder.repository(repo());
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("desk"),
-            Box::new(DeskServant::new()) as Box<dyn Servant>,
-        )]
-    }));
-    builder.add_domain(PRICER, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("pricer"), pricer_servant(7))]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("desk"),
+                Box::new(DeskServant::new()) as Box<dyn Servant>,
+            )]
+        }),
+    );
+    builder.add_domain(
+        PRICER,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("pricer"), pricer_servant(7))]),
+    );
     builder.add_client(CLIENT);
     builder
 }
@@ -95,7 +101,11 @@ fn nested_reply_voting_masks_faulty_pricer() {
         "value_position",
         vec![Value::LongLong(5)],
     );
-    assert_eq!(done.result, Ok(Value::LongLong(35)), "5 × 7 despite the fault");
+    assert_eq!(
+        done.result,
+        Ok(Value::LongLong(35)),
+        "5 × 7 despite the fault"
+    );
 }
 
 /// Depth-2 nesting: client → desk → quoter → pricer.
@@ -164,21 +174,31 @@ fn depth_two_nesting() {
 
     let mut builder = SystemBuilder::new(34);
     builder.repository(repo());
-    builder.add_domain(BANK, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("desk"),
-            Box::new(DeskViaQuoter { quantity: None }) as Box<dyn Servant>,
-        )]
-    }));
-    builder.add_domain(QUOTER, 1, Box::new(|_| {
-        vec![(
-            ObjectKey::from_name("quoter"),
-            Box::new(QuoterServant) as Box<dyn Servant>,
-        )]
-    }));
-    builder.add_domain(PRICER, 1, Box::new(|_| {
-        vec![(ObjectKey::from_name("pricer"), pricer_servant(7))]
-    }));
+    builder.add_domain(
+        BANK,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("desk"),
+                Box::new(DeskViaQuoter { quantity: None }) as Box<dyn Servant>,
+            )]
+        }),
+    );
+    builder.add_domain(
+        QUOTER,
+        1,
+        Box::new(|_| {
+            vec![(
+                ObjectKey::from_name("quoter"),
+                Box::new(QuoterServant) as Box<dyn Servant>,
+            )]
+        }),
+    );
+    builder.add_domain(
+        PRICER,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("pricer"), pricer_servant(7))]),
+    );
     builder.add_client(CLIENT);
     let mut system = builder.build();
     let done = system.invoke(

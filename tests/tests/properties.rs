@@ -1,55 +1,67 @@
 //! Property-based invariants across the stack.
+//!
+//! Runs on the in-tree deterministic harness (`itdos_tests::prop`) rather
+//! than proptest: every case is derived from the property name and case
+//! index, so failures replay bit-for-bit on any machine.
 
 mod common;
 
 use itdos_giop::cdr::{Decoder, Encoder, Endianness};
 use itdos_giop::types::{TypeDesc, Value};
+use itdos_tests::{arbitrary, prop};
 use itdos_vote::comparator::Comparator;
 use itdos_vote::vote::{vote, Candidate, SenderId, VoteOutcome};
-use proptest::prelude::*;
+use xrand::rngs::SmallRng;
+use xrand::Rng;
 
-/// Generates a matching (TypeDesc, Value) pair, recursively.
-fn typed_value() -> impl Strategy<Value = (TypeDesc, Value)> {
-    let leaf = prop_oneof![
-        any::<u8>().prop_map(|v| (TypeDesc::Octet, Value::Octet(v))),
-        any::<bool>().prop_map(|v| (TypeDesc::Boolean, Value::Boolean(v))),
-        any::<i16>().prop_map(|v| (TypeDesc::Short, Value::Short(v))),
-        any::<u16>().prop_map(|v| (TypeDesc::UShort, Value::UShort(v))),
-        any::<i32>().prop_map(|v| (TypeDesc::Long, Value::Long(v))),
-        any::<u32>().prop_map(|v| (TypeDesc::ULong, Value::ULong(v))),
-        any::<i64>().prop_map(|v| (TypeDesc::LongLong, Value::LongLong(v))),
-        any::<u64>().prop_map(|v| (TypeDesc::ULongLong, Value::ULongLong(v))),
-        any::<f32>().prop_map(|v| (TypeDesc::Float, Value::Float(v))),
-        any::<f64>().prop_map(|v| (TypeDesc::Double, Value::Double(v))),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(|v| (TypeDesc::String, Value::String(v))),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
+const CASES: usize = prop::DEFAULT_CASES;
+
+/// Generates a matching (TypeDesc, Value) pair, recursing up to `depth`.
+fn typed_value(rng: &mut SmallRng, depth: usize) -> (TypeDesc, Value) {
+    // leaves are variants 0..=10; composites appear only while depth remains
+    let variants: u32 = if depth == 0 { 11 } else { 13 };
+    match rng.gen_range(0..variants) {
+        0 => (TypeDesc::Octet, Value::Octet(rng.gen())),
+        1 => (TypeDesc::Boolean, Value::Boolean(rng.gen())),
+        2 => (TypeDesc::Short, Value::Short(rng.gen::<u16>() as i16)),
+        3 => (TypeDesc::UShort, Value::UShort(rng.gen())),
+        4 => (TypeDesc::Long, Value::Long(rng.gen::<u32>() as i32)),
+        5 => (TypeDesc::ULong, Value::ULong(rng.gen())),
+        6 => (TypeDesc::LongLong, Value::LongLong(rng.gen::<u64>() as i64)),
+        7 => (TypeDesc::ULongLong, Value::ULongLong(rng.gen())),
+        8 => (TypeDesc::Float, Value::Float(f32::from_bits(rng.gen()))),
+        9 => (TypeDesc::Double, Value::Double(f64::from_bits(rng.gen()))),
+        10 => (
+            TypeDesc::String,
+            Value::String(arbitrary::ascii_string(rng, 12)),
+        ),
+        11 => {
             // homogeneous sequence: one element type, several values
-            (inner.clone(), proptest::collection::vec(any::<i32>(), 0..4)).prop_map(
-                |((elem_t, elem_v), lens)| {
-                    let items: Vec<Value> = lens.iter().map(|_| elem_v.clone()).collect();
-                    (TypeDesc::sequence_of(elem_t), Value::Sequence(items))
-                }
-            ),
+            let (elem_t, elem_v) = typed_value(rng, depth - 1);
+            let n = rng.gen_range(0..4usize);
+            let items: Vec<Value> = (0..n).map(|_| elem_v.clone()).collect();
+            (TypeDesc::sequence_of(elem_t), Value::Sequence(items))
+        }
+        _ => {
             // struct: independent field types
-            proptest::collection::vec(inner, 1..4).prop_map(|fields| {
-                let descs = fields
-                    .iter()
-                    .enumerate()
-                    .map(|(i, (t, _))| (format!("f{i}"), t.clone()))
-                    .collect();
-                let values = fields.into_iter().map(|(_, v)| v).collect();
-                (
-                    TypeDesc::Struct {
-                        name: "S".into(),
-                        fields: descs,
-                    },
-                    Value::Struct(values),
-                )
-            }),
-        ]
-    })
+            let n = rng.gen_range(1..4usize);
+            let fields: Vec<(TypeDesc, Value)> =
+                (0..n).map(|_| typed_value(rng, depth - 1)).collect();
+            let descs = fields
+                .iter()
+                .enumerate()
+                .map(|(i, (t, _))| (format!("f{i}"), t.clone()))
+                .collect();
+            let values = fields.into_iter().map(|(_, v)| v).collect();
+            (
+                TypeDesc::Struct {
+                    name: "S".into(),
+                    fields: descs,
+                },
+                Value::Struct(values),
+            )
+        }
+    }
 }
 
 fn bits_eq(a: &Value, b: &Value) -> bool {
@@ -64,27 +76,32 @@ fn bits_eq(a: &Value, b: &Value) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// CDR round-trips every generatable value in both byte orders.
-    #[test]
-    fn cdr_round_trips((desc, value) in typed_value()) {
+/// CDR round-trips every generatable value in both byte orders.
+#[test]
+fn cdr_round_trips() {
+    prop::check("cdr_round_trips", CASES, |rng, _| {
+        let (desc, value) = typed_value(rng, 3);
         for endianness in [Endianness::Big, Endianness::Little] {
             let mut enc = Encoder::new(endianness);
             enc.encode(&value, &desc).expect("generated pair conforms");
             let bytes = enc.into_bytes();
             let mut dec = Decoder::new(&bytes, endianness);
             let out = dec.decode(&desc).expect("round trip decodes");
-            prop_assert!(bits_eq(&out, &value), "{endianness:?}: {out:?} != {value:?}");
-            prop_assert_eq!(dec.remaining(), 0);
+            assert!(
+                bits_eq(&out, &value),
+                "{endianness:?}: {out:?} != {value:?}"
+            );
+            assert_eq!(dec.remaining(), 0);
         }
-    }
+    });
+}
 
-    /// Cross-endian transport preserves values: encode big, decode big ==
-    /// encode little, decode little.
-    #[test]
-    fn cdr_cross_platform_agreement((desc, value) in typed_value()) {
+/// Cross-endian transport preserves values: encode big, decode big ==
+/// encode little, decode little.
+#[test]
+fn cdr_cross_platform_agreement() {
+    prop::check("cdr_cross_platform_agreement", CASES, |rng, _| {
+        let (desc, value) = typed_value(rng, 3);
         let mut be = Encoder::new(Endianness::Big);
         be.encode(&value, &desc).expect("conforms");
         let mut le = Encoder::new(Endianness::Little);
@@ -95,92 +112,110 @@ proptest! {
         let from_le = Decoder::new(&le.into_bytes(), Endianness::Little)
             .decode(&desc)
             .expect("decodes");
-        prop_assert!(bits_eq(&from_be, &from_le));
-    }
+        assert!(bits_eq(&from_be, &from_le));
+    });
+}
 
-    /// The CDR decoder never panics on arbitrary bytes (Byzantine senders
-    /// control them).
-    #[test]
-    fn cdr_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64),
-                            (desc, _) in typed_value()) {
+/// The CDR decoder never panics on arbitrary bytes (Byzantine senders
+/// control them).
+#[test]
+fn cdr_decoder_is_total() {
+    prop::check("cdr_decoder_is_total", CASES, |rng, _| {
+        let bytes = arbitrary::bytes(rng, 64);
+        let (desc, _) = typed_value(rng, 3);
         let mut dec = Decoder::new(&bytes, Endianness::Little);
         let _ = dec.decode(&desc); // must return, never panic
-    }
+    });
+}
 
-    /// Vote safety: a decision's supporters meet the threshold and every
-    /// supporter's candidate is equivalent to the decided value.
-    #[test]
-    fn vote_supporters_meet_threshold(
-        values in proptest::collection::vec(-3i32..3, 1..9),
-        threshold in 1usize..5,
-    ) {
+/// Vote safety: a decision's supporters meet the threshold and every
+/// supporter's candidate is equivalent to the decided value.
+#[test]
+fn vote_supporters_meet_threshold() {
+    prop::check("vote_supporters_meet_threshold", CASES, |rng, _| {
+        let n = rng.gen_range(1..9usize);
+        let values: Vec<i32> = (0..n).map(|_| rng.gen_range(0..6u32) as i32 - 3).collect();
+        let threshold = rng.gen_range(1..5usize);
         let candidates: Vec<Candidate> = values
             .iter()
             .enumerate()
-            .map(|(i, v)| Candidate { sender: SenderId(i as u32), value: Value::Long(*v) })
+            .map(|(i, v)| Candidate {
+                sender: SenderId(i as u32),
+                value: Value::Long(*v),
+            })
             .collect();
         if let VoteOutcome::Decided(d) = vote(&candidates, &Comparator::Exact, threshold) {
-            prop_assert!(d.supporters.len() >= threshold);
+            assert!(d.supporters.len() >= threshold);
             for s in &d.supporters {
-                let c = candidates.iter().find(|c| c.sender == *s).expect("supporter exists");
-                prop_assert_eq!(&c.value, &d.value);
+                let c = candidates
+                    .iter()
+                    .find(|c| c.sender == *s)
+                    .expect("supporter exists");
+                assert_eq!(&c.value, &d.value);
             }
             // supporters + dissenters partition the candidate set
-            prop_assert_eq!(d.supporters.len() + d.dissenters.len(), candidates.len());
+            assert_eq!(d.supporters.len() + d.dissenters.len(), candidates.len());
         }
-    }
+    });
+}
 
-    /// Shamir: every (threshold)-subset reconstructs the same secret.
-    #[test]
-    fn shamir_subset_invariance(secret in 0u64..1_000_000, f in 1usize..4) {
+/// Shamir: every (threshold)-subset reconstructs the same secret.
+#[test]
+fn shamir_subset_invariance() {
+    prop::check("shamir_subset_invariance", CASES, |rng, _| {
         use itdos_crypto::group::Scalar;
         use itdos_crypto::shamir::{combine, split};
-        use rand::SeedableRng;
+        let secret = rng.gen_range(0..1_000_000u64);
+        let f = rng.gen_range(1..4usize);
         let n = 3 * f + 1;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(secret ^ f as u64);
-        let (shares, commitments) = split(Scalar::new(secret), f + 1, n, &mut rng);
+        let (shares, commitments) = split(Scalar::new(secret), f + 1, n, rng);
         for s in &shares {
-            prop_assert!(commitments.verify(s));
+            assert!(commitments.verify(s));
         }
         // sliding-window subsets all agree
         for start in 0..=(n - (f + 1)) {
             let subset = &shares[start..start + f + 1];
-            prop_assert_eq!(combine(subset).unwrap(), Scalar::new(secret));
+            assert_eq!(combine(subset).unwrap(), Scalar::new(secret));
         }
-    }
+    });
+}
 
-    /// Wire decoders for protocol messages are total on random bytes.
-    #[test]
-    fn protocol_decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+/// Wire decoders for protocol messages are total on random bytes.
+#[test]
+fn protocol_decoders_are_total() {
+    prop::check("protocol_decoders_are_total", CASES, |rng, _| {
+        let bytes = arbitrary::bytes(rng, 96);
         let _ = itdos_bft::message::Message::decode(&bytes);
         let _ = itdos::wire::CoreMsg::decode(&bytes);
         let _ = itdos::wire::SmiopFrame::decode(&bytes);
         let _ = itdos::wire::GmOp::decode(&bytes);
         let _ = itdos::wire::decode_directives(&bytes);
         let _ = itdos_bft::queue::QueueOp::decode(&bytes);
-    }
+    });
+}
 
-    /// The DPRF yields the same key for every (f+1)-subset and detects a
-    /// substituted share.
-    #[test]
-    fn dprf_subset_invariance(seed in 0u64..10_000, f in 1usize..3) {
+/// The DPRF yields the same key for every (f+1)-subset and detects a
+/// substituted share.
+#[test]
+fn dprf_subset_invariance() {
+    prop::check("dprf_subset_invariance", CASES, |rng, _| {
         use itdos_crypto::dprf::{combine, Dprf};
-        use rand::SeedableRng;
+        let seed = rng.gen_range(0..10_000u64);
+        let f = rng.gen_range(1..3usize);
         let n = 3 * f + 1;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        let dprf = Dprf::deal(f, n, &mut rng);
+        let dprf = Dprf::deal(f, n, rng);
         let x = seed.to_le_bytes();
         let shares: Vec<_> = dprf.holders().iter().map(|h| h.evaluate(&x)).collect();
         let reference = combine(dprf.verifier(), &x, &shares[0..f + 1]).unwrap();
         for start in 1..=(n - (f + 1)) {
             let key = combine(dprf.verifier(), &x, &shares[start..start + f + 1]).unwrap();
-            prop_assert_eq!(key, reference);
+            assert_eq!(key, reference);
         }
         // a share evaluated on a different input is rejected
         let mut bad = shares.clone();
         bad[0] = dprf.holders()[0].evaluate(b"other");
-        prop_assert!(combine(dprf.verifier(), &x, &bad[0..f + 1]).is_err());
-    }
+        assert!(combine(dprf.verifier(), &x, &bad[0..f + 1]).is_err());
+    });
 }
 
 /// End-to-end determinism across random crash choices: whichever single

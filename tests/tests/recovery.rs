@@ -39,8 +39,7 @@ fn proactive_recovery_restores_corrupted_state() {
     // without producing any observable faulty message
     {
         let element = system.sim.process_mut::<ServerElement>(node);
-        let garbage =
-            itdos_bft::queue::QueueMachine::new(64, std::iter::empty()).snapshot();
+        let garbage = itdos_bft::queue::QueueMachine::new(64, std::iter::empty()).snapshot();
         element.replica_mut().app_mut().restore(&garbage);
         element.replica_mut().start_recovery();
     }
@@ -70,7 +69,11 @@ fn corrupt_gm_shares_are_rejected_and_masked() {
     let mut builder = bank_system(92);
     let mut system = builder_build_with_corrupt_gm(&mut builder);
     let done = deposit(&mut system, 7);
-    assert_eq!(done.result, Ok(Value::LongLong(7)), "keying survived the corrupt GM element");
+    assert_eq!(
+        done.result,
+        Ok(Value::LongLong(7)),
+        "keying survived the corrupt GM element"
+    );
     assert!(done.suspects.is_empty());
     // connections assembled on every element despite one bad share stream
     for index in 0..4 {
