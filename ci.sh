@@ -17,4 +17,9 @@ cargo test -q --offline
 echo '== cargo run -p itdos-lint'
 cargo run -q --release --offline -p itdos-lint
 
+echo '== exp_report --metrics (observability smoke)'
+# runs a faulty deployment with the recorder on; the binary validates that
+# every line of the dump parses as a JSON object and exits nonzero if not
+cargo run -q --release --offline -p itdos-bench --bin exp_report -- --metrics > /dev/null
+
 echo 'CI green'

@@ -1,0 +1,107 @@
+//! Cost of the observability hooks (`itdos-obs`).
+//!
+//! The acceptance bar for instrumenting the hot protocol paths is that a
+//! disabled [`itdos_obs::Obs`] handle — the default everywhere — costs
+//! nothing measurable: each hook is one branch on an `Option` and label
+//! slices stay on the caller's stack. This bench pins that down against
+//! an uninstrumented baseline, and also reports the enabled-path cost and
+//! the end-to-end effect on a full simulated invocation.
+
+use std::sync::Arc;
+
+use itdos_bench::harness::{black_box, Criterion};
+use itdos_bench::{
+    criterion_group, criterion_main, deploy, measure_invocation, DeployOptions, WallClock,
+};
+use itdos_obs::{LabelValue, Obs};
+
+/// The hook sequence a replica runs per ordered message: a counter, two
+/// gauges, and a span pair.
+fn hook_burst(obs: &Obs, i: u64) {
+    obs.incr("bft.executed", &[("replica", LabelValue::U64(i % 4))]);
+    obs.gauge(
+        "bft.backlog_depth",
+        &[("replica", LabelValue::U64(i % 4))],
+        3,
+    );
+    obs.gauge(
+        "bft.pending_depth",
+        &[("replica", LabelValue::U64(i % 4))],
+        1,
+    );
+    obs.span_begin("bft.order_us", i);
+    obs.span_end("bft.order_us", i, &[("replica", LabelValue::U64(i % 4))]);
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+
+    // uninstrumented control: the same arithmetic without any hook
+    group.bench_function("baseline_no_hooks", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(i % 4);
+        });
+    });
+
+    // the shipping configuration: hooks present, no sink installed
+    group.bench_function("disabled_hooks", |b| {
+        let obs = Obs::disabled();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            hook_burst(&obs, i);
+        });
+    });
+
+    // enabled with the deterministic manual clock (simulation config)
+    group.bench_function("enabled_manual_clock", |b| {
+        let (obs, clock) = Obs::manual();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            clock.advance(1);
+            hook_burst(&obs, i);
+        });
+    });
+
+    // enabled with a host wall clock (non-deterministic, benches only)
+    group.bench_function("enabled_wall_clock", |b| {
+        let obs = Obs::with_clock(Arc::new(WallClock::new()));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            hook_burst(&obs, i);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // whole-stack sanity check: a warm ordered invocation with
+    // observability off vs on — the "off" row must match historical
+    // uninstrumented numbers
+    let mut group = c.benchmark_group("obs_invocation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, observability) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            let mut system = deploy(&DeployOptions {
+                seed: 9,
+                observability,
+                ..DeployOptions::default()
+            });
+            measure_invocation(&mut system, 1); // open + key the connection
+            let mut n = 1i64;
+            b.iter(|| {
+                n += 1;
+                black_box(measure_invocation(&mut system, n));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hooks, bench_end_to_end);
+criterion_main!(benches);

@@ -530,7 +530,41 @@ fn e12() {
     }
 }
 
+/// `--metrics`: a CI smoke for the observability pipeline. Runs one small
+/// faulty deployment with the recorder installed, prints the JSON-lines
+/// dump, and exits nonzero unless every line parses as a JSON object.
+fn metrics_smoke() -> i32 {
+    let mut system = deploy(&DeployOptions {
+        seed: 202,
+        fault: Some(Behavior::CorruptValue),
+        observability: true,
+        ..DeployOptions::default()
+    });
+    measure_invocation(&mut system, 1);
+    measure_invocation(&mut system, 2);
+    system.settle();
+    let dump = system.metrics_jsonl();
+    print!("{dump}");
+    match itdos_obs::jsonl::validate(&dump) {
+        Ok(lines) if lines > 0 => {
+            eprintln!("metrics smoke: {lines} JSON lines validated");
+            0
+        }
+        Ok(_) => {
+            eprintln!("metrics smoke FAILED: dump is empty");
+            1
+        }
+        Err(e) => {
+            eprintln!("metrics smoke FAILED: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--metrics") {
+        std::process::exit(metrics_smoke());
+    }
     println!("# ITDOS experiment report (regenerated)");
     println!("\nDeterministic output of `cargo run -p itdos-bench --bin exp_report`.");
     e1();

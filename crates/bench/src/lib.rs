@@ -25,6 +25,38 @@ pub const DOMAIN: DomainId = DomainId(1);
 /// The benchmark client.
 pub const CLIENT: u64 = 1;
 
+/// A wall-clock [`itdos_obs::Clock`] for host-time measurements.
+///
+/// Lives here — not in `itdos-obs` — on purpose: the observability crate
+/// sits on the itdos-lint L2 replica-deterministic list, where
+/// `Instant::now` is banned. Benches run outside replicas, so they may
+/// time with the host clock.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is the moment of construction.
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl itdos_obs::Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
 /// The benchmark interface repository: a counter, a float sensor, and a
 /// bulk-payload store.
 pub fn repo() -> InterfaceRepository {
@@ -99,6 +131,9 @@ pub struct DeployOptions {
     pub sensor_comparator: Comparator,
     /// Determinism seed.
     pub seed: u64,
+    /// Enable the deterministic observability layer (metrics + flight
+    /// recorder shared across every process).
+    pub observability: bool,
 }
 
 impl Default for DeployOptions {
@@ -109,6 +144,7 @@ impl Default for DeployOptions {
             heterogeneous: true,
             sensor_comparator: Comparator::InexactRel(1e-6),
             seed: 1,
+            observability: false,
         }
     }
 }
@@ -116,6 +152,7 @@ impl Default for DeployOptions {
 /// Builds a counter+sensor+store deployment.
 pub fn deploy(options: &DeployOptions) -> System {
     let mut builder = SystemBuilder::new(options.seed);
+    builder.observability(options.observability);
     builder.repository(repo());
     builder.comparator("Sensor", options.sensor_comparator.clone());
     builder.add_domain(

@@ -20,6 +20,7 @@ use itdos_giop::platform::PlatformProfile;
 use itdos_giop::types::Value;
 use itdos_groupmgr::manager::ConnectionId;
 use itdos_groupmgr::membership::{DomainId, Endpoint};
+use itdos_obs::{LabelValue, Obs};
 use itdos_vote::collator::{Accept, Collator};
 use itdos_vote::detector::{FaultProof, SignedReply};
 use itdos_vote::folding::{folded_comparator, reply_to_value, value_to_reply};
@@ -119,6 +120,7 @@ pub struct SingletonClient {
     queue: VecDeque<(DomainId, RequestMessage)>,
     outstanding: Option<Outstanding>,
     opens_requested: std::collections::BTreeSet<DomainId>,
+    obs: Obs,
     /// Finished invocations, oldest first.
     pub completed: Vec<Completed>,
     /// Fault proofs submitted to the Group Manager.
@@ -155,13 +157,25 @@ impl SingletonClient {
             queue: VecDeque::new(),
             outstanding: None,
             opens_requested: std::collections::BTreeSet::new(),
+            obs: Obs::disabled(),
             completed: Vec::new(),
             proofs_sent: 0,
         }
     }
 
+    /// Installs an instrumentation sink (Figure 3 connection phases,
+    /// per-invocation reply latency, fault-proof counters).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.shares.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
     fn my_code(&self) -> u64 {
         singleton_code(self.cfg.id)
+    }
+
+    fn obs_label(&self) -> [itdos_obs::Label; 1] {
+        [("client", LabelValue::U64(self.cfg.id))]
     }
 
     /// True when no invocation is queued or awaiting a decision (a
@@ -200,6 +214,17 @@ impl SingletonClient {
         if self.conns_by_target.contains_key(&target) || !self.opens_requested.insert(target) {
             return;
         }
+        // Figure 3 phase 1: open_request to the GM ordering group; the
+        // span closes when the combined communication key arrives
+        self.obs.incr("conn.opens", &self.obs_label());
+        self.obs.span_begin("conn.open_us", target.0);
+        self.obs.event(
+            "conn.open_request",
+            &[
+                ("client", LabelValue::U64(self.cfg.id)),
+                ("target", LabelValue::U64(target.0)),
+            ],
+        );
         let op = GmOp::Open {
             client: Endpoint::Singleton(self.cfg.id),
             client_domain: None,
@@ -236,6 +261,7 @@ impl SingletonClient {
                 .clone(),
         );
         let mut collator = Collator::new(thresholds, comparator);
+        collator.set_obs(self.obs.clone());
         collator.begin(request.request_id);
         self.outstanding = Some(Outstanding {
             target,
@@ -246,6 +272,8 @@ impl SingletonClient {
             proof_sent: false,
             decided: false,
         });
+        self.obs.incr("client.requests", &self.obs_label());
+        self.obs.span_begin("invoke.reply_us", request.request_id);
         self.send_request(ctx, meta, key, &request);
         // re-send later if replies do not arrive (lost DirectReply copies)
         ctx.set_timer(
@@ -352,6 +380,17 @@ impl SingletonClient {
                 let request_id = outstanding.request_id;
                 let target = outstanding.target;
                 let suspects = decision.dissenters.clone();
+                self.obs
+                    .span_end("invoke.reply_us", request_id, &self.obs_label());
+                self.obs.incr("client.completed", &self.obs_label());
+                self.obs.event(
+                    "client.decided",
+                    &[
+                        ("client", LabelValue::U64(self.cfg.id)),
+                        ("request", LabelValue::U64(request_id)),
+                        ("suspects", LabelValue::U64(suspects.len() as u64)),
+                    ],
+                );
                 let result = match value_to_reply(request_id, &decision.value) {
                     Some(reply) => match reply.body {
                         ReplyBody::Result(v) => Ok(v),
@@ -398,6 +437,16 @@ impl SingletonClient {
             return;
         }
         outstanding.proof_sent = true;
+        self.obs
+            .incr("client.proofs", &[("client", LabelValue::U64(self.cfg.id))]);
+        self.obs.event(
+            "client.proof",
+            &[
+                ("client", LabelValue::U64(self.cfg.id)),
+                ("request", LabelValue::U64(request_id)),
+                ("accused", LabelValue::U64(accused.len() as u64)),
+            ],
+        );
         let proof = FaultProof {
             accused: accused.to_vec(),
             request_id,
@@ -431,6 +480,21 @@ impl SingletonClient {
                 key,
                 next_request_id,
             },
+        );
+        // Figure 3 phases 2–4 complete: the key is combined and the
+        // virtual connection is usable
+        self.obs.span_end(
+            "conn.open_us",
+            target.0,
+            &[("target", LabelValue::U64(target.0))],
+        );
+        self.obs.event(
+            "conn.keyed",
+            &[
+                ("client", LabelValue::U64(self.cfg.id)),
+                ("target", LabelValue::U64(target.0)),
+                ("epoch", LabelValue::U64(u64::from(meta.epoch))),
+            ],
         );
         self.pump(ctx);
     }

@@ -24,6 +24,7 @@ use itdos_giop::platform::PlatformProfile;
 use itdos_giop::types::Value;
 use itdos_groupmgr::manager::ConnectionId;
 use itdos_groupmgr::membership::DomainId;
+use itdos_obs::{LabelValue, Obs};
 use itdos_orb::object::ObjectKey;
 use itdos_orb::orb::{Dispatch, Orb};
 use itdos_orb::servant::{NestedCall, Servant, ServantException};
@@ -129,6 +130,7 @@ pub struct ServerElement {
     reported: BTreeSet<SenderId>,
     expel_submitted: BTreeSet<SenderId>,
     delayed: Vec<Option<DelayedSend>>,
+    obs: Obs,
     /// Requests this element's ORB executed (observability).
     pub requests_handled: u64,
     /// Replies this element emitted.
@@ -196,9 +198,22 @@ impl ServerElement {
             reported: BTreeSet::new(),
             expel_submitted: BTreeSet::new(),
             delayed: Vec::new(),
+            obs: Obs::disabled(),
             requests_handled: 0,
             replies_sent: 0,
         }
+    }
+
+    /// Installs an instrumentation sink on this element, its replica, and
+    /// its key-share bank (new per-connection voters inherit it).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.replica.set_obs(obs.clone());
+        self.shares.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    fn obs_label(&self) -> [itdos_obs::Label; 1] {
+        [("element", LabelValue::U64(u64::from(self.cfg.element.0)))]
     }
 
     /// This element's global id.
@@ -359,6 +374,14 @@ impl ServerElement {
     }
 
     fn accuse(&mut self, ctx: &mut Context<'_>, accused: SenderId) {
+        self.obs.incr("element.accusations", &self.obs_label());
+        self.obs.event(
+            "element.accuse",
+            &[
+                ("accuser", LabelValue::U64(u64::from(self.cfg.element.0))),
+                ("accused", LabelValue::U64(u64::from(accused.0))),
+            ],
+        );
         let op = GmOp::ChangeVote {
             accuser: self.cfg.element,
             accused,
@@ -478,8 +501,10 @@ impl ServerElement {
         let thresholds = self.fabric.sender_thresholds(&meta, kind);
         let comparator =
             folded_comparator(self.fabric.comparators.for_interface(interface).clone());
+        let obs = self.obs.clone();
         let entry = self.voters.entry(key).or_insert_with(|| {
             let mut collator = Collator::new(thresholds, comparator.clone());
+            collator.set_obs(obs.clone());
             collator.begin(request_id);
             VoterEntry {
                 request_id,
@@ -490,6 +515,7 @@ impl ServerElement {
         if request_id > entry.request_id {
             // new outstanding request: garbage-collect the old round (§3.6)
             let mut collator = Collator::new(thresholds, comparator);
+            collator.set_obs(obs);
             collator.begin(request_id);
             *entry = VoterEntry {
                 request_id,
@@ -577,6 +603,7 @@ impl ServerElement {
                 request_id: request.request_id,
             });
             self.requests_handled += 1;
+            self.obs.incr("element.requests", &self.obs_label());
             let dispatch = self.orb.handle_request(&request);
             self.continue_dispatch(ctx, dispatch);
         }
@@ -707,6 +734,7 @@ impl ServerElement {
         let nonce = self.nonce(meta.connection, meta.epoch, current.request_id, sequence);
         let sealed = seal(&key.0, nonce, &giop_bytes);
         self.replies_sent += 1;
+        self.obs.incr("element.replies", &self.obs_label());
         let send = if let Some(client_domain) = meta.client_domain {
             DelayedSend::Domain {
                 target: client_domain,
@@ -825,6 +853,14 @@ impl ServerElement {
             && self.expel_submitted.insert(msg.expelled)
         {
             // unblock queue GC: the expelled element no longer gates acks
+            self.obs.incr("element.expels_applied", &self.obs_label());
+            self.obs.event(
+                "element.expel_applied",
+                &[
+                    ("element", LabelValue::U64(u64::from(self.cfg.element.0))),
+                    ("expelled", LabelValue::U64(u64::from(msg.expelled.0))),
+                ],
+            );
             let op = QueueOp::Expel(ElementId(msg.expelled.0));
             let own = self.cfg.domain;
             self.submit_op(ctx, own, op.encode());

@@ -20,6 +20,7 @@ use itdos_giop::giop::{decode_message, GiopMessage};
 use itdos_giop::idl::InterfaceRepository;
 use itdos_groupmgr::manager::GroupManager;
 use itdos_groupmgr::membership::{DomainId, Membership};
+use itdos_obs::{LabelValue, Obs};
 use itdos_vote::vote::SenderId;
 use simnet::{Context, NodeId, Process, Timer};
 use xbytes::Bytes;
@@ -230,6 +231,7 @@ pub struct GmElement {
     replica: Replica<GmMachine>,
     bft_auth: AuthContext,
     shareholder: Shareholder,
+    obs: Obs,
     /// Set true to model a *compromised* GM element that leaks its share
     /// (experiment E7/E11 reads [`GmElement::leaked_share`]).
     pub compromised: bool,
@@ -273,9 +275,16 @@ impl GmElement {
             replica,
             bft_auth,
             shareholder,
+            obs: Obs::disabled(),
             compromised: false,
             corrupt_shares: false,
         }
+    }
+
+    /// Installs an instrumentation sink on this element and its replica.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.replica.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The wrapped replica (tests / observability).
@@ -369,6 +378,16 @@ impl GmElement {
                     input,
                     recipients,
                 } => {
+                    self.obs.incr("gm.keydists", &[]);
+                    self.obs.add("gm.shares_sent", &[], recipients.len() as u64);
+                    self.obs.event(
+                        "gm.keydist",
+                        &[
+                            ("connection", LabelValue::U64(meta.connection.0)),
+                            ("epoch", LabelValue::U64(u64::from(meta.epoch))),
+                            ("recipients", LabelValue::U64(recipients.len() as u64)),
+                        ],
+                    );
                     let share = if self.corrupt_shares {
                         // Byzantine GM element: a share for a different
                         // input, claimed as the real one — the recipient's
@@ -398,6 +417,14 @@ impl GmElement {
                     }
                 }
                 Directive::Expelled { domain, element } => {
+                    self.obs.incr("gm.expulsions", &[]);
+                    self.obs.event(
+                        "gm.expelled",
+                        &[
+                            ("domain", LabelValue::U64(domain.0)),
+                            ("element", LabelValue::U64(u64::from(element.0))),
+                        ],
+                    );
                     let plain = notice_plaintext(domain, element);
                     for code in self.fabric.element_codes(domain) {
                         let Some(node) = self.fabric.node_of(code) else {
@@ -415,7 +442,15 @@ impl GmElement {
                         ctx.send_labeled(node, Bytes::from(msg.encode()), "gm-notice");
                     }
                 }
-                Directive::Refused(_) | Directive::VoteRecorded => {}
+                Directive::Refused(reason) => {
+                    self.obs.incr(
+                        "gm.refused",
+                        &[("reason", LabelValue::U64(u64::from(reason)))],
+                    );
+                }
+                Directive::VoteRecorded => {
+                    self.obs.incr("gm.votes_recorded", &[]);
+                }
             }
         }
     }

@@ -15,6 +15,7 @@ use itdos_crypto::dprf::{combine, KeyShare};
 use itdos_crypto::keys::CommunicationKey;
 use itdos_crypto::symmetric::{open, Sealed};
 use itdos_groupmgr::manager::ConnectionId;
+use itdos_obs::{LabelValue, Obs};
 
 use crate::fabric::Fabric;
 use crate::wire::{ConnectionMeta, KeyShareMsg};
@@ -24,11 +25,20 @@ struct Assembly {
     by_input: BTreeMap<[u8; 32], BTreeMap<u64, KeyShare>>,
 }
 
+/// Span id for one `(connection, epoch)` assembly.
+fn assembly_span_id(connection: ConnectionId, epoch: u32) -> u64 {
+    connection
+        .0
+        .wrapping_mul(0x1_0001)
+        .wrapping_add(u64::from(epoch))
+}
+
 /// Collects and combines key shares addressed to one endpoint.
 #[derive(Default)]
 pub struct ShareBank {
     my_code: u64,
     assemblies: BTreeMap<(ConnectionId, u32), Assembly>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for ShareBank {
@@ -45,7 +55,14 @@ impl ShareBank {
         ShareBank {
             my_code,
             assemblies: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs an instrumentation sink (share verification / combination
+    /// counters and assembly latency).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Offers one share message. Returns the assembled communication key
@@ -56,6 +73,7 @@ impl ShareBank {
         fabric: &Fabric,
         msg: &KeyShareMsg,
     ) -> Option<(ConnectionMeta, CommunicationKey)> {
+        self.obs.incr("key.shares_received", &[]);
         let pairwise = fabric.pairwise(msg.gm_code, self.my_code);
         let sealed = Sealed::from_bytes(&msg.sealed)?;
         let plain = open(&pairwise, &sealed).ok()?;
@@ -65,7 +83,24 @@ impl ShareBank {
         let input: [u8; 32] = plain[..32].try_into().expect("32 bytes");
         let share = KeyShare::from_bytes(plain[32..].try_into().expect("28 bytes"))?;
         if !fabric.dprf_verifier.verify(&input, &share) {
-            return None; // corrupt GM element's share: discarded (§3.5)
+            // corrupt GM element's share: discarded (§3.5)
+            self.obs.incr("key.shares_rejected", &[]);
+            self.obs.event(
+                "key.share_rejected",
+                &[
+                    ("gm_code", LabelValue::U64(msg.gm_code)),
+                    ("connection", LabelValue::U64(msg.meta.connection.0)),
+                ],
+            );
+            return None;
+        }
+        self.obs.incr("key.shares_verified", &[]);
+        let span_id = assembly_span_id(msg.meta.connection, msg.meta.epoch);
+        if !self
+            .assemblies
+            .contains_key(&(msg.meta.connection, msg.meta.epoch))
+        {
+            self.obs.span_begin("key.assemble_us", span_id);
         }
         let assembly = self
             .assemblies
@@ -85,6 +120,15 @@ impl ShareBank {
         let key = combine(&fabric.dprf_verifier, &input, &shares).ok()?;
         self.assemblies
             .remove(&(msg.meta.connection, msg.meta.epoch));
+        self.obs.span_end("key.assemble_us", span_id, &[]);
+        self.obs.incr("key.combined", &[]);
+        self.obs.event(
+            "key.combined",
+            &[
+                ("connection", LabelValue::U64(msg.meta.connection.0)),
+                ("epoch", LabelValue::U64(u64::from(msg.meta.epoch))),
+            ],
+        );
         Some((msg.meta, CommunicationKey(key)))
     }
 }

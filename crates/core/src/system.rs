@@ -60,6 +60,7 @@ pub struct SystemBuilder {
     clients: Vec<ClientPlan>,
     ack_interval: u64,
     queue_capacity: usize,
+    observability: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -86,7 +87,17 @@ impl SystemBuilder {
             clients: Vec::new(),
             ack_interval: 8,
             queue_capacity: 1 << 20,
+            observability: false,
         }
+    }
+
+    /// Enables the deterministic observability layer: one shared
+    /// [`itdos_obs::Obs`] recorder (metrics + flight recorder) driven by
+    /// the simulator clock and installed on every process. Off by
+    /// default — disabled hooks are free.
+    pub fn observability(&mut self, on: bool) -> &mut SystemBuilder {
+        self.observability = on;
+        self
     }
 
     /// Sets the interface repository (shared by every process).
@@ -221,6 +232,13 @@ impl SystemBuilder {
     /// Builds the system: allocates nodes, deals keys, spawns processes.
     pub fn build(self) -> System {
         let mut sim = Simulator::new(self.seed);
+        let obs = if self.observability {
+            let (obs, clock) = itdos_obs::Obs::manual();
+            sim.drive_obs_clock(clock);
+            obs
+        } else {
+            itdos_obs::Obs::disabled()
+        };
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x1717_1717);
         let gm_n = 3 * self.gm_f + 1;
 
@@ -356,7 +374,7 @@ impl SystemBuilder {
                 self.repo.clone(),
                 self.comparators.clone(),
             );
-            let element = GmElement::new(
+            let mut element = GmElement::new(
                 fabric.clone(),
                 GM_DOMAIN,
                 index,
@@ -364,6 +382,7 @@ impl SystemBuilder {
                 machine,
                 holder,
             );
+            element.set_obs(obs.clone());
             sim.replace_process(node, Box::new(element));
             sim.join_group(node, fabric.domain(GM_DOMAIN).mcast);
         }
@@ -390,7 +409,8 @@ impl SystemBuilder {
                     queue_capacity: self.queue_capacity,
                 };
                 let servants = (plan.factory)(index);
-                let element = ServerElement::new(fabric.clone(), cfg, servants);
+                let mut element = ServerElement::new(fabric.clone(), cfg, servants);
+                element.set_obs(obs.clone());
                 sim.replace_process(node, Box::new(element));
                 sim.join_group(node, fabric.domain(plan.id).mcast);
             }
@@ -404,7 +424,8 @@ impl SystemBuilder {
                 platform: plan.platform,
                 auto_proof: plan.auto_proof,
             };
-            let client = SingletonClient::new(fabric.clone(), cfg);
+            let mut client = SingletonClient::new(fabric.clone(), cfg);
+            client.set_obs(obs.clone());
             sim.replace_process(node, Box::new(client));
             client_node_map.insert(plan.id, node);
         }
@@ -412,6 +433,7 @@ impl SystemBuilder {
         System {
             sim,
             fabric,
+            obs,
             client_nodes: client_node_map,
         }
     }
@@ -423,6 +445,9 @@ pub struct System {
     pub sim: Simulator,
     /// The deployment wiring.
     pub fabric: Fabric,
+    /// The shared observability handle (disabled unless the builder's
+    /// `observability(true)` was set).
+    pub obs: itdos_obs::Obs,
     client_nodes: BTreeMap<u64, NodeId>,
 }
 
@@ -486,6 +511,21 @@ impl System {
         self.sim
             .run_steps(20_000_000)
             .expect("system did not quiesce");
+    }
+
+    /// Mirrors the simulator's [`simnet::NetStats`] into the metrics
+    /// registry (idempotent) and returns the combined JSON-lines dump.
+    /// Empty string when observability is off.
+    pub fn metrics_jsonl(&self) -> String {
+        self.sim.stats().export_obs(&self.obs);
+        self.obs.dump_jsonl()
+    }
+
+    /// Human-readable metric report (network counters included). Empty
+    /// string when observability is off.
+    pub fn metrics_report(&self) -> String {
+        self.sim.stats().export_obs(&self.obs);
+        self.obs.render_report()
     }
 
     /// Immutable access to a client process.

@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use itdos_crypto::hash::Digest;
+use itdos_obs::{LabelValue, Obs};
 
 use crate::config::{ClientId, GroupConfig, ReplicaId, SeqNo, View};
 use crate::log::Log;
@@ -86,6 +87,9 @@ pub struct Replica<S> {
     /// state and accepts a trusted snapshot even at its current sequence.
     recovering: bool,
     outputs: Vec<Output>,
+    /// Instrumentation sink; a disabled handle (the default) makes every
+    /// hook a no-op.
+    obs: Obs,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for Replica<S> {
@@ -128,7 +132,34 @@ impl<S: StateMachine> Replica<S> {
             state_offers: BTreeMap::new(),
             recovering: false,
             outputs: Vec::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs an observability sink. Phase spans (`bft.prepare_us`,
+    /// `bft.commit_us`, `bft.order_us`) and protocol events are recorded
+    /// against the sink's injected clock; with the default disabled handle
+    /// every hook is a zero-allocation no-op.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// This replica's metric label set.
+    fn obs_label(&self) -> [itdos_obs::Label; 1] {
+        [("replica", LabelValue::U64(u64::from(self.id.0)))]
+    }
+
+    /// Publishes queue-depth gauges (request backlog and accepted-but-
+    /// unexecuted requests).
+    fn obs_depths(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let labels = self.obs_label();
+        self.obs
+            .gauge("bft.backlog_depth", &labels, self.backlog.len() as i64);
+        self.obs
+            .gauge("bft.pending_depth", &labels, self.pending.len() as i64);
     }
 
     /// This replica's id.
@@ -173,6 +204,7 @@ impl<S: StateMachine> Replica<S> {
 
     /// Drains queued outputs.
     pub fn take_outputs(&mut self) -> Vec<Output> {
+        self.obs_depths();
         std::mem::take(&mut self.outputs)
     }
 
@@ -204,6 +236,7 @@ impl<S: StateMachine> Replica<S> {
 
     /// Handles a client request (also called when a backup relays one).
     pub fn on_request(&mut self, request: ClientRequest) {
+        self.obs.incr("bft.requests", &self.obs_label());
         // exactly-once: resend cached reply for a repeated timestamp
         if let Some((last_ts, cached)) = self.client_table.get(&request.client) {
             if request.timestamp < *last_ts {
@@ -254,6 +287,9 @@ impl<S: StateMachine> Replica<S> {
             };
             self.next_seq = seq;
             self.ordered.insert(request.digest());
+            // the primary's ordering phases start when it proposes
+            self.obs.span_begin("bft.prepare_us", seq.0);
+            self.obs.span_begin("bft.order_us", seq.0);
             let pp = PrePrepare {
                 view: self.view,
                 seq,
@@ -291,6 +327,9 @@ impl<S: StateMachine> Replica<S> {
         }
         entry.pre_prepare = Some(pp.clone());
         self.pending.insert(pp.digest);
+        // a backup's ordering phases start at pre-prepare acceptance
+        self.obs.span_begin("bft.prepare_us", pp.seq.0);
+        self.obs.span_begin("bft.order_us", pp.seq.0);
         let prepare = Prepare {
             view: self.view,
             seq: pp.seq,
@@ -345,6 +384,10 @@ impl<S: StateMachine> Replica<S> {
         let Some(digest) = digest else {
             return;
         };
+        // prepared for the first time: close the prepare phase, open commit
+        self.obs
+            .span_end("bft.prepare_us", seq.0, &self.obs_label());
+        self.obs.span_begin("bft.commit_us", seq.0);
         let commit = Commit {
             view,
             seq,
@@ -400,6 +443,10 @@ impl<S: StateMachine> Replica<S> {
             self.log.entry(view, next).executed = true;
             self.last_executed = next;
             self.pending.remove(&request.digest());
+            let labels = self.obs_label();
+            self.obs.span_end("bft.commit_us", next.0, &labels);
+            self.obs.span_end("bft.order_us", next.0, &labels);
+            self.obs.incr("bft.executed", &labels);
             let is_null = request.operation.is_empty() && request.client == ClientId(0);
             // exactly-once at execution: a replayed or doubly-ordered
             // request (Byzantine primary) is skipped, not re-executed
@@ -450,6 +497,14 @@ impl<S: StateMachine> Replica<S> {
         let snapshot = self.app.snapshot();
         let state_digest = snapshot_digest(&snapshot);
         self.log.store_own_checkpoint(seq, state_digest, snapshot);
+        self.obs.incr("bft.checkpoints", &self.obs_label());
+        self.obs.event(
+            "bft.checkpoint",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("seq", LabelValue::U64(seq.0)),
+            ],
+        );
         let checkpoint = Checkpoint {
             seq,
             state_digest,
@@ -492,6 +547,13 @@ impl<S: StateMachine> Replica<S> {
         }
         if seq <= self.last_executed && seq > self.log.low() {
             self.log.stabilize(seq);
+            self.obs.event(
+                "bft.checkpoint_stable",
+                &[
+                    ("replica", LabelValue::U64(u64::from(self.id.0))),
+                    ("seq", LabelValue::U64(seq.0)),
+                ],
+            );
             if self.is_primary() {
                 self.drain_backlog();
             }
@@ -503,6 +565,16 @@ impl<S: StateMachine> Replica<S> {
             return;
         }
         self.fetching = Some(seq);
+        self.obs.incr("bft.state_fetches", &self.obs_label());
+        self.obs
+            .span_begin("bft.state_transfer_us", u64::from(self.id.0));
+        self.obs.event(
+            "bft.state_fetch",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("seq", LabelValue::U64(seq.0)),
+            ],
+        );
         let fetch = StateFetch {
             seq,
             replica: self.id,
@@ -539,6 +611,9 @@ impl<S: StateMachine> Replica<S> {
     /// system until they are proactively recovered" — this is that path.)
     pub fn start_recovery(&mut self) {
         self.recovering = true;
+        self.obs.incr("bft.recoveries", &self.obs_label());
+        self.obs
+            .span_begin("bft.state_transfer_us", u64::from(self.id.0));
         self.fetching = Some(SeqNo(self.log.low().0.max(1)));
         self.state_offers.clear();
         self.outputs
@@ -590,6 +665,16 @@ impl<S: StateMachine> Replica<S> {
         // while stranded is abandoned with our stale state
         self.in_view_change = false;
         self.view_change_attempts = 0;
+        let labels = self.obs_label();
+        self.obs
+            .span_end("bft.state_transfer_us", u64::from(self.id.0), &labels);
+        self.obs.event(
+            "bft.state_transferred",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("seq", LabelValue::U64(data.seq.0)),
+            ],
+        );
         self.outputs.push(Output::StateTransferred(data.seq));
     }
 
@@ -619,6 +704,20 @@ impl<S: StateMachine> Replica<S> {
     fn start_view_change(&mut self, target: View) {
         self.in_view_change = true;
         self.view_change_attempts += 1;
+        self.obs.incr("bft.view_changes", &self.obs_label());
+        self.obs
+            .span_begin("bft.view_change_us", u64::from(self.id.0));
+        self.obs.event(
+            "bft.view_change",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("target_view", LabelValue::U64(target.0)),
+                (
+                    "attempt",
+                    LabelValue::U64(u64::from(self.view_change_attempts)),
+                ),
+            ],
+        );
         let vc = ViewChange {
             new_view: target,
             stable_seq: self.log.low(),
@@ -709,6 +808,16 @@ impl<S: StateMachine> Replica<S> {
         self.in_view_change = false;
         self.view_change_attempts = 0;
         self.view_changes.retain(|v, _| *v > view);
+        let labels = self.obs_label();
+        self.obs
+            .span_end("bft.view_change_us", u64::from(self.id.0), &labels);
+        self.obs.event(
+            "bft.view_entered",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("view", LabelValue::U64(view.0)),
+            ],
+        );
         self.outputs.push(Output::EnteredView(view));
         // ordering state is per-view: rebuilt from the carried pre-prepares
         self.ordered = pre_prepares.iter().map(|pp| pp.digest).collect();

@@ -21,6 +21,10 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "itdos-orb",
     "itdos-groupmgr",
     "itdos", // crates/core
+    // instrumentation runs inside replicas: its dumps must be
+    // byte-identical across identical seeded runs, so it may not read
+    // wall clocks or iterate randomized containers
+    "itdos-obs",
 ];
 
 /// Crates whose message handlers face Byzantine input directly: a panic

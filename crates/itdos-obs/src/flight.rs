@@ -1,0 +1,147 @@
+//! Flight recorder: a bounded ring of the most recent protocol events.
+//!
+//! The recorder keeps the last `capacity` events; older ones are evicted
+//! oldest-first. Because it is bounded, it can stay enabled through long
+//! fault drills, and because every event carries a monotonically
+//! increasing sequence number, a post-mortem dump is unambiguous even
+//! after wraparound: `events()` always yields strictly increasing `seq`.
+
+use std::collections::VecDeque;
+
+use crate::metrics::Label;
+
+/// Default ring capacity.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// One recorded protocol event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Timestamp from the injected clock, in microseconds.
+    pub at_micros: u64,
+    /// Static event kind (catalogued in DESIGN.md §9).
+    pub kind: &'static str,
+    /// Label pairs in call-site order.
+    pub labels: Vec<Label>,
+}
+
+/// The bounded event ring.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    next_seq: u64,
+    ring: VecDeque<Event>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            next_seq: 0,
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Records one event. With capacity 0 the event is counted (the
+    /// sequence number advances) but nothing is retained.
+    pub fn record(&mut self, at_micros: u64, kind: &'static str, labels: &[Label]) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.saturating_add(1);
+        if self.capacity == 0 {
+            return;
+        }
+        while self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Event {
+            seq,
+            at_micros,
+            kind,
+            labels: labels.to_vec(),
+        });
+    }
+
+    /// Changes the bound, evicting oldest events if shrinking.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Current bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained, oldest first (strictly increasing `seq`).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Clears retained events without resetting the sequence counter.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_newest_in_seq_order() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(i * 100, "tick", &[]);
+        }
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order preserved");
+        assert_eq!(fr.total_recorded(), 10);
+        assert_eq!(fr.len(), 4);
+        let times: Vec<u64> = fr.events().map(|e| e.at_micros).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..6u64 {
+            fr.record(i, "e", &[]);
+        }
+        fr.set_capacity(2);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_retains_nothing() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(1, "e", &[]);
+        assert!(fr.is_empty());
+        assert_eq!(fr.total_recorded(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! JSON-lines export and a minimal validating parser.
+//!
+//! The exporter writes one JSON object per line — counters, gauges,
+//! histogram summaries, then flight-recorder events — iterating only
+//! `BTreeMap`s and `VecDeque`s so the output is byte-identical across
+//! identical runs. The validator is a tiny recursive-descent JSON reader
+//! used by `exp_report --metrics` and CI to assert the dump parses; it is
+//! std-only because the workspace forbids external dependencies.
+
+use std::fmt::Write as _;
+
+use crate::flight::Event;
+use crate::metrics::{Label, LabelValue, Registry};
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_labels(out: &mut String, labels: &[Label]) {
+    out.push_str(",\"labels\":{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, k);
+        out.push(':');
+        match v {
+            LabelValue::Str(s) => escape_into(out, s),
+            LabelValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes a registry as JSON lines into `out`.
+pub fn dump_registry(out: &mut String, registry: &Registry) {
+    for (key, value) in registry.counters() {
+        out.push_str("{\"type\":\"counter\",\"name\":");
+        escape_into(out, key.name);
+        write_labels(out, &key.labels);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (key, value) in registry.gauges() {
+        out.push_str("{\"type\":\"gauge\",\"name\":");
+        escape_into(out, key.name);
+        write_labels(out, &key.labels);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (key, h) in registry.histograms() {
+        out.push_str("{\"type\":\"histogram\",\"name\":");
+        escape_into(out, key.name);
+        write_labels(out, &key.labels);
+        let _ = writeln!(
+            out,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.percentile(50),
+            h.percentile(99)
+        );
+    }
+}
+
+/// Serializes flight-recorder events as JSON lines into `out`.
+pub fn dump_events<'a>(out: &mut String, events: impl Iterator<Item = &'a Event>) {
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"seq\":{},\"at_us\":{},\"kind\":",
+            e.seq, e.at_micros
+        );
+        escape_into(out, e.kind);
+        write_labels(out, &e.labels);
+        out.push_str("}\n");
+    }
+}
+
+/// Validates that every non-empty line of `text` is a standalone JSON
+/// object. Returns the number of lines validated.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut lines = 0;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        if p.peek() != Some(b'{') {
+            return Err(format!("line {}: expected object", idx + 1));
+        }
+        p.value().map_err(|e| format!("line {}: {e}", idx + 1))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("line {}: trailing bytes", idx + 1));
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => {
+                    match self.bump() {
+                        Some(b'u') => {
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.bump(),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return Err("bad \\u escape".into());
+                                }
+                            }
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                        _ => return Err("bad escape".into()),
+                    };
+                }
+                Some(_) => {}
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("bad number".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            if self.bump() != Some(b) {
+                return Err(format!("bad literal, expected {lit}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\n\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn validator_accepts_object_lines_and_rejects_junk() {
+        let good =
+            "{\"a\":1,\"b\":[true,null,-2.5e3],\"c\":{\"d\":\"x\"}}\n\n{\"e\":\"\\u00ff\"}\n";
+        assert_eq!(validate(good), Ok(2));
+        assert!(validate("[1,2]").is_err(), "top level must be an object");
+        assert!(validate("{\"a\":}").is_err());
+        assert!(validate("{\"a\":1} extra").is_err());
+        assert!(validate("{\"a\":\"unterminated}").is_err());
+    }
+
+    #[test]
+    fn dump_round_trips_through_validator() {
+        let mut r = Registry::new();
+        r.add(
+            "net.messages",
+            &[("label", LabelValue::Str("bft-commit"))],
+            9,
+        );
+        r.gauge_set("bft.backlog", &[("replica", LabelValue::U64(2))], -1);
+        r.observe("bft.commit_us", &[("replica", LabelValue::U64(0))], 300);
+        let mut out = String::new();
+        dump_registry(&mut out, &r);
+        assert_eq!(validate(&out), Ok(3));
+        assert!(out.contains("\"p50\":300") || out.contains("\"p50\":511"));
+    }
+}

@@ -1,0 +1,372 @@
+//! # itdos-obs — deterministic observability for the ITDOS stack
+//!
+//! The paper's evaluation lives on per-phase visibility: connection
+//! establishment (`open_request → keys to server → keys to client →
+//! invocation → reply`, Fig. 3), voting rounds, and PBFT ordering cost.
+//! This crate is the cross-cutting layer that measures them without
+//! breaking the two invariants the rest of the workspace is built on:
+//!
+//! * **Determinism** — this crate is itself on the itdos-lint L2
+//!   replica-deterministic list. It never reads a wall clock or iterates
+//!   a `HashMap`; time arrives only through the injected [`Clock`] trait
+//!   ([`ManualClock`] mirrored from `SimTime` in simulation), and all
+//!   storage is `BTreeMap`/`VecDeque`, so two identical seeded runs emit
+//!   byte-identical dumps.
+//! * **Zero cost when off** — every instrumentation hook goes through the
+//!   cloneable [`Obs`] handle. With no sink installed each hook is a
+//!   branch on an `Option` and returns; label slices are built on the
+//!   caller's stack, so the disabled path allocates nothing (verified by
+//!   `crates/bench/benches/obs_overhead.rs`).
+//!
+//! Three facilities share one [`Recorder`]:
+//!
+//! 1. a metrics [`Registry`] — counters, gauges, and log₂-bucketed
+//!    latency [`Histogram`]s with p50/p99/max summaries;
+//! 2. a [`FlightRecorder`] — a bounded ring of the last N protocol
+//!    events for post-mortem dumps after a crash or fault drill;
+//! 3. span-style phase timing — [`Obs::span_begin`]/[`Obs::span_end`]
+//!    pairs keyed by `(name, id)` that land in a histogram.
+//!
+//! [`Obs::dump_jsonl`] exports everything as JSON lines (consumed by
+//! `exp_report --metrics`); [`Obs::render_report`] formats a human
+//! summary (printed by `examples/intrusion_drill.rs`).
+
+pub mod clock;
+pub mod flight;
+pub mod jsonl;
+pub mod metrics;
+
+pub use clock::{Clock, ManualClock};
+pub use flight::{Event, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use metrics::{Histogram, Label, LabelValue, Registry, SeriesKey, HISTOGRAM_BUCKETS};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The sink behind an enabled [`Obs`] handle.
+pub struct Recorder {
+    clock: Arc<dyn Clock>,
+    registry: Registry,
+    flight: FlightRecorder,
+    spans: BTreeMap<(&'static str, u64), u64>,
+}
+
+impl Recorder {
+    /// A recorder reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Recorder {
+        Recorder {
+            clock,
+            registry: Registry::new(),
+            flight: FlightRecorder::default(),
+            spans: BTreeMap::new(),
+        }
+    }
+}
+
+/// Cloneable instrumentation handle; the disabled default is a no-op.
+///
+/// All components of one system share one underlying [`Recorder`] via
+/// `Arc<Mutex<_>>`, so a single dump covers the whole protocol stack and
+/// instrumented state machines stay `Send` (the workspace's API contract
+/// for `Replica`). In simulation everything runs on one thread, so the
+/// lock is never contended.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Mutex<Recorder>>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.is_some() {
+            f.write_str("Obs(enabled)")
+        } else {
+            f.write_str("Obs(disabled)")
+        }
+    }
+}
+
+impl Obs {
+    /// A handle with no sink: every hook is a no-op.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle reading time from `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Mutex::new(Recorder::new(clock)))),
+        }
+    }
+
+    /// An enabled handle plus the [`ManualClock`] that drives it —
+    /// the deterministic configuration used with the simulator.
+    pub fn manual() -> (Obs, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Obs::with_clock(clock.clone()), clock)
+    }
+
+    /// True when a sink is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current time from the injected clock (0 when disabled).
+    pub fn now_micros(&self) -> u64 {
+        match &self.inner {
+            Some(r) => r.lock().map(|rec| rec.clock.now_micros()).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&self, name: &'static str, labels: &[Label], delta: u64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.registry.add(name, labels, delta);
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn incr(&self, name: &'static str, labels: &[Label]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Overwrites a counter (for bridges mirroring external counters).
+    #[inline]
+    pub fn counter_set(&self, name: &'static str, labels: &[Label], value: u64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.registry.counter_set(name, labels, value);
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, labels: &[Label], value: i64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.registry.gauge_set(name, labels, value);
+    }
+
+    /// Records a histogram observation.
+    #[inline]
+    pub fn observe(&self, name: &'static str, labels: &[Label], value: u64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.registry.observe(name, labels, value);
+    }
+
+    /// Records a flight-recorder event stamped with the injected clock.
+    #[inline]
+    pub fn event(&self, kind: &'static str, labels: &[Label]) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        let now = rec.clock.now_micros();
+        rec.flight.record(now, kind, labels);
+    }
+
+    /// Opens a span keyed by `(name, id)`. Re-opening an in-flight span
+    /// restarts it.
+    #[inline]
+    pub fn span_begin(&self, name: &'static str, id: u64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        let now = rec.clock.now_micros();
+        rec.spans.insert((name, id), now);
+    }
+
+    /// Closes a span and records its duration (microseconds) in the
+    /// histogram `name` with `labels`. A close without a matching open is
+    /// ignored.
+    #[inline]
+    pub fn span_end(&self, name: &'static str, id: u64, labels: &[Label]) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        let Some(started) = rec.spans.remove(&(name, id)) else {
+            return;
+        };
+        let elapsed = rec.clock.now_micros().saturating_sub(started);
+        rec.registry.observe(name, labels, elapsed);
+    }
+
+    /// Abandons a span without recording anything.
+    #[inline]
+    pub fn span_cancel(&self, name: &'static str, id: u64) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.spans.remove(&(name, id));
+    }
+
+    /// Resizes the flight-recorder ring.
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.flight.set_capacity(capacity);
+    }
+
+    /// Reads the registry under a closure (None when disabled).
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> Option<T> {
+        self.inner
+            .as_ref()
+            .and_then(|r| r.lock().ok().map(|rec| f(&rec.registry)))
+    }
+
+    /// Reads the flight recorder under a closure (None when disabled).
+    pub fn with_flight<T>(&self, f: impl FnOnce(&FlightRecorder) -> T) -> Option<T> {
+        self.inner
+            .as_ref()
+            .and_then(|r| r.lock().ok().map(|rec| f(&rec.flight)))
+    }
+
+    /// Convenience counter read (0 when disabled or absent).
+    pub fn counter_value(&self, name: &'static str, labels: &[Label]) -> u64 {
+        self.with_registry(|reg| reg.counter(name, labels))
+            .unwrap_or(0)
+    }
+
+    /// Clears metrics, events, and open spans; the clock keeps running.
+    pub fn reset(&self) {
+        let Some(r) = &self.inner else { return };
+        let Ok(mut rec) = r.lock() else { return };
+        rec.registry.clear();
+        rec.flight.clear();
+        rec.spans.clear();
+    }
+
+    /// Serializes the whole recorder — counters, gauges, histogram
+    /// summaries, then retained events — as JSON lines. Empty string when
+    /// disabled. Byte-identical across identical seeded runs.
+    pub fn dump_jsonl(&self) -> String {
+        let Some(r) = &self.inner else {
+            return String::new();
+        };
+        let Ok(rec) = r.lock() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        jsonl::dump_registry(&mut out, &rec.registry);
+        jsonl::dump_events(&mut out, rec.flight.events());
+        out
+    }
+
+    /// Human-readable per-phase report: histograms with p50/p99/max,
+    /// then counters and gauges. Empty string when disabled.
+    pub fn render_report(&self) -> String {
+        let Some(r) = &self.inner else {
+            return String::new();
+        };
+        let Ok(rec) = r.lock() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        if rec.registry.histograms().next().is_some() {
+            out.push_str("phase timings (us):\n");
+            for (key, h) in rec.registry.histograms() {
+                let _ = write!(out, "  {:<28}", format_series(key));
+                let _ = writeln!(
+                    out,
+                    " count={:<5} p50={:<8} p99={:<8} max={}",
+                    h.count(),
+                    h.percentile(50),
+                    h.percentile(99),
+                    h.max()
+                );
+            }
+        }
+        if rec.registry.counters().next().is_some() {
+            out.push_str("counters:\n");
+            for (key, v) in rec.registry.counters() {
+                let _ = writeln!(out, "  {:<40} {v}", format_series(key));
+            }
+        }
+        if rec.registry.gauges().next().is_some() {
+            out.push_str("gauges:\n");
+            for (key, v) in rec.registry.gauges() {
+                let _ = writeln!(out, "  {:<40} {v}", format_series(key));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "flight recorder: {} retained of {} events",
+            rec.flight.len(),
+            rec.flight.total_recorded()
+        );
+        out
+    }
+}
+
+fn format_series(key: &SeriesKey) -> String {
+    let mut s = String::from(key.name);
+    if !key.labels.is_empty() {
+        s.push('{');
+        for (i, (k, v)) in key.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = match v {
+                LabelValue::Str(sv) => write!(s, "{k}={sv}"),
+                LabelValue::U64(n) => write!(s, "{k}={n}"),
+            };
+        }
+        s.push('}');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.incr("c", &[]);
+        obs.observe("h", &[], 5);
+        obs.event("e", &[]);
+        obs.span_begin("s", 1);
+        obs.span_end("s", 1, &[]);
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.dump_jsonl(), "");
+        assert_eq!(obs.render_report(), "");
+        assert_eq!(obs.counter_value("c", &[]), 0);
+    }
+
+    #[test]
+    fn spans_measure_clock_deltas() {
+        let (obs, clock) = Obs::manual();
+        clock.set(100);
+        obs.span_begin("phase", 7);
+        clock.set(350);
+        obs.span_end("phase", 7, &[("id", LabelValue::U64(7))]);
+        let h = obs
+            .with_registry(|r| r.histogram("phase", &[("id", LabelValue::U64(7))]).cloned())
+            .flatten()
+            .expect("histogram recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 250);
+        // unmatched end and cancelled spans record nothing
+        obs.span_end("phase", 8, &[]);
+        obs.span_begin("phase", 9);
+        obs.span_cancel("phase", 9);
+        obs.span_end("phase", 9, &[]);
+        let count = obs
+            .with_registry(|r| r.histograms().map(|(_, h)| h.count()).sum::<u64>())
+            .unwrap_or(0);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn dump_is_valid_jsonl_and_shared_across_clones() {
+        let (obs, clock) = Obs::manual();
+        let clone = obs.clone();
+        clone.incr("net.messages", &[("label", LabelValue::Str("x"))]);
+        clock.set(42);
+        clone.event("bft.view_change", &[("view", LabelValue::U64(1))]);
+        let dump = obs.dump_jsonl();
+        assert!(dump.contains("\"at_us\":42"));
+        assert_eq!(jsonl::validate(&dump), Ok(2));
+        assert!(!obs.render_report().is_empty());
+    }
+}

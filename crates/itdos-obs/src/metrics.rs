@@ -1,0 +1,345 @@
+//! Metric registry: counters, gauges, and log₂-bucketed histograms.
+//!
+//! Series are keyed by a `&'static str` metric name plus a small label
+//! set. Everything is stored in `BTreeMap`s so iteration order — and
+//! therefore every exported dump — is byte-stable across identical runs
+//! (the determinism contract the replay tests assert).
+
+use std::collections::BTreeMap;
+
+/// A label value: either a static string or an integer.
+///
+/// Only these two shapes exist so that building a label slice at an
+/// instrumentation site never allocates — the slice lives on the stack and
+/// is copied into the registry only when a sink is installed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LabelValue {
+    /// Static string value (e.g. an outcome kind).
+    Str(&'static str),
+    /// Integer value (e.g. a replica or connection id).
+    U64(u64),
+}
+
+impl From<&'static str> for LabelValue {
+    fn from(v: &'static str) -> LabelValue {
+        LabelValue::Str(v)
+    }
+}
+
+impl From<u64> for LabelValue {
+    fn from(v: u64) -> LabelValue {
+        LabelValue::U64(v)
+    }
+}
+
+impl From<u32> for LabelValue {
+    fn from(v: u32) -> LabelValue {
+        LabelValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for LabelValue {
+    fn from(v: usize) -> LabelValue {
+        LabelValue::U64(v as u64)
+    }
+}
+
+/// One `key=value` label pair.
+pub type Label = (&'static str, LabelValue);
+
+/// Identity of one time series: metric name plus its label set.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SeriesKey {
+    /// Static metric name (catalogued in DESIGN.md §9).
+    pub name: &'static str,
+    /// Label pairs in call-site order.
+    pub labels: Vec<Label>,
+}
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i`
+/// (1 ≤ i ≤ 63) holds values in `[2^(i-1), 2^i - 1]`, bucket 64 holds
+/// `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log₂-bucketed histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index for `value`: 0 for zero, `floor(log2(value)) + 1`
+    /// otherwise (so each power of two opens a new bucket).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index`.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = Self::bucket_index(value).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate p-th percentile (p in 0..=100): the upper bound of the
+    /// first bucket whose cumulative count reaches rank `ceil(count*p/100)`,
+    /// clamped to the exact observed maximum. Deterministic integer math.
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = u128::from(p.min(100));
+        let rank = (u128::from(self.count) * p).div_ceil(100).max(1);
+        let mut cumulative: u128 = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += u128::from(c);
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The metric store. Deterministically ordered; cloneable for snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, i64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn key(name: &'static str, labels: &[Label]) -> SeriesKey {
+        SeriesKey {
+            name,
+            labels: labels.to_vec(),
+        }
+    }
+
+    /// Adds `delta` to a counter (saturating).
+    pub fn add(&mut self, name: &'static str, labels: &[Label], delta: u64) {
+        let slot = self.counters.entry(Self::key(name, labels)).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Overwrites a counter — used by bridges that mirror an external
+    /// counter (e.g. `NetStats`) so repeated exports stay idempotent.
+    pub fn counter_set(&mut self, name: &'static str, labels: &[Label], value: u64) {
+        self.counters.insert(Self::key(name, labels), value);
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[Label], value: i64) {
+        self.gauges.insert(Self::key(name, labels), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &'static str, labels: &[Label], value: u64) {
+        self.histograms
+            .entry(Self::key(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &'static str, labels: &[Label]) -> u64 {
+        self.counters
+            .get(&Self::key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &'static str, labels: &[Label]) -> Option<i64> {
+        self.gauges.get(&Self::key(name, labels)).copied()
+    }
+
+    /// A histogram series, if it exists.
+    pub fn histogram(&self, name: &'static str, labels: &[Label]) -> Option<&Histogram> {
+        self.histograms.get(&Self::key(name, labels))
+    }
+
+    /// All counters in deterministic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauges in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&SeriesKey, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All histograms in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Total number of series of any kind.
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Clears every series.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        for i in 1..=63u32 {
+            let v = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(v), i as usize + 1, "2^{i}");
+            assert_eq!(Histogram::bucket_index(v - 1), i as usize, "2^{i}-1");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[64], 1);
+        // sum saturates rather than wrapping
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(v);
+        }
+        // ranks: p50 -> 3rd of 5 -> value 30 -> bucket 5 (16..=31)
+        assert_eq!(h.percentile(50), 31);
+        // p99 -> rank 5 -> 1000 -> bucket 10 upper bound 1023, clamped to 1000
+        assert_eq!(h.percentile(99), 1000);
+        assert_eq!(h.percentile(0), 15); // rank clamps to 1 -> first bucket hit
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(50), 0);
+    }
+
+    #[test]
+    fn registry_series_are_label_distinct_and_ordered() {
+        let mut r = Registry::new();
+        r.add("m", &[("replica", LabelValue::U64(1))], 2);
+        r.add("m", &[("replica", LabelValue::U64(0))], 1);
+        r.add("m", &[("replica", LabelValue::U64(1))], 3);
+        assert_eq!(r.counter("m", &[("replica", LabelValue::U64(1))]), 5);
+        assert_eq!(r.counter("m", &[("replica", LabelValue::U64(0))]), 1);
+        let order: Vec<u64> = r
+            .counters()
+            .map(|(k, _)| match k.labels[0].1 {
+                LabelValue::U64(v) => v,
+                LabelValue::Str(_) => u64::MAX,
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1], "BTreeMap iteration is sorted");
+        r.counter_set("m", &[("replica", LabelValue::U64(0))], 7);
+        assert_eq!(r.counter("m", &[("replica", LabelValue::U64(0))]), 7);
+    }
+}

@@ -18,9 +18,18 @@
 use std::collections::BTreeSet;
 
 use itdos_giop::types::Value;
+use itdos_obs::{LabelValue, Obs};
 
 use crate::comparator::Comparator;
 use crate::vote::{vote, Candidate, Decision, SenderId, Thresholds, VoteOutcome};
+
+/// Static label distinguishing exact from inexact voting in metrics.
+fn comparator_kind(comparator: &Comparator) -> &'static str {
+    match comparator {
+        Comparator::Exact => "exact",
+        _ => "inexact",
+    }
+}
 
 /// Why a message was discarded without prejudice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +105,7 @@ pub struct Collator {
     decision: Option<Decision>,
     late_suspects: Vec<SenderId>,
     stats: CollationStats,
+    obs: Obs,
 }
 
 impl Collator {
@@ -111,7 +121,15 @@ impl Collator {
             decision: None,
             late_suspects: Vec::new(),
             stats: CollationStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs an observability sink recording votes held, exact-vs-
+    /// inexact outcomes, and divergent-replica detections. The default
+    /// disabled handle makes every hook a no-op.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Begins collation for a new outstanding request, garbage-collecting
@@ -189,8 +207,17 @@ impl Collator {
                 None
             } else {
                 self.late_suspects.push(sender);
+                self.obs.incr("vote.divergent", &[]);
+                self.obs.event(
+                    "vote.late_dissent",
+                    &[
+                        ("request", LabelValue::U64(request_id)),
+                        ("sender", LabelValue::U64(u64::from(sender.0))),
+                    ],
+                );
                 Some(sender)
             };
+            self.obs.incr("vote.late", &[]);
             return Accept::Late { suspect };
         }
         self.candidates.push(Candidate { sender, value });
@@ -202,6 +229,24 @@ impl Collator {
             VoteOutcome::Decided(decision) => {
                 self.decision = Some(decision.clone());
                 self.stats.decided = true;
+                if self.obs.is_enabled() {
+                    let kind = comparator_kind(&self.comparator);
+                    let labels = [("comparator", LabelValue::Str(kind))];
+                    self.obs.incr("vote.decided", &labels);
+                    self.obs
+                        .observe("vote.votes_held", &labels, self.candidates.len() as u64);
+                    self.obs
+                        .add("vote.divergent", &[], decision.dissenters.len() as u64);
+                    for dissenter in &decision.dissenters {
+                        self.obs.event(
+                            "vote.dissent",
+                            &[
+                                ("request", LabelValue::U64(request_id)),
+                                ("sender", LabelValue::U64(u64::from(dissenter.0))),
+                            ],
+                        );
+                    }
+                }
                 Accept::Decided(decision)
             }
             VoteOutcome::Pending => Accept::Collected,

@@ -12,7 +12,7 @@ use crate::net::NetConfig;
 use crate::node::{GroupId, NodeId};
 use crate::process::{Action, Context, Process, Timer, TimerId};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::NetStats;
+use crate::trace::{DropReason, NetStats};
 
 /// Default step budget for [`Simulator::run`]; exceeding it indicates a
 /// livelock and panics rather than hanging the test suite.
@@ -79,6 +79,7 @@ pub struct Simulator {
     stats: NetStats,
     net_rng: SmallRng,
     master_seed: u64,
+    obs_clock: Option<std::sync::Arc<itdos_obs::ManualClock>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -106,7 +107,17 @@ impl Simulator {
             stats: NetStats::default(),
             net_rng: SmallRng::seed_from_u64(seed ^ 0x6e65_745f_726e_67),
             master_seed: seed,
+            obs_clock: None,
         }
+    }
+
+    /// Mirrors simulated time into an observability clock: after every
+    /// processed event the clock reads `now()` in microseconds, so span
+    /// timings and flight-recorder timestamps taken by processes line up
+    /// with `SimTime` deterministically.
+    pub fn drive_obs_clock(&mut self, clock: std::sync::Arc<itdos_obs::ManualClock>) {
+        clock.set(self.now.as_micros());
+        self.obs_clock = Some(clock);
     }
 
     /// Registers a process and returns its node id.
@@ -304,6 +315,9 @@ impl Simulator {
             .expect("event payload present");
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
+        if let Some(clock) = &self.obs_clock {
+            clock.set(t.as_micros());
+        }
         match kind {
             EventKind::Deliver { to, from, payload } => {
                 self.dispatch_message(to, from, payload);
@@ -412,15 +426,27 @@ impl Simulator {
 
     fn transmit(&mut self, from: NodeId, to: NodeId, payload: Bytes, label: &'static str) {
         if self.config.is_blocked(from, to) {
-            self.stats
-                .record(self.now, from, to, payload.len(), label, true);
+            self.stats.record(
+                self.now,
+                from,
+                to,
+                payload.len(),
+                label,
+                Some(DropReason::Partition),
+            );
             return;
         }
         if self.config.loss_probability > 0.0
             && self.net_rng.gen::<f64>() < self.config.loss_probability
         {
-            self.stats
-                .record(self.now, from, to, payload.len(), label, true);
+            self.stats.record(
+                self.now,
+                from,
+                to,
+                payload.len(),
+                label,
+                Some(DropReason::Loss),
+            );
             return;
         }
         let verdict = self
@@ -430,8 +456,14 @@ impl Simulator {
         match verdict {
             Verdict::Pass => self.deliver_after(from, to, payload, label, latency),
             Verdict::Drop => {
-                self.stats
-                    .record(self.now, from, to, payload.len(), label, true);
+                self.stats.record(
+                    self.now,
+                    from,
+                    to,
+                    payload.len(),
+                    label,
+                    Some(DropReason::Adversary),
+                );
             }
             Verdict::Delay(extra) => {
                 self.deliver_after(from, to, payload, label, latency + extra);
@@ -457,7 +489,7 @@ impl Simulator {
         delay: SimDuration,
     ) {
         self.stats
-            .record(self.now, from, to, payload.len(), label, false);
+            .record(self.now, from, to, payload.len(), label, None);
         let at = self.now + delay;
         self.schedule(at, EventKind::Deliver { to, from, payload });
     }

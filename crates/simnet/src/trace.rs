@@ -3,11 +3,21 @@
 //! The experiment harness (E2, E4, E8) needs exact message and byte counts
 //! per protocol phase; senders can attach a static label to each message and
 //! the simulator aggregates counts per label, per link, and globally.
+//! Dropped copies additionally record *why* they were dropped — random
+//! loss, a configured partition, or the adversary — both per ledger entry
+//! and in the [`NetStats::dropped_by`] counter map, so a fault drill can
+//! distinguish an unlucky network from an attack.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+use itdos_obs::{LabelValue, Obs};
 
 use crate::node::NodeId;
 use crate::time::SimTime;
+
+/// Default bound on the per-message ledger. Long fault drills generate
+/// millions of copies; the ledger keeps only the most recent entries.
+pub const DEFAULT_LEDGER_CAP: usize = 65_536;
 
 /// Aggregate counters for one traffic class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +35,28 @@ impl Counter {
     }
 }
 
+/// Why the network dropped a copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropReason {
+    /// Random loss (the `loss_probability` draw).
+    Loss,
+    /// A configured partition blocked the link.
+    Partition,
+    /// The adversary returned [`crate::adversary::Verdict::Drop`].
+    Adversary,
+}
+
+impl DropReason {
+    /// Static name, used as a metric label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Partition => "partition",
+            DropReason::Adversary => "adversary",
+        }
+    }
+}
+
 /// One entry in the message ledger (recorded only when enabled).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LedgerEntry {
@@ -38,8 +70,15 @@ pub struct LedgerEntry {
     pub len: usize,
     /// Sender-supplied label (`""` when unlabeled).
     pub label: &'static str,
-    /// Whether the network dropped this copy.
-    pub dropped: bool,
+    /// Why the network dropped this copy (`None` when delivered).
+    pub dropped: Option<DropReason>,
+}
+
+impl LedgerEntry {
+    /// True when the network dropped this copy.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped.is_some()
+    }
 }
 
 /// Network-wide statistics collected during a run.
@@ -52,7 +91,7 @@ pub struct LedgerEntry {
 /// let stats = NetStats::default();
 /// assert_eq!(stats.total.messages, 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NetStats {
     /// All traffic.
     pub total: Counter,
@@ -62,32 +101,101 @@ pub struct NetStats {
     pub by_link: BTreeMap<(NodeId, NodeId), Counter>,
     /// Copies dropped by loss, partitions, or the adversary.
     pub dropped: u64,
+    /// Dropped copies broken down by reason.
+    pub dropped_by: BTreeMap<DropReason, u64>,
     ledger_enabled: bool,
-    ledger: Vec<LedgerEntry>,
+    ledger_cap: usize,
+    ledger: VecDeque<LedgerEntry>,
+}
+
+impl Default for NetStats {
+    fn default() -> NetStats {
+        NetStats {
+            total: Counter::default(),
+            by_label: BTreeMap::new(),
+            by_link: BTreeMap::new(),
+            dropped: 0,
+            dropped_by: BTreeMap::new(),
+            ledger_enabled: false,
+            ledger_cap: DEFAULT_LEDGER_CAP,
+            ledger: VecDeque::new(),
+        }
+    }
 }
 
 impl NetStats {
-    /// Enables the per-message ledger (disabled by default: it grows with
-    /// every delivery).
+    /// Enables the per-message ledger (disabled by default). The ledger is
+    /// bounded by [`DEFAULT_LEDGER_CAP`] — override with
+    /// [`NetStats::set_ledger_cap`] — and keeps the most recent entries.
     pub fn enable_ledger(&mut self) {
         self.ledger_enabled = true;
     }
 
-    /// Returns the recorded ledger entries (empty unless enabled).
-    pub fn ledger(&self) -> &[LedgerEntry] {
-        &self.ledger
+    /// Sets the ledger bound, evicting oldest entries if shrinking.
+    pub fn set_ledger_cap(&mut self, cap: usize) {
+        self.ledger_cap = cap;
+        while self.ledger.len() > cap {
+            self.ledger.pop_front();
+        }
     }
 
-    /// Clears counters and the ledger, keeping the ledger-enabled flag.
+    /// The current ledger bound.
+    pub fn ledger_cap(&self) -> usize {
+        self.ledger_cap
+    }
+
+    /// The recorded ledger entries, oldest first (empty unless enabled).
+    pub fn ledger(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.ledger.iter()
+    }
+
+    /// Number of retained ledger entries.
+    pub fn ledger_len(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// Copies dropped for `reason` so far.
+    pub fn dropped_for(&self, reason: DropReason) -> u64 {
+        self.dropped_by.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Clears counters and the ledger, keeping the ledger flag and cap.
     pub fn reset(&mut self) {
         let enabled = self.ledger_enabled;
+        let cap = self.ledger_cap;
         *self = NetStats::default();
         self.ledger_enabled = enabled;
+        self.ledger_cap = cap;
     }
 
     /// Returns the counter for `label`, zero if the label never appeared.
     pub fn label(&self, label: &'static str) -> Counter {
         self.by_label.get(label).copied().unwrap_or_default()
+    }
+
+    /// Mirrors these counters into an [`Obs`] registry under `net.*`
+    /// metric names — the bridge that puts simulator traffic and protocol
+    /// metrics in one report. Idempotent: values are overwritten, not
+    /// accumulated, so it can run after every settle.
+    pub fn export_obs(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter_set("net.messages", &[], self.total.messages);
+        obs.counter_set("net.bytes", &[], self.total.bytes);
+        obs.counter_set("net.dropped", &[], self.dropped);
+        for (&reason, &count) in &self.dropped_by {
+            obs.counter_set(
+                "net.dropped",
+                &[("reason", LabelValue::Str(reason.as_str()))],
+                count,
+            );
+        }
+        for (&label, counter) in &self.by_label {
+            let labels = [("label", LabelValue::Str(label))];
+            obs.counter_set("net.messages", &labels, counter.messages);
+            obs.counter_set("net.bytes", &labels, counter.bytes);
+        }
     }
 
     pub(crate) fn record(
@@ -97,17 +205,24 @@ impl NetStats {
         to: NodeId,
         len: usize,
         label: &'static str,
-        dropped: bool,
+        dropped: Option<DropReason>,
     ) {
-        if dropped {
-            self.dropped += 1;
-        } else {
-            self.total.record(len);
-            self.by_label.entry(label).or_default().record(len);
-            self.by_link.entry((from, to)).or_default().record(len);
+        match dropped {
+            Some(reason) => {
+                self.dropped += 1;
+                *self.dropped_by.entry(reason).or_insert(0) += 1;
+            }
+            None => {
+                self.total.record(len);
+                self.by_label.entry(label).or_default().record(len);
+                self.by_link.entry((from, to)).or_default().record(len);
+            }
         }
-        if self.ledger_enabled {
-            self.ledger.push(LedgerEntry {
+        if self.ledger_enabled && self.ledger_cap > 0 {
+            while self.ledger.len() >= self.ledger_cap {
+                self.ledger.pop_front();
+            }
+            self.ledger.push_back(LedgerEntry {
                 sent_at,
                 from,
                 to,
@@ -130,9 +245,9 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut s = NetStats::default();
-        s.record(SimTime::ZERO, n(0), n(1), 10, "a", false);
-        s.record(SimTime::ZERO, n(0), n(2), 20, "a", false);
-        s.record(SimTime::ZERO, n(1), n(0), 5, "b", false);
+        s.record(SimTime::ZERO, n(0), n(1), 10, "a", None);
+        s.record(SimTime::ZERO, n(0), n(2), 20, "a", None);
+        s.record(SimTime::ZERO, n(1), n(0), 5, "b", None);
         assert_eq!(s.total.messages, 3);
         assert_eq!(s.total.bytes, 35);
         assert_eq!(s.label("a").messages, 2);
@@ -141,40 +256,108 @@ mod tests {
     }
 
     #[test]
-    fn drops_counted_separately() {
+    fn drops_counted_by_reason() {
         let mut s = NetStats::default();
-        s.record(SimTime::ZERO, n(0), n(1), 10, "", true);
-        assert_eq!(s.dropped, 1);
+        s.record(SimTime::ZERO, n(0), n(1), 10, "", Some(DropReason::Loss));
+        s.record(
+            SimTime::ZERO,
+            n(0),
+            n(1),
+            10,
+            "",
+            Some(DropReason::Partition),
+        );
+        s.record(
+            SimTime::ZERO,
+            n(0),
+            n(1),
+            10,
+            "",
+            Some(DropReason::Partition),
+        );
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.dropped_for(DropReason::Loss), 1);
+        assert_eq!(s.dropped_for(DropReason::Partition), 2);
+        assert_eq!(s.dropped_for(DropReason::Adversary), 0);
         assert_eq!(s.total.messages, 0);
     }
 
     #[test]
     fn ledger_records_when_enabled() {
         let mut s = NetStats::default();
-        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
-        assert!(s.ledger().is_empty(), "ledger off by default");
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", None);
+        assert_eq!(s.ledger_len(), 0, "ledger off by default");
         s.enable_ledger();
-        s.record(SimTime::from_micros(5), n(0), n(1), 2, "y", true);
-        assert_eq!(s.ledger().len(), 1);
-        let e = &s.ledger()[0];
+        s.record(
+            SimTime::from_micros(5),
+            n(0),
+            n(1),
+            2,
+            "y",
+            Some(DropReason::Adversary),
+        );
+        assert_eq!(s.ledger_len(), 1);
+        let e = s.ledger().next().unwrap();
         assert_eq!(e.label, "y");
-        assert!(e.dropped);
+        assert!(e.is_dropped());
+        assert_eq!(e.dropped, Some(DropReason::Adversary));
     }
 
     #[test]
-    fn reset_preserves_ledger_flag() {
+    fn ledger_cap_keeps_most_recent() {
         let mut s = NetStats::default();
         s.enable_ledger();
-        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
+        s.set_ledger_cap(3);
+        for i in 0..10u32 {
+            s.record(SimTime::from_micros(i as u64), n(i), n(0), 1, "x", None);
+        }
+        assert_eq!(s.ledger_len(), 3);
+        let froms: Vec<u32> = s.ledger().map(|e| e.from.as_raw()).collect();
+        assert_eq!(froms, vec![7, 8, 9], "oldest evicted first");
+        // counters are unaffected by eviction
+        assert_eq!(s.total.messages, 10);
+        s.set_ledger_cap(1);
+        assert_eq!(s.ledger_len(), 1);
+        assert_eq!(s.ledger().next().unwrap().from, n(9));
+    }
+
+    #[test]
+    fn reset_preserves_ledger_flag_and_cap() {
+        let mut s = NetStats::default();
+        s.enable_ledger();
+        s.set_ledger_cap(7);
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", None);
         s.reset();
         assert_eq!(s.total.messages, 0);
-        s.record(SimTime::ZERO, n(0), n(1), 1, "x", false);
-        assert_eq!(s.ledger().len(), 1, "ledger still enabled after reset");
+        assert_eq!(s.ledger_cap(), 7);
+        s.record(SimTime::ZERO, n(0), n(1), 1, "x", None);
+        assert_eq!(s.ledger_len(), 1, "ledger still enabled after reset");
     }
 
     #[test]
     fn unknown_label_reads_zero() {
         let s = NetStats::default();
         assert_eq!(s.label("nope"), Counter::default());
+    }
+
+    #[test]
+    fn export_obs_is_idempotent() {
+        let mut s = NetStats::default();
+        s.record(SimTime::ZERO, n(0), n(1), 10, "ping", None);
+        s.record(SimTime::ZERO, n(0), n(1), 4, "", Some(DropReason::Loss));
+        let (obs, _clock) = Obs::manual();
+        s.export_obs(&obs);
+        s.export_obs(&obs);
+        assert_eq!(obs.counter_value("net.messages", &[]), 1);
+        assert_eq!(
+            obs.counter_value("net.messages", &[("label", LabelValue::Str("ping"))]),
+            1
+        );
+        assert_eq!(
+            obs.counter_value("net.dropped", &[("reason", LabelValue::Str("loss"))]),
+            1
+        );
+        // disabled obs: a no-op
+        s.export_obs(&Obs::disabled());
     }
 }

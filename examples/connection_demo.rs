@@ -51,7 +51,7 @@ fn main() {
 
     // replay the ledger grouped by protocol phase, in the order phases
     // first appear — the Figure 3 arrows
-    let ledger = system.sim.stats().ledger().to_vec();
+    let ledger: Vec<_> = system.sim.stats().ledger().cloned().collect();
     let phases: &[(&str, &str)] = &[
         (
             "smiop-submit",

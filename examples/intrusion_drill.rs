@@ -41,6 +41,7 @@ fn ledger_servant() -> Box<dyn Servant> {
 fn drill(title: &str, behavior: Behavior, seed: u64) {
     println!("\n=== drill: {title} ===");
     let mut builder = SystemBuilder::new(seed);
+    builder.observability(true);
     builder.repository(repo());
     builder.add_domain(
         LEDGER,
@@ -88,6 +89,9 @@ fn drill(title: &str, behavior: Behavior, seed: u64) {
     );
     println!("append(24)  -> {:?} (service continues)", done.result);
     assert_eq!(done.result, Ok(Value::LongLong(1024)));
+
+    println!("\n-- per-phase metrics for this drill --");
+    print!("{}", system.metrics_report());
 }
 
 fn main() {
