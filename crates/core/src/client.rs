@@ -74,6 +74,17 @@ struct Outstanding {
     decided: bool,
 }
 
+/// Span id for one invocation: request ids are assigned per connection by
+/// the GM, so the connection is mixed in (FNV-1a) — two connections whose
+/// request ids overlap must not share a span slot.
+fn invoke_span_id(connection: ConnectionId, request_id: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [connection.0, request_id] {
+        h = (h ^ word).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Encodes an invocation command for [`simnet::Simulator::inject`]: the
 /// target domain followed by a GIOP request frame.
 ///
@@ -120,6 +131,11 @@ pub struct SingletonClient {
     queue: VecDeque<(DomainId, RequestMessage)>,
     outstanding: Option<Outstanding>,
     opens_requested: std::collections::BTreeSet<DomainId>,
+    /// Targets of our in-flight GM submissions, oldest first (`Some` for
+    /// an `Open`, `None` for other ops). The GM channel is a serialized
+    /// FIFO, so accepted results pair with these in order — used to close
+    /// out the `conn.open_us` span when the GM refuses an open.
+    gm_pending: VecDeque<Option<DomainId>>,
     obs: Obs,
     /// Finished invocations, oldest first.
     pub completed: Vec<Completed>,
@@ -157,6 +173,7 @@ impl SingletonClient {
             queue: VecDeque::new(),
             outstanding: None,
             opens_requested: std::collections::BTreeSet::new(),
+            gm_pending: VecDeque::new(),
             obs: Obs::disabled(),
             completed: Vec::new(),
             proofs_sent: 0,
@@ -188,6 +205,10 @@ impl SingletonClient {
         let fabric = self.fabric.clone();
         let gm = fabric.gm_domain;
         let code = self.my_code();
+        self.gm_pending.push_back(match &op {
+            GmOp::Open { target, .. } => Some(*target),
+            _ => None,
+        });
         self.outbound
             .entry(gm)
             .or_insert_with(|| Outbound::new(&fabric, gm, code))
@@ -273,7 +294,10 @@ impl SingletonClient {
             decided: false,
         });
         self.obs.incr("client.requests", &self.obs_label());
-        self.obs.span_begin("invoke.reply_us", request.request_id);
+        self.obs.span_begin(
+            "invoke.reply_us",
+            invoke_span_id(meta.connection, request.request_id),
+        );
         self.send_request(ctx, meta, key, &request);
         // re-send later if replies do not arrive (lost DirectReply copies)
         ctx.set_timer(
@@ -378,10 +402,14 @@ impl SingletonClient {
         match accept {
             Accept::Decided(decision) => {
                 let request_id = outstanding.request_id;
+                let connection = outstanding.connection;
                 let target = outstanding.target;
                 let suspects = decision.dissenters.clone();
-                self.obs
-                    .span_end("invoke.reply_us", request_id, &self.obs_label());
+                self.obs.span_end(
+                    "invoke.reply_us",
+                    invoke_span_id(connection, request_id),
+                    &self.obs_label(),
+                );
                 self.obs.incr("client.completed", &self.obs_label());
                 self.obs.event(
                     "client.decided",
@@ -456,6 +484,34 @@ impl SingletonClient {
         self.submit_gm(ctx, GmOp::ChangeProof(proof));
     }
 
+    /// Handles the ordered result of one of our GM submissions (paired
+    /// with `gm_pending` in FIFO order). A refused `Open` will never key:
+    /// cancel its Figure-3 span instead of leaking it, and forget the
+    /// attempt so a later command may retry.
+    fn on_gm_result(&mut self, result: &[u8]) {
+        let pending_open = self.gm_pending.pop_front().flatten();
+        let Ok(directives) = crate::wire::decode_directives(result) else {
+            return;
+        };
+        let refused = directives
+            .iter()
+            .any(|d| matches!(d, crate::wire::Directive::Refused(_)));
+        if refused {
+            if let Some(target) = pending_open {
+                self.obs.span_cancel("conn.open_us", target.0);
+                self.obs.incr("conn.refused", &self.obs_label());
+                self.obs.event(
+                    "conn.open_refused",
+                    &[
+                        ("client", LabelValue::U64(self.cfg.id)),
+                        ("target", LabelValue::U64(target.0)),
+                    ],
+                );
+                self.opens_requested.remove(&target);
+            }
+        }
+    }
+
     fn handle_key_share(&mut self, ctx: &mut Context<'_>, msg: crate::wire::KeyShareMsg) {
         let Some((meta, key)) = self.shares.offer(&self.fabric, &msg) else {
             return;
@@ -486,7 +542,10 @@ impl SingletonClient {
         self.obs.span_end(
             "conn.open_us",
             target.0,
-            &[("target", LabelValue::U64(target.0))],
+            &[
+                ("client", LabelValue::U64(self.cfg.id)),
+                ("target", LabelValue::U64(target.0)),
+            ],
         );
         self.obs.event(
             "conn.keyed",
@@ -514,7 +573,12 @@ impl Process for SingletonClient {
                 if let Some(outbound) = self.outbound.get_mut(&domain) {
                     let fabric = self.fabric.clone();
                     outbound.on_reply(ctx, &fabric, &envelope);
-                    outbound.take_accepted();
+                    let accepted = outbound.take_accepted();
+                    if domain == self.fabric.gm_domain {
+                        for result in accepted {
+                            self.on_gm_result(&result);
+                        }
+                    }
                 }
             }
             CoreMsg::KeyShare(m) => self.handle_key_share(ctx, m),

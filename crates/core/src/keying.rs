@@ -25,12 +25,17 @@ struct Assembly {
     by_input: BTreeMap<[u8; 32], BTreeMap<u64, KeyShare>>,
 }
 
-/// Span id for one `(connection, epoch)` assembly.
-fn assembly_span_id(connection: ConnectionId, epoch: u32) -> u64 {
-    connection
-        .0
-        .wrapping_mul(0x1_0001)
-        .wrapping_add(u64::from(epoch))
+/// Span id for one `(connection, epoch)` assembly at one endpoint. The
+/// endpoint's own code is mixed in (FNV-1a over the three words) because
+/// the client and every server element assemble shares for the *same*
+/// `(connection, epoch)` concurrently against one shared recorder — the
+/// spans must not clobber each other.
+fn assembly_span_id(my_code: u64, connection: ConnectionId, epoch: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [my_code, connection.0, u64::from(epoch)] {
+        h = (h ^ word).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Collects and combines key shares addressed to one endpoint.
@@ -95,7 +100,7 @@ impl ShareBank {
             return None;
         }
         self.obs.incr("key.shares_verified", &[]);
-        let span_id = assembly_span_id(msg.meta.connection, msg.meta.epoch);
+        let span_id = assembly_span_id(self.my_code, msg.meta.connection, msg.meta.epoch);
         if !self
             .assemblies
             .contains_key(&(msg.meta.connection, msg.meta.epoch))
@@ -117,7 +122,15 @@ impl ShareBank {
             return None;
         }
         let shares: Vec<KeyShare> = group.values().take(needed).copied().collect();
-        let key = combine(&fabric.dprf_verifier, &input, &shares).ok()?;
+        let key = match combine(&fabric.dprf_verifier, &input, &shares) {
+            Ok(key) => key,
+            Err(_) => {
+                // verified shares that still fail to combine: abandon the
+                // timing rather than leaving the span open forever
+                self.obs.span_cancel("key.assemble_us", span_id);
+                return None;
+            }
+        };
         self.assemblies
             .remove(&(msg.meta.connection, msg.meta.epoch));
         self.obs.span_end("key.assemble_us", span_id, &[]);

@@ -382,7 +382,10 @@ impl SystemBuilder {
                 machine,
                 holder,
             );
-            element.set_obs(obs.clone());
+            // every process gets its own span scope (its endpoint code is
+            // globally unique), so identically-keyed spans from different
+            // replicas, groups, or clients cannot clobber each other
+            element.set_obs(obs.scoped(element_code(gm_elements[index])));
             sim.replace_process(node, Box::new(element));
             sim.join_group(node, fabric.domain(GM_DOMAIN).mcast);
         }
@@ -410,7 +413,7 @@ impl SystemBuilder {
                 };
                 let servants = (plan.factory)(index);
                 let mut element = ServerElement::new(fabric.clone(), cfg, servants);
-                element.set_obs(obs.clone());
+                element.set_obs(obs.scoped(element_code(domain_elements[i][index])));
                 sim.replace_process(node, Box::new(element));
                 sim.join_group(node, fabric.domain(plan.id).mcast);
             }
@@ -425,7 +428,7 @@ impl SystemBuilder {
                 auto_proof: plan.auto_proof,
             };
             let mut client = SingletonClient::new(fabric.clone(), cfg);
-            client.set_obs(obs.clone());
+            client.set_obs(obs.scoped(singleton_code(plan.id)));
             sim.replace_process(node, Box::new(client));
             client_node_map.insert(plan.id, node);
         }

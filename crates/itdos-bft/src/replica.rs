@@ -149,6 +149,15 @@ impl<S: StateMachine> Replica<S> {
         [("replica", LabelValue::U64(u64::from(self.id.0)))]
     }
 
+    /// Span id for a per-sequence phase: the replica id is mixed in so
+    /// that replicas of one group sharing a single recorder cannot clobber
+    /// each other's spans for the same sequence number. Cross-group
+    /// separation comes from the scoped handle the wiring installs
+    /// ([`itdos_obs::Obs::scoped`]).
+    fn seq_span_id(&self, seq: SeqNo) -> u64 {
+        (u64::from(self.id.0) << 48) ^ seq.0
+    }
+
     /// Publishes queue-depth gauges (request backlog and accepted-but-
     /// unexecuted requests).
     fn obs_depths(&self) {
@@ -288,8 +297,8 @@ impl<S: StateMachine> Replica<S> {
             self.next_seq = seq;
             self.ordered.insert(request.digest());
             // the primary's ordering phases start when it proposes
-            self.obs.span_begin("bft.prepare_us", seq.0);
-            self.obs.span_begin("bft.order_us", seq.0);
+            self.obs.span_begin("bft.prepare_us", self.seq_span_id(seq));
+            self.obs.span_begin("bft.order_us", self.seq_span_id(seq));
             let pp = PrePrepare {
                 view: self.view,
                 seq,
@@ -328,8 +337,10 @@ impl<S: StateMachine> Replica<S> {
         entry.pre_prepare = Some(pp.clone());
         self.pending.insert(pp.digest);
         // a backup's ordering phases start at pre-prepare acceptance
-        self.obs.span_begin("bft.prepare_us", pp.seq.0);
-        self.obs.span_begin("bft.order_us", pp.seq.0);
+        self.obs
+            .span_begin("bft.prepare_us", self.seq_span_id(pp.seq));
+        self.obs
+            .span_begin("bft.order_us", self.seq_span_id(pp.seq));
         let prepare = Prepare {
             view: self.view,
             seq: pp.seq,
@@ -386,8 +397,8 @@ impl<S: StateMachine> Replica<S> {
         };
         // prepared for the first time: close the prepare phase, open commit
         self.obs
-            .span_end("bft.prepare_us", seq.0, &self.obs_label());
-        self.obs.span_begin("bft.commit_us", seq.0);
+            .span_end("bft.prepare_us", self.seq_span_id(seq), &self.obs_label());
+        self.obs.span_begin("bft.commit_us", self.seq_span_id(seq));
         let commit = Commit {
             view,
             seq,
@@ -444,8 +455,10 @@ impl<S: StateMachine> Replica<S> {
             self.last_executed = next;
             self.pending.remove(&request.digest());
             let labels = self.obs_label();
-            self.obs.span_end("bft.commit_us", next.0, &labels);
-            self.obs.span_end("bft.order_us", next.0, &labels);
+            self.obs
+                .span_end("bft.commit_us", self.seq_span_id(next), &labels);
+            self.obs
+                .span_end("bft.order_us", self.seq_span_id(next), &labels);
             self.obs.incr("bft.executed", &labels);
             let is_null = request.operation.is_empty() && request.client == ClientId(0);
             // exactly-once at execution: a replayed or doubly-ordered

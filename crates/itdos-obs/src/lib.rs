@@ -25,7 +25,11 @@
 //! 2. a [`FlightRecorder`] — a bounded ring of the last N protocol
 //!    events for post-mortem dumps after a crash or fault drill;
 //! 3. span-style phase timing — [`Obs::span_begin`]/[`Obs::span_end`]
-//!    pairs keyed by `(name, id)` that land in a histogram.
+//!    pairs keyed by `(name, scope, id)` that land in a histogram. The
+//!    scope is carried by the handle (see [`Obs::scoped`]): every process
+//!    sharing one recorder gets its own span namespace, so two replicas
+//!    timing the same sequence number — or two clients opening the same
+//!    target — cannot clobber each other's in-flight spans.
 //!
 //! [`Obs::dump_jsonl`] exports everything as JSON lines (consumed by
 //! `exp_report --metrics`); [`Obs::render_report`] formats a human
@@ -45,12 +49,20 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
+/// Upper bound on concurrently open spans. A span whose operation is
+/// abandoned (a refused connection, a key that never assembles) would
+/// otherwise pin its map entry forever; at the bound the oldest open span
+/// is evicted, so sustained fault drills cannot grow the recorder
+/// unboundedly.
+pub const MAX_OPEN_SPANS: usize = 1024;
+
 /// The sink behind an enabled [`Obs`] handle.
 pub struct Recorder {
     clock: Arc<dyn Clock>,
     registry: Registry,
     flight: FlightRecorder,
-    spans: BTreeMap<(&'static str, u64), u64>,
+    /// Open spans: `(name, scope, id)` → start time (µs).
+    spans: BTreeMap<(&'static str, u64, u64), u64>,
 }
 
 impl Recorder {
@@ -75,6 +87,10 @@ impl Recorder {
 #[derive(Clone, Default)]
 pub struct Obs {
     inner: Option<Arc<Mutex<Recorder>>>,
+    /// Span namespace of this handle (see [`Obs::scoped`]). Counters,
+    /// gauges, histograms, and events are unaffected — those are shared
+    /// series distinguished by labels.
+    scope: u64,
 }
 
 impl fmt::Debug for Obs {
@@ -90,13 +106,29 @@ impl fmt::Debug for Obs {
 impl Obs {
     /// A handle with no sink: every hook is a no-op.
     pub fn disabled() -> Obs {
-        Obs { inner: None }
+        Obs {
+            inner: None,
+            scope: 0,
+        }
     }
 
     /// An enabled handle reading time from `clock`.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Obs {
         Obs {
             inner: Some(Arc::new(Mutex::new(Recorder::new(clock)))),
+            scope: 0,
+        }
+    }
+
+    /// A handle sharing this recorder whose spans live in their own
+    /// namespace. Install one per instrumented process (replica, element,
+    /// client): all processes dump into one registry, but a span opened by
+    /// one cannot be clobbered or closed by an identically-keyed span in
+    /// another — e.g. every replica of every group times sequence number 1.
+    pub fn scoped(&self, scope: u64) -> Obs {
+        Obs {
+            inner: self.inner.clone(),
+            scope,
         }
     }
 
@@ -167,14 +199,30 @@ impl Obs {
         rec.flight.record(now, kind, labels);
     }
 
-    /// Opens a span keyed by `(name, id)`. Re-opening an in-flight span
-    /// restarts it.
+    /// Opens a span keyed by `(name, id)` in this handle's scope.
+    /// Re-opening an in-flight span restarts it. At [`MAX_OPEN_SPANS`]
+    /// open entries the oldest is evicted (its eventual `span_end`
+    /// becomes a no-op) so abandoned operations cannot grow the map
+    /// without bound.
     #[inline]
     pub fn span_begin(&self, name: &'static str, id: u64) {
         let Some(r) = &self.inner else { return };
         let Ok(mut rec) = r.lock() else { return };
         let now = rec.clock.now_micros();
-        rec.spans.insert((name, id), now);
+        let key = (name, self.scope, id);
+        if rec.spans.len() >= MAX_OPEN_SPANS && !rec.spans.contains_key(&key) {
+            // evict the oldest open span (smallest start time; key order
+            // breaks ties, so eviction is deterministic)
+            if let Some(oldest) = rec
+                .spans
+                .iter()
+                .min_by_key(|&(k, &t)| (t, *k))
+                .map(|(k, _)| *k)
+            {
+                rec.spans.remove(&oldest);
+            }
+        }
+        rec.spans.insert(key, now);
     }
 
     /// Closes a span and records its duration (microseconds) in the
@@ -184,7 +232,7 @@ impl Obs {
     pub fn span_end(&self, name: &'static str, id: u64, labels: &[Label]) {
         let Some(r) = &self.inner else { return };
         let Ok(mut rec) = r.lock() else { return };
-        let Some(started) = rec.spans.remove(&(name, id)) else {
+        let Some(started) = rec.spans.remove(&(name, self.scope, id)) else {
             return;
         };
         let elapsed = rec.clock.now_micros().saturating_sub(started);
@@ -196,7 +244,7 @@ impl Obs {
     pub fn span_cancel(&self, name: &'static str, id: u64) {
         let Some(r) = &self.inner else { return };
         let Ok(mut rec) = r.lock() else { return };
-        rec.spans.remove(&(name, id));
+        rec.spans.remove(&(name, self.scope, id));
     }
 
     /// Resizes the flight-recorder ring.
@@ -353,6 +401,76 @@ mod tests {
         obs.span_end("phase", 9, &[]);
         let count = obs
             .with_registry(|r| r.histograms().map(|(_, h)| h.count()).sum::<u64>())
+            .unwrap_or(0);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn scoped_handles_do_not_clobber_each_others_spans() {
+        // two "replicas" timing the same (name, id) against one recorder:
+        // each must observe its own start time, not the other's
+        let (obs, clock) = Obs::manual();
+        let r0 = obs.scoped(100);
+        let r1 = obs.scoped(101);
+        clock.set(10);
+        r0.span_begin("bft.order_us", 1);
+        clock.set(40);
+        r1.span_begin("bft.order_us", 1);
+        clock.set(50);
+        r0.span_end("bft.order_us", 1, &[("replica", LabelValue::U64(0))]);
+        clock.set(90);
+        r1.span_end("bft.order_us", 1, &[("replica", LabelValue::U64(1))]);
+        let durations: Vec<u64> = obs
+            .with_registry(|r| {
+                [0u64, 1]
+                    .iter()
+                    .map(|&i| {
+                        r.histogram("bft.order_us", &[("replica", LabelValue::U64(i))])
+                            .expect("both replicas recorded")
+                            .sum()
+                    })
+                    .collect()
+            })
+            .unwrap();
+        assert_eq!(durations, vec![40, 50], "each span kept its own start");
+        // a scoped cancel does not touch the sibling's open span
+        r0.span_begin("phase", 2);
+        r1.span_begin("phase", 2);
+        r0.span_cancel("phase", 2);
+        clock.set(100);
+        r1.span_end("phase", 2, &[("replica", LabelValue::U64(1))]);
+        let count = obs
+            .with_registry(|r| {
+                r.histogram("phase", &[("replica", LabelValue::U64(1))])
+                    .map(|h| h.count())
+            })
+            .flatten()
+            .unwrap_or(0);
+        assert_eq!(count, 1, "sibling span survived the scoped cancel");
+    }
+
+    #[test]
+    fn open_span_map_is_bounded() {
+        let (obs, clock) = Obs::manual();
+        // abandon far more spans than the cap (never ended)
+        for i in 0..(MAX_OPEN_SPANS as u64 + 50) {
+            clock.set(i);
+            obs.span_begin("leaky", i);
+        }
+        let open = obs
+            .inner
+            .as_ref()
+            .map(|r| r.lock().unwrap().spans.len())
+            .unwrap();
+        assert_eq!(open, MAX_OPEN_SPANS, "oldest spans evicted at the cap");
+        // the oldest (evicted) span's end is a silent no-op; a recent one
+        // still records
+        clock.set(10_000);
+        obs.span_end("leaky", 0, &[]);
+        obs.span_end("leaky", MAX_OPEN_SPANS as u64 + 49, &[]);
+        let count = obs
+            .with_registry(|r| r.histogram("leaky", &[]).map(|h| h.count()))
+            .flatten()
             .unwrap_or(0);
         assert_eq!(count, 1);
     }

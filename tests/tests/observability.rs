@@ -10,6 +10,7 @@ mod common;
 use common::{bank_system, BANK, CLIENT};
 use itdos::system::System;
 use itdos_giop::types::Value;
+use itdos_groupmgr::membership::DomainId;
 use itdos_obs::LabelValue;
 
 /// Builds an instrumented bank system and runs `invocations` deposits.
@@ -118,7 +119,131 @@ fn invocation_populates_protocol_metrics() {
             .map(|(_, v)| v)
             .sum();
         assert!(net > 0, "NetStats bridge exported nothing");
+        // span completeness: every key combination closed exactly the
+        // assembly span it opened (clobbered spans would leave
+        // assembled < combined), and ordering spans survived per replica
+        // (2 requests × at least a quorum of bank replicas)
+        let combined: u64 = registry
+            .counters()
+            .filter(|(k, _)| k.name == "key.combined")
+            .map(|(_, v)| v)
+            .sum();
+        let assembled: u64 = registry
+            .histograms()
+            .filter(|(k, _)| k.name == "key.assemble_us")
+            .map(|(_, h)| h.count())
+            .sum();
+        assert_eq!(assembled, combined, "one assembly span per combined key");
+        let ordered: u64 = registry
+            .histograms()
+            .filter(|(k, _)| k.name == "bft.order_us")
+            .map(|(_, h)| h.count())
+            .sum();
+        assert!(
+            ordered >= 2 * 3,
+            "per-replica order spans survived: {ordered}"
+        );
     });
+}
+
+/// Two clients opening the same target with concurrently-assigned request
+/// ids: spans are namespaced per process, so every phase lands once per
+/// operation in each client's histograms instead of the processes
+/// clobbering each other's in-flight timings.
+#[test]
+fn spans_are_isolated_across_processes() {
+    const SECOND: u64 = 2;
+    let mut builder = bank_system(79);
+    builder.add_client(SECOND);
+    builder.observability(true);
+    let mut system = builder.build();
+    for client in [CLIENT, SECOND] {
+        for i in 0..2 {
+            let done = system.invoke(
+                client,
+                BANK,
+                b"acct",
+                "Bank::Account",
+                "deposit",
+                vec![Value::LongLong(1 + i)],
+            );
+            assert!(done.result.is_ok());
+        }
+    }
+    system.settle();
+    system
+        .obs
+        .with_registry(|registry| {
+            for client in [CLIENT, SECOND] {
+                let open = registry
+                    .histogram(
+                        "conn.open_us",
+                        &[
+                            ("client", LabelValue::U64(client)),
+                            ("target", LabelValue::U64(BANK.0)),
+                        ],
+                    )
+                    .unwrap_or_else(|| panic!("client {client}: conn.open_us missing"));
+                assert_eq!(open.count(), 1, "client {client} timed its own open");
+                let reply = registry
+                    .histogram("invoke.reply_us", &[("client", LabelValue::U64(client))])
+                    .unwrap_or_else(|| panic!("client {client}: invoke.reply_us missing"));
+                assert_eq!(reply.count(), 2, "client {client} timed both replies");
+            }
+            // each endpoint (2 clients + 4 server elements, 2 connections)
+            // assembled its own key and closed its own span
+            let combined: u64 = registry
+                .counters()
+                .filter(|(k, _)| k.name == "key.combined")
+                .map(|(_, v)| v)
+                .sum();
+            let assembled: u64 = registry
+                .histograms()
+                .filter(|(k, _)| k.name == "key.assemble_us")
+                .map(|(_, h)| h.count())
+                .sum();
+            assert!(combined >= 2, "both connections keyed");
+            assert_eq!(assembled, combined, "one assembly span per combined key");
+        })
+        .expect("obs enabled");
+}
+
+/// A refused connection open (unknown target domain) must not leak its
+/// Figure-3 span: the client pairs the GM's ordered refusal with the
+/// pending open, cancels the span, and counts the refusal.
+#[test]
+fn refused_open_cancels_span_and_counts() {
+    let mut builder = bank_system(80);
+    builder.observability(true);
+    let mut system = builder.build();
+    // DomainId(9) is not registered with the GM: the open is refused and
+    // the invocation never completes
+    system.invoke_async(
+        CLIENT,
+        DomainId(9),
+        b"acct",
+        "Bank::Account",
+        "deposit",
+        vec![Value::LongLong(1)],
+    );
+    system.settle();
+    let obs = system.obs.clone();
+    assert_eq!(
+        obs.counter_value("conn.refused", &[("client", LabelValue::U64(CLIENT))]),
+        1,
+        "refusal surfaced to the client"
+    );
+    system
+        .obs
+        .with_registry(|registry| {
+            assert!(
+                registry
+                    .histogram("invoke.reply_us", &[("client", LabelValue::U64(CLIENT))])
+                    .is_none(),
+                "nothing decided"
+            );
+        })
+        .expect("obs enabled");
 }
 
 /// The flight recorder is a bounded ring: shrinking the capacity keeps
