@@ -22,4 +22,17 @@ echo '== exp_report --metrics (observability smoke)'
 # every line of the dump parses as a JSON object and exits nonzero if not
 cargo run -q --release --offline -p itdos-bench --bin exp_report -- --metrics > /dev/null
 
+echo '== forensic audit smoke (drill dump -> audit CLI)'
+# the drill writes its corrupt-replica dump; the audit CLI must parse it,
+# produce a byte-identical report twice, and blame at least one element
+drill_dump="$(mktemp)"
+trap 'rm -f "$drill_dump"' EXIT
+cargo run -q --release --offline -p itdos --example intrusion_drill -- "$drill_dump" > /dev/null
+cargo run -q --release --offline -p itdos-bench --bin audit -- --expect-blame "$drill_dump" > /dev/null
+
+echo '== audit bench (BENCH_audit.json)'
+# regenerates the committed snapshot in place (host-timing numbers move
+# run to run; the snapshot is a trajectory marker, not a gate)
+cargo run -q --release --offline -p itdos-bench --bin audit -- --bench BENCH_audit.json
+
 echo 'CI green'

@@ -1,0 +1,174 @@
+//! Forensic audit CLI: replays `itdos-obs` JSONL dumps through
+//! `itdos-audit` and prints the report.
+//!
+//! ```text
+//! audit [--expect-blame] FILE...   audit one or more per-process dumps
+//! audit --bench OUT.json           measure audit throughput + obs overhead
+//! ```
+//!
+//! Each FILE is one process's dump (as written by `System::audit_jsonl`
+//! or the `intrusion_drill` example); with several files the event
+//! streams are merged into a single causally ordered timeline. The
+//! topology is read from the `{"type":"topology",…}` lines embedded in
+//! the dumps — no out-of-band configuration. The report is computed
+//! twice and asserted byte-identical, so every CLI run doubles as a
+//! determinism self-check.
+//!
+//! `--expect-blame` exits nonzero unless the blame set is non-empty;
+//! CI runs the drill dump through it as a self-validating smoke.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use itdos::fault::Behavior;
+use itdos_audit::Auditor;
+use itdos_bench::{deploy, measure_invocation, DeployOptions};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: audit [--expect-blame] FILE...");
+    eprintln!("       audit --bench OUT.json");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut expect_blame = false;
+    let mut bench_out: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect-blame" => expect_blame = true,
+            "--bench" => match args.next() {
+                Some(path) => bench_out = Some(path),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => files.push(arg),
+        }
+    }
+
+    if let Some(out) = bench_out {
+        return bench(&out);
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut texts = Vec::with_capacity(files.len());
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => texts.push(text),
+            Err(err) => {
+                eprintln!("audit: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+
+    // the topology rides inside the dump; any of the files may carry it,
+    // so probe them in order
+    let auditor = match refs.iter().find_map(|t| Auditor::from_dump_text(t).ok()) {
+        Some(auditor) => auditor,
+        None => {
+            eprintln!("audit: no dump carries topology records (was it written by audit_jsonl?)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match auditor.audit_streams(&refs) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("audit: malformed dump: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = report.render();
+    let again = auditor
+        .audit_streams(&refs)
+        .expect("a dump that parsed once parses twice");
+    assert_eq!(
+        rendered,
+        again.render(),
+        "audit is deterministic: two passes over the same bytes diverged"
+    );
+    print!("{rendered}");
+
+    if expect_blame && report.blamed_elements().is_empty() {
+        eprintln!("audit: --expect-blame but the blame set is empty");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Benchmarks the audit path and writes `BENCH_audit.json`:
+/// parse+analyze throughput over a real faulty-run dump, plus the host
+/// wall-clock overhead the observability layer adds per invocation.
+fn bench(out: &str) -> ExitCode {
+    const INVOCATIONS: usize = 20;
+    const AUDIT_ITERS: u32 = 50;
+
+    // a real dump from a faulty instrumented run, so the analyzers have
+    // actual dissent/proof/expulsion evidence to chew on
+    let mut system = deploy(&DeployOptions {
+        fault: Some(Behavior::CorruptValue),
+        observability: true,
+        seed: 9,
+        ..DeployOptions::default()
+    });
+    for i in 0..INVOCATIONS as i64 {
+        measure_invocation(&mut system, i + 1);
+    }
+    let dump = system.audit_jsonl();
+    let lines = dump.lines().count() as u64;
+
+    let auditor = Auditor::from_dump_text(&dump).expect("drill dump carries topology");
+    let start = Instant::now();
+    let mut blamed = 0u64;
+    for _ in 0..AUDIT_ITERS {
+        let report = auditor.audit(&dump).expect("dump parses");
+        blamed += report.blamed_elements().len() as u64;
+    }
+    let audit_elapsed = start.elapsed();
+    let audit_us_per_dump = audit_elapsed.as_micros() as u64 / u64::from(AUDIT_ITERS);
+    let audit_lines_per_sec = if audit_elapsed.as_nanos() == 0 {
+        0
+    } else {
+        (u128::from(lines) * u128::from(AUDIT_ITERS) * 1_000_000_000 / audit_elapsed.as_nanos())
+            as u64
+    };
+
+    // obs overhead: identical seeded workloads, telemetry off vs on
+    let run = |observability: bool| -> u64 {
+        let mut system = deploy(&DeployOptions {
+            observability,
+            seed: 9,
+            ..DeployOptions::default()
+        });
+        let start = Instant::now();
+        for i in 0..INVOCATIONS as i64 {
+            measure_invocation(&mut system, i + 1);
+        }
+        start.elapsed().as_nanos() as u64 / INVOCATIONS as u64
+    };
+    run(false); // warm caches so the comparison is fair
+    let off_ns = run(false);
+    let on_ns = run(true);
+
+    let json = format!(
+        "{{\n  \"bench\": \"audit\",\n  \"dump_lines\": {lines},\n  \"dump_bytes\": {bytes},\n  \
+         \"audit_iters\": {AUDIT_ITERS},\n  \"audit_us_per_dump\": {audit_us_per_dump},\n  \
+         \"audit_lines_per_sec\": {audit_lines_per_sec},\n  \"blamed_per_run\": {blamed_per_run},\n  \
+         \"invocations\": {INVOCATIONS},\n  \"invoke_ns_obs_off\": {off_ns},\n  \
+         \"invoke_ns_obs_on\": {on_ns},\n  \"obs_overhead_ns_per_invocation\": {overhead}\n}}\n",
+        bytes = dump.len(),
+        blamed_per_run = blamed / u64::from(AUDIT_ITERS),
+        overhead = on_ns.saturating_sub(off_ns),
+    );
+    if let Err(err) = std::fs::write(out, &json) {
+        eprintln!("audit: cannot write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    ExitCode::SUCCESS
+}

@@ -475,6 +475,19 @@ impl SingletonClient {
                 ("accused", LabelValue::U64(accused.len() as u64)),
             ],
         );
+        // one record per accused sender: the count above sizes the proof,
+        // these name its targets so an offline auditor can correlate the
+        // client's signed-message evidence with voter dissents
+        for s in accused {
+            self.obs.event(
+                "client.accused",
+                &[
+                    ("client", LabelValue::U64(self.cfg.id)),
+                    ("request", LabelValue::U64(request_id)),
+                    ("accused", LabelValue::U64(u64::from(s.0))),
+                ],
+            );
+        }
         let proof = FaultProof {
             accused: accused.to_vec(),
             request_id,

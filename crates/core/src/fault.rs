@@ -29,6 +29,18 @@ pub enum Behavior {
 }
 
 impl Behavior {
+    /// Short static name, used as the fault kind in the simulator's
+    /// ground-truth [`simnet::ledger::FaultLedger`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Behavior::Honest => "honest",
+            Behavior::CorruptValue => "corrupt-value",
+            Behavior::Silent => "silent",
+            Behavior::Slow(_) => "slow",
+            Behavior::Intermittent => "intermittent",
+        }
+    }
+
     /// True when replies should be suppressed entirely.
     pub fn is_silent(&self) -> bool {
         matches!(self, Behavior::Silent)

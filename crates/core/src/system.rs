@@ -61,6 +61,7 @@ pub struct SystemBuilder {
     ack_interval: u64,
     queue_capacity: usize,
     observability: bool,
+    flight_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -88,6 +89,7 @@ impl SystemBuilder {
             ack_interval: 8,
             queue_capacity: 1 << 20,
             observability: false,
+            flight_capacity: None,
         }
     }
 
@@ -97,6 +99,16 @@ impl SystemBuilder {
     /// default — disabled hooks are free.
     pub fn observability(&mut self, on: bool) -> &mut SystemBuilder {
         self.observability = on;
+        self
+    }
+
+    /// Overrides the flight-recorder ring capacity (default
+    /// [`itdos_obs::DEFAULT_FLIGHT_CAPACITY`]). Forensic audits want the
+    /// full event history of a run, so drills and audit tests raise this
+    /// before building; it must be set up front — resizing after events
+    /// were recorded evicts the oldest.
+    pub fn flight_capacity(&mut self, events: usize) -> &mut SystemBuilder {
+        self.flight_capacity = Some(events);
         self
     }
 
@@ -235,6 +247,9 @@ impl SystemBuilder {
         let obs = if self.observability {
             let (obs, clock) = itdos_obs::Obs::manual();
             sim.drive_obs_clock(clock);
+            if let Some(capacity) = self.flight_capacity {
+                obs.set_flight_capacity(capacity);
+            }
             obs
         } else {
             itdos_obs::Obs::disabled()
@@ -411,6 +426,12 @@ impl SystemBuilder {
                     ack_interval: self.ack_interval,
                     queue_capacity: self.queue_capacity,
                 };
+                // injected misbehavior goes on the simulator's ground-truth
+                // ledger so tests can cross-check forensic blame sets
+                if !matches!(cfg.behavior, Behavior::Honest) {
+                    sim.fault_ledger_mut()
+                        .mark(u64::from(cfg.element.0), cfg.behavior.kind());
+                }
                 let servants = (plan.factory)(index);
                 let mut element = ServerElement::new(fabric.clone(), cfg, servants);
                 element.set_obs(obs.scoped(element_code(domain_elements[i][index])));
@@ -529,6 +550,71 @@ impl System {
     pub fn metrics_report(&self) -> String {
         self.sim.stats().export_obs(&self.obs);
         self.obs.render_report()
+    }
+
+    /// The deployment map the forensic auditor runs against, derived
+    /// from the fabric: every domain's fault bound, every element's
+    /// domain/index/scope, and every client's scope.
+    pub fn audit_topology(&self) -> itdos_audit::Topology {
+        let mut topology = itdos_audit::Topology {
+            gm_domain: self.fabric.gm_domain.0,
+            ..itdos_audit::Topology::default()
+        };
+        for (id, spec) in &self.fabric.domains {
+            topology.domain_f.insert(id.0, spec.f as u64);
+            for (index, element) in spec.elements.iter().enumerate() {
+                topology.elements.insert(
+                    u64::from(element.0),
+                    itdos_audit::ElementInfo {
+                        domain: id.0,
+                        index: index as u64,
+                        scope: element_code(*element),
+                    },
+                );
+            }
+        }
+        for &id in self.client_nodes.keys() {
+            topology.clients.insert(id, singleton_code(id));
+        }
+        topology
+    }
+
+    /// The full forensic dump: [`System::metrics_jsonl`] plus embedded
+    /// `{"type":"topology",…}` records, so the file is self-describing
+    /// and offline tools need no out-of-band process map. Empty string
+    /// when observability is off.
+    pub fn audit_jsonl(&self) -> String {
+        if !self.obs.is_enabled() {
+            return String::new();
+        }
+        let mut out = self.metrics_jsonl();
+        self.audit_topology().to_jsonl(&mut out);
+        out
+    }
+
+    /// Runs the forensic audit pipeline over this system's telemetry and
+    /// exports the resulting `replica.health{element}` gauges back
+    /// through the observability layer. An empty default report when
+    /// observability is off.
+    pub fn audit(&self) -> itdos_audit::AuditReport {
+        if !self.obs.is_enabled() {
+            return itdos_audit::AuditReport::default();
+        }
+        let auditor = itdos_audit::Auditor::new(self.audit_topology());
+        let report = auditor
+            .audit(&self.metrics_jsonl())
+            .expect("a dump this system wrote must parse");
+        report.export_health(&self.obs);
+        report
+    }
+
+    /// Rendered forensic audit report — byte-identical across identical
+    /// seeded runs. Empty string when observability is off.
+    pub fn audit_report(&self) -> String {
+        if !self.obs.is_enabled() {
+            return String::new();
+        }
+        self.audit().render()
     }
 
     /// Immutable access to a client process.

@@ -1,0 +1,469 @@
+//! The deterministic analyzer pipeline.
+//!
+//! Each [`Analyzer`] reads the same immutable [`AuditInput`] — the typed
+//! dump, the merged event timeline, the topology, and the budget
+//! configuration — and emits [`Finding`]s. Analyzers are pure functions
+//! of their input and iterate only ordered structures, so the pipeline's
+//! output is byte-stable for identical dumps; plugging in an extra
+//! analyzer (see [`crate::Auditor::push_analyzer`]) cannot perturb the
+//! findings of the built-in ones.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use itdos_obs::jsonl::{Dump, EventRecord};
+
+use crate::topology::Topology;
+
+/// Latency budgets and thresholds the detectors judge against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// A voted reply landing this long (µs) after its round's decision is
+    /// a stall round for the sender.
+    pub stall_budget_us: u64,
+    /// Stall rounds needed before a sender is blamed as a straggler.
+    pub min_stall_rounds: u64,
+    /// View-change attempts by one replica before it counts as a storm.
+    pub view_change_storm: u64,
+    /// State fetches by one replica before it counts as a transfer loop.
+    pub state_fetch_loop: u64,
+    /// p99 budget (µs) for the BFT ordering-phase histograms.
+    pub phase_budget_us: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            stall_budget_us: 50_000,
+            min_stall_rounds: 1,
+            view_change_storm: 4,
+            state_fetch_loop: 3,
+            phase_budget_us: 1_000_000,
+        }
+    }
+}
+
+/// How strongly a finding implicates its subject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Context worth reporting; implicates nobody.
+    Info,
+    /// Suspicious but below the evidence bar for blame.
+    Warn,
+    /// The subject element is concluded faulty.
+    Blame,
+}
+
+impl Severity {
+    /// Fixed-width display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "INFO ",
+            Severity::Warn => "WARN ",
+            Severity::Blame => "BLAME",
+        }
+    }
+}
+
+/// One conclusion drawn from the timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the analyzer that produced it.
+    pub analyzer: &'static str,
+    /// Evidence strength.
+    pub severity: Severity,
+    /// Short machine-readable kind (`divergence`, `silent`, `stall`, …).
+    pub kind: &'static str,
+    /// Implicated element, when the finding localizes to one.
+    pub element: Option<u64>,
+    /// The element's domain, when known.
+    pub domain: Option<u64>,
+    /// Number of independent pieces of evidence (rounds, events).
+    pub count: u64,
+    /// Human-readable explanation, deterministic for identical dumps.
+    pub detail: String,
+}
+
+/// Everything an analyzer may read.
+pub struct AuditInput<'a> {
+    /// The typed dump (counters, gauges, histograms).
+    pub dump: &'a Dump,
+    /// Flight events, merged into `(at_us, seq, scope)` order.
+    pub events: &'a [EventRecord],
+    /// The deployment map.
+    pub topology: &'a Topology,
+    /// Budgets and thresholds.
+    pub config: &'a AuditConfig,
+}
+
+/// One stage of the pipeline.
+pub trait Analyzer {
+    /// Stable analyzer name (used in findings and reports).
+    fn name(&self) -> &'static str;
+    /// Runs over the input and returns findings in deterministic order.
+    fn run(&self, input: &AuditInput<'_>) -> Vec<Finding>;
+}
+
+/// Health-score penalty per evidence unit for a finding kind. Applied as
+/// `weight × min(count, 3)` and clamped so health stays in `0..=100`
+/// (the formula documented in DESIGN.md §12).
+pub fn penalty_weight(kind: &str, severity: Severity) -> i64 {
+    match kind {
+        "divergence" => 30,
+        "expelled" => 40,
+        "accused" => 25,
+        "silent" => 60,
+        "stall" => 20,
+        "equivocation" => 50,
+        "accusation" => 10,
+        "view-change-storm" => 5,
+        "state-transfer-loop" => 5,
+        _ => match severity {
+            Severity::Blame => 25,
+            Severity::Warn => 5,
+            Severity::Info => 0,
+        },
+    }
+}
+
+fn domain_of(topology: &Topology, element: u64) -> Option<u64> {
+    topology.elements.get(&element).map(|info| info.domain)
+}
+
+/// Divergence localization: correlates voter dissents (`vote.dissent`,
+/// `vote.late_dissent`), client fault proofs (`client.accused`),
+/// element-level accusations (`element.accuse`), and GM expulsions
+/// (`gm.expelled`) into per-element blame.
+pub struct DivergenceAnalyzer;
+
+impl Analyzer for DivergenceAnalyzer {
+    fn name(&self) -> &'static str {
+        "divergence"
+    }
+
+    fn run(&self, input: &AuditInput<'_>) -> Vec<Finding> {
+        let mut dissent_rounds: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut proofs: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut accusers: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let mut expelled: BTreeSet<u64> = BTreeSet::new();
+        for e in input.events {
+            match e.kind.as_str() {
+                "vote.dissent" | "vote.late_dissent" => {
+                    if let Some(sender) = e.label_u64("sender") {
+                        *dissent_rounds.entry(sender).or_insert(0) += 1;
+                    }
+                }
+                "client.accused" => {
+                    if let Some(accused) = e.label_u64("accused") {
+                        *proofs.entry(accused).or_insert(0) += 1;
+                    }
+                }
+                "element.accuse" => {
+                    if let (Some(accuser), Some(accused)) =
+                        (e.label_u64("accuser"), e.label_u64("accused"))
+                    {
+                        accusers.entry(accused).or_default().insert(accuser);
+                    }
+                }
+                "gm.expelled" => {
+                    if let Some(element) = e.label_u64("element") {
+                        expelled.insert(element);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut findings = Vec::new();
+        for (&element, &rounds) in &dissent_rounds {
+            let n_proofs = proofs.get(&element).copied().unwrap_or(0);
+            let fate = if expelled.contains(&element) {
+                "expelled by GM"
+            } else {
+                "not expelled"
+            };
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity: Severity::Blame,
+                kind: "divergence",
+                element: Some(element),
+                domain: domain_of(input.topology, element),
+                count: rounds,
+                detail: format!(
+                    "replies diverged from the voted value in {rounds} round(s); \
+                     {n_proofs} signed fault proof(s); {fate}"
+                ),
+            });
+        }
+        for &element in &expelled {
+            if dissent_rounds.contains_key(&element) {
+                continue;
+            }
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity: Severity::Blame,
+                kind: "expelled",
+                element: Some(element),
+                domain: domain_of(input.topology, element),
+                count: 1,
+                detail: "expelled by the GM without recorded value dissent \
+                         (laggard / queue-GC path)"
+                    .to_string(),
+            });
+        }
+        for (&accused, who) in &accusers {
+            let f = domain_of(input.topology, accused)
+                .and_then(|d| input.topology.domain_f.get(&d).copied())
+                .unwrap_or(0);
+            let distinct = who.len() as u64;
+            let (severity, kind) = if distinct >= f + 1 {
+                (Severity::Blame, "accused")
+            } else {
+                (Severity::Warn, "accusation")
+            };
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity,
+                kind,
+                element: Some(accused),
+                domain: domain_of(input.topology, accused),
+                count: distinct,
+                detail: format!("accused by {distinct} distinct peer(s) (f+1 = {})", f + 1),
+            });
+        }
+        findings
+    }
+}
+
+/// Participation check: a server-domain element whose domain served
+/// requests but which never emitted a reply is silent. Honest replicas
+/// all reply, so a clean run cannot trip this.
+pub struct ParticipationAnalyzer;
+
+impl Analyzer for ParticipationAnalyzer {
+    fn name(&self) -> &'static str {
+        "participation"
+    }
+
+    fn run(&self, input: &AuditInput<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for domain in input.topology.server_domains() {
+            let members = input.topology.domain_members(domain);
+            let replies: Vec<u64> = members
+                .iter()
+                .map(|&e| {
+                    input
+                        .dump
+                        .counter_with_label("element.replies", "element", e)
+                        .unwrap_or(0)
+                })
+                .collect();
+            let busiest = replies.iter().copied().max().unwrap_or(0);
+            if busiest == 0 {
+                continue; // the domain saw no traffic; silence proves nothing
+            }
+            for (&element, &emitted) in members.iter().zip(&replies) {
+                if emitted == 0 {
+                    findings.push(Finding {
+                        analyzer: self.name(),
+                        severity: Severity::Blame,
+                        kind: "silent",
+                        element: Some(element),
+                        domain: Some(domain),
+                        count: busiest,
+                        detail: format!("emitted 0 replies while a domain peer emitted {busiest}"),
+                    });
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Liveness forensics: primary equivocation, straggler stalls against
+/// the per-round voting decision, view-change storms, state-transfer
+/// loops, and ordering-phase latency budgets.
+pub struct LivenessAnalyzer;
+
+impl Analyzer for LivenessAnalyzer {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn run(&self, input: &AuditInput<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        self.equivocations(input, &mut findings);
+        self.stalls(input, &mut findings);
+        self.storms_and_loops(input, &mut findings);
+        self.phase_budgets(input, &mut findings);
+        findings
+    }
+}
+
+impl LivenessAnalyzer {
+    fn equivocations(&self, input: &AuditInput<'_>, findings: &mut Vec<Finding>) {
+        // a `bft.equivocation` event is recorded by the replica that saw
+        // the contradictory pre-prepare; the culprit is the primary of
+        // that view in the refuser's domain. Several refusers may report
+        // the same (view, seq), so dedup per primary.
+        let mut contradicted: BTreeMap<u64, BTreeSet<(u64, u64)>> = BTreeMap::new();
+        for e in input.events {
+            if e.kind != "bft.equivocation" {
+                continue;
+            }
+            let (Some(view), Some(seq)) = (e.label_u64("view"), e.label_u64("seq")) else {
+                continue;
+            };
+            let Some(refuser) = input.topology.element_of_scope(e.scope) else {
+                continue;
+            };
+            let Some(domain) = domain_of(input.topology, refuser) else {
+                continue;
+            };
+            let Some(primary) = input.topology.primary_of(domain, view) else {
+                continue;
+            };
+            contradicted.entry(primary).or_default().insert((view, seq));
+        }
+        for (&primary, slots) in &contradicted {
+            let (view, seq) = *slots.iter().next().expect("nonempty");
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity: Severity::Blame,
+                kind: "equivocation",
+                element: Some(primary),
+                domain: domain_of(input.topology, primary),
+                count: slots.len() as u64,
+                detail: format!(
+                    "sent contradictory pre-prepares for {} slot(s), first at view {view} seq {seq}",
+                    slots.len()
+                ),
+            });
+        }
+    }
+
+    fn stalls(&self, input: &AuditInput<'_>, findings: &mut Vec<Finding>) {
+        // walk the merged timeline in order, tracking the decision time of
+        // the round currently open per (scope, request); `vote.begin`
+        // resets the slot so a new round with a recycled request id is
+        // never judged against a stale decision
+        let mut decided: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut stall_rounds: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in input.events {
+            let Some(request) = e.label_u64("request") else {
+                continue;
+            };
+            let key = (e.scope, request);
+            match e.kind.as_str() {
+                "vote.begin" => {
+                    decided.remove(&key);
+                }
+                "vote.decided" => {
+                    decided.insert(key, e.at_us);
+                }
+                "vote.reply" => {
+                    let (Some(&at_decided), Some(sender)) =
+                        (decided.get(&key), e.label_u64("sender"))
+                    else {
+                        continue;
+                    };
+                    if e.at_us.saturating_sub(at_decided) > input.config.stall_budget_us {
+                        *stall_rounds.entry(sender).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (&element, &rounds) in &stall_rounds {
+            if rounds < input.config.min_stall_rounds {
+                continue;
+            }
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity: Severity::Blame,
+                kind: "stall",
+                element: Some(element),
+                domain: domain_of(input.topology, element),
+                count: rounds,
+                detail: format!(
+                    "voted replies landed more than {}us after the decision in {rounds} round(s)",
+                    input.config.stall_budget_us
+                ),
+            });
+        }
+    }
+
+    fn storms_and_loops(&self, input: &AuditInput<'_>, findings: &mut Vec<Finding>) {
+        let mut view_changes: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut fetches: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in input.events {
+            let bucket = match e.kind.as_str() {
+                "bft.view_change" => &mut view_changes,
+                "bft.state_fetch" => &mut fetches,
+                _ => continue,
+            };
+            if let Some(element) = input.topology.element_of_scope(e.scope) {
+                *bucket.entry(element).or_insert(0) += 1;
+            }
+        }
+        for (&element, &n) in &view_changes {
+            if n >= input.config.view_change_storm {
+                findings.push(Finding {
+                    analyzer: self.name(),
+                    severity: Severity::Warn,
+                    kind: "view-change-storm",
+                    element: Some(element),
+                    domain: domain_of(input.topology, element),
+                    count: n,
+                    detail: format!(
+                        "attempted {n} view changes (threshold {})",
+                        input.config.view_change_storm
+                    ),
+                });
+            }
+        }
+        for (&element, &n) in &fetches {
+            if n >= input.config.state_fetch_loop {
+                findings.push(Finding {
+                    analyzer: self.name(),
+                    severity: Severity::Warn,
+                    kind: "state-transfer-loop",
+                    element: Some(element),
+                    domain: domain_of(input.topology, element),
+                    count: n,
+                    detail: format!(
+                        "requested state transfer {n} times (threshold {})",
+                        input.config.state_fetch_loop
+                    ),
+                });
+            }
+        }
+    }
+
+    fn phase_budgets(&self, input: &AuditInput<'_>, findings: &mut Vec<Finding>) {
+        for h in &input.dump.histograms {
+            if !matches!(
+                h.name.as_str(),
+                "bft.prepare_us" | "bft.commit_us" | "bft.order_us"
+            ) || h.count == 0
+                || h.p99 <= input.config.phase_budget_us
+            {
+                continue;
+            }
+            let replica = h
+                .label_u64("replica")
+                .map(|r| format!(" (replica index {r})"))
+                .unwrap_or_default();
+            findings.push(Finding {
+                analyzer: self.name(),
+                severity: Severity::Warn,
+                kind: "phase-budget",
+                element: None,
+                domain: None,
+                count: h.count,
+                detail: format!(
+                    "{}{replica}: p99 {}us exceeds the {}us budget",
+                    h.name, h.p99, input.config.phase_budget_us
+                ),
+            });
+        }
+    }
+}

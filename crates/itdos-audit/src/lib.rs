@@ -1,0 +1,391 @@
+//! # itdos-audit — cross-replica forensic audit for ITDOS dumps
+//!
+//! The paper's intrusion-tolerance story tells you *that* the system
+//! masked a fault (the voter out-voted a corrupt reply, the GM expelled
+//! a replica); this crate answers *which replica was faulty, what kind of
+//! fault it was, and when the evidence appeared*. It is an offline
+//! consumer of the `itdos-obs` telemetry:
+//!
+//! 1. **Ingest** — a JSONL dump (or several, one per process) is parsed
+//!    by `itdos_obs::jsonl::parse_dump`; every flight record carries its
+//!    emitting process's scope, and `System::audit_jsonl` embeds the
+//!    deployment [`Topology`] as `{"type":"topology",…}` lines, so one
+//!    file is a complete forensic artifact with no out-of-band maps.
+//! 2. **Merge** — per-process event streams become one causally ordered
+//!    timeline keyed by `(sim-time, global seq, scope)`
+//!    (`itdos_obs::jsonl::merge_events`).
+//! 3. **Analyze** — a pluggable pipeline of deterministic [`Analyzer`]s:
+//!    [`DivergenceAnalyzer`] (voter dissents × client fault proofs ×
+//!    peer accusations × GM expulsions), [`ParticipationAnalyzer`]
+//!    (silent replicas), and [`LivenessAnalyzer`] (primary equivocation,
+//!    straggler stalls against per-round decisions, view-change storms,
+//!    state-transfer loops, phase-latency budgets).
+//! 4. **Score** — every finding debits the implicated replica's health
+//!    (100 = clean, 0 = condemned); [`AuditReport::export_health`]
+//!    writes the scores back through `itdos-obs` as the
+//!    `replica.health{element}` gauge.
+//!
+//! Like everything in the workspace, the output is a pure function of
+//! the input bytes: this crate is on the itdos-lint L2 determinism list,
+//! stores everything in `BTreeMap`s, and never reads a clock, so
+//! identical seeded runs produce byte-identical reports.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod report;
+pub mod topology;
+
+pub use analyze::{
+    Analyzer, AuditConfig, AuditInput, DivergenceAnalyzer, Finding, LivenessAnalyzer,
+    ParticipationAnalyzer, Severity,
+};
+pub use report::{AuditReport, TimelineSummary};
+pub use topology::{ElementInfo, Topology};
+
+use std::collections::BTreeSet;
+
+use itdos_obs::jsonl::{merge_events, parse_dump, Dump};
+
+/// The audit pipeline: a topology, a configuration, and an ordered list
+/// of analyzers.
+pub struct Auditor {
+    topology: Topology,
+    config: AuditConfig,
+    analyzers: Vec<Box<dyn Analyzer>>,
+}
+
+impl std::fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Auditor")
+            .field("analyzers", &self.analyzers.len())
+            .finish()
+    }
+}
+
+impl Auditor {
+    /// An auditor with the default pipeline and budgets.
+    pub fn new(topology: Topology) -> Auditor {
+        Auditor::with_config(topology, AuditConfig::default())
+    }
+
+    /// An auditor with explicit budgets.
+    pub fn with_config(topology: Topology, config: AuditConfig) -> Auditor {
+        Auditor {
+            topology,
+            config,
+            analyzers: vec![
+                Box::new(DivergenceAnalyzer),
+                Box::new(ParticipationAnalyzer),
+                Box::new(LivenessAnalyzer),
+            ],
+        }
+    }
+
+    /// An auditor whose topology is read from the dump itself (the
+    /// `{"type":"topology",…}` lines `System::audit_jsonl` embeds).
+    pub fn from_dump_text(text: &str) -> Result<Auditor, String> {
+        let dump = parse_dump(text)?;
+        let topology = Topology::from_dump(&dump).ok_or("dump carries no topology records")?;
+        Ok(Auditor::new(topology))
+    }
+
+    /// Appends a custom analyzer to the pipeline (runs after the built-in
+    /// ones; its findings sort into the same report).
+    pub fn push_analyzer(&mut self, analyzer: Box<dyn Analyzer>) -> &mut Auditor {
+        self.analyzers.push(analyzer);
+        self
+    }
+
+    /// The topology under audit.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Audits one dump.
+    pub fn audit(&self, text: &str) -> Result<AuditReport, String> {
+        self.audit_streams(&[text])
+    }
+
+    /// Audits several per-process dumps as one system: registries are
+    /// concatenated and the event streams merged into a single causally
+    /// ordered timeline.
+    pub fn audit_streams(&self, texts: &[&str]) -> Result<AuditReport, String> {
+        let mut combined = Dump::default();
+        let mut streams = Vec::with_capacity(texts.len());
+        for text in texts {
+            let mut dump = parse_dump(text)?;
+            streams.push(std::mem::take(&mut dump.events));
+            combined.counters.append(&mut dump.counters);
+            combined.gauges.append(&mut dump.gauges);
+            combined.histograms.append(&mut dump.histograms);
+            combined.extras.append(&mut dump.extras);
+        }
+        combined.events = merge_events(streams);
+        Ok(self.audit_dump(&combined))
+    }
+
+    /// Audits an already-parsed dump (events are re-merged into timeline
+    /// order first).
+    pub fn audit_dump(&self, dump: &Dump) -> AuditReport {
+        let mut dump = dump.clone();
+        dump.events = merge_events(vec![std::mem::take(&mut dump.events)]);
+
+        let timeline = summarize(&dump);
+        let input = AuditInput {
+            dump: &dump,
+            events: &dump.events,
+            topology: &self.topology,
+            config: &self.config,
+        };
+        let mut findings = Vec::new();
+        if timeline.evicted > 0 {
+            findings.push(Finding {
+                analyzer: "timeline",
+                severity: Severity::Info,
+                kind: "truncated",
+                element: None,
+                domain: None,
+                count: timeline.evicted,
+                detail: format!(
+                    "{} event(s) evicted from the flight ring before the dump; \
+                     early evidence may be missing (raise the flight capacity)",
+                    timeline.evicted
+                ),
+            });
+        }
+        for analyzer in &self.analyzers {
+            findings.extend(analyzer.run(&input));
+        }
+        // most severe first; full key ordering keeps the report stable no
+        // matter how analyzers interleave their output
+        findings.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.element.cmp(&b.element))
+                .then_with(|| a.analyzer.cmp(b.analyzer))
+                .then_with(|| a.kind.cmp(b.kind))
+                .then_with(|| a.detail.cmp(&b.detail))
+        });
+
+        let mut report = AuditReport {
+            findings,
+            health: Default::default(),
+            timeline,
+            topology: self.topology.clone(),
+        };
+        report.score_health();
+        report
+    }
+}
+
+fn summarize(dump: &Dump) -> TimelineSummary {
+    let mut summary = TimelineSummary::default();
+    if dump.events.is_empty() {
+        return summary;
+    }
+    summary.events = dump.events.len() as u64;
+    summary.first_seq = dump.events.iter().map(|e| e.seq).min().unwrap_or(0);
+    summary.last_seq = dump.events.iter().map(|e| e.seq).max().unwrap_or(0);
+    // sequence numbers are global within one recorder: a dump whose
+    // smallest seq is nonzero lost that many events to ring eviction
+    summary.evicted = summary.first_seq;
+    let scopes: BTreeSet<u64> = dump.events.iter().map(|e| e.scope).collect();
+    summary.processes = scopes.len() as u64;
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        let mut t = Topology {
+            gm_domain: 0,
+            ..Topology::default()
+        };
+        t.domain_f.insert(0, 1);
+        t.domain_f.insert(1, 1);
+        for index in 0..4u64 {
+            t.elements.insert(
+                index,
+                ElementInfo {
+                    domain: 0,
+                    index,
+                    scope: 1_000_000 + index,
+                },
+            );
+            t.elements.insert(
+                4 + index,
+                ElementInfo {
+                    domain: 1,
+                    index,
+                    scope: 1_000_004 + index,
+                },
+            );
+        }
+        t.clients.insert(1, 1);
+        t
+    }
+
+    fn event(seq: u64, at_us: u64, scope: u64, kind: &str, labels: &[(&str, u64)]) -> String {
+        let mut l = String::new();
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                l.push(',');
+            }
+            l.push_str(&format!("\"{k}\":{v}"));
+        }
+        format!(
+            "{{\"type\":\"event\",\"seq\":{seq},\"at_us\":{at_us},\"scope\":{scope},\"kind\":\"{kind}\",\"labels\":{{{l}}}}}\n"
+        )
+    }
+
+    #[test]
+    fn dissent_and_proof_localize_divergence() {
+        let mut dump = String::new();
+        dump.push_str(&event(
+            0,
+            10,
+            1,
+            "vote.dissent",
+            &[("request", 1), ("sender", 7)],
+        ));
+        dump.push_str(&event(
+            1,
+            12,
+            1,
+            "client.accused",
+            &[("client", 1), ("request", 1), ("accused", 7)],
+        ));
+        dump.push_str(&event(
+            2,
+            90,
+            1_000_000,
+            "gm.expelled",
+            &[("domain", 1), ("element", 7)],
+        ));
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.blamed_elements(), vec![7]);
+        let f = &report.findings[0];
+        assert_eq!((f.severity, f.kind), (Severity::Blame, "divergence"));
+        assert_eq!(f.domain, Some(1));
+        assert!(f.detail.contains("1 signed fault proof"));
+        assert!(f.detail.contains("expelled by GM"));
+        assert!(report.health[&7] < 100, "blame debits health");
+        assert_eq!(report.health[&4], 100, "peers untouched");
+    }
+
+    #[test]
+    fn silent_replica_blamed_only_when_domain_served_traffic() {
+        let mut dump = String::new();
+        for e in [4u64, 5, 6] {
+            dump.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"element.replies\",\"labels\":{{\"element\":{e}}},\"value\":3}}\n"
+            ));
+        }
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.blamed_elements(), vec![7], "the quiet one");
+        assert_eq!(report.findings[0].kind, "silent");
+        // with no replies at all the domain proves nothing
+        let empty = Auditor::new(topo()).audit("").unwrap();
+        assert!(empty.blamed_elements().is_empty());
+        assert_eq!(empty.health.values().filter(|&&h| h == 100).count(), 8);
+    }
+
+    #[test]
+    fn stalls_respect_round_markers() {
+        let c = AuditConfig::default();
+        let late = c.stall_budget_us + 1;
+        let mut dump = String::new();
+        // round 1: decided at t=100, element 6 replies way past budget
+        dump.push_str(&event(0, 50, 1, "vote.begin", &[("request", 1)]));
+        dump.push_str(&event(
+            1,
+            60,
+            1,
+            "vote.reply",
+            &[("request", 1), ("sender", 4)],
+        ));
+        dump.push_str(&event(2, 100, 1, "vote.decided", &[("request", 1)]));
+        dump.push_str(&event(
+            3,
+            100 + late,
+            1,
+            "vote.reply",
+            &[("request", 1), ("sender", 6)],
+        ));
+        // round 2 reuses request id 1 much later: its pre-decision replies
+        // must NOT count as stalls against round 1's decision
+        let t2 = 10 * late;
+        dump.push_str(&event(4, t2, 1, "vote.begin", &[("request", 1)]));
+        dump.push_str(&event(
+            5,
+            t2 + 5,
+            1,
+            "vote.reply",
+            &[("request", 1), ("sender", 4)],
+        ));
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.blamed_elements(), vec![6]);
+        assert_eq!(report.findings[0].kind, "stall");
+        assert_eq!(report.findings[0].count, 1);
+    }
+
+    #[test]
+    fn equivocation_blames_the_view_primary() {
+        let mut dump = String::new();
+        // two backups of domain 1 (elements 5 and 6) refuse contradictory
+        // pre-prepares in view 0 -> primary is element 4
+        dump.push_str(&event(
+            0,
+            10,
+            1_000_005,
+            "bft.equivocation",
+            &[("replica", 1), ("seq", 3), ("view", 0)],
+        ));
+        dump.push_str(&event(
+            1,
+            11,
+            1_000_006,
+            "bft.equivocation",
+            &[("replica", 2), ("seq", 3), ("view", 0)],
+        ));
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.blamed_elements(), vec![4]);
+        let f = &report.findings[0];
+        assert_eq!(f.kind, "equivocation");
+        assert_eq!(f.count, 1, "same slot reported twice, deduplicated");
+    }
+
+    #[test]
+    fn truncated_timeline_is_reported_not_ignored() {
+        let dump = event(40, 10, 1, "vote.begin", &[("request", 1)]);
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.timeline.evicted, 40);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "truncated" && f.severity == Severity::Info));
+        assert!(report.render().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_render_blame() {
+        let mut dump = String::new();
+        dump.push_str(&event(
+            0,
+            10,
+            1,
+            "vote.dissent",
+            &[("request", 1), ("sender", 5)],
+        ));
+        let auditor = Auditor::new(topo());
+        let a = auditor.audit(&dump).unwrap();
+        let b = auditor.audit(&dump).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("blame: elements [5]"));
+        assert!(a.render().contains("== forensic audit =="));
+    }
+}

@@ -329,7 +329,15 @@ impl<S: StateMachine> Replica<S> {
         if let Some(existing) = &entry.pre_prepare {
             if existing.digest != pp.digest {
                 // equivocating primary: refuse; the timer will expire and a
-                // view change will remove it
+                // view change will remove it. The contradiction itself is
+                // hard forensic evidence, so put it on the flight record.
+                let labels = [
+                    ("replica", LabelValue::U64(u64::from(self.id.0))),
+                    ("seq", LabelValue::U64(pp.seq.0)),
+                    ("view", LabelValue::U64(view.0)),
+                ];
+                self.obs.incr("bft.equivocations", &self.obs_label());
+                self.obs.event("bft.equivocation", &labels);
                 return;
             }
             return; // duplicate
@@ -399,6 +407,14 @@ impl<S: StateMachine> Replica<S> {
         self.obs
             .span_end("bft.prepare_us", self.seq_span_id(seq), &self.obs_label());
         self.obs.span_begin("bft.commit_us", self.seq_span_id(seq));
+        self.obs.event(
+            "bft.prepared",
+            &[
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("seq", LabelValue::U64(seq.0)),
+                ("view", LabelValue::U64(view.0)),
+            ],
+        );
         let commit = Commit {
             view,
             seq,
@@ -460,6 +476,15 @@ impl<S: StateMachine> Replica<S> {
             self.obs
                 .span_end("bft.order_us", self.seq_span_id(next), &labels);
             self.obs.incr("bft.executed", &labels);
+            // commit certificate reached and applied: the last ordering
+            // phase this replica can attest for `next`
+            self.obs.event(
+                "bft.committed",
+                &[
+                    ("replica", LabelValue::U64(u64::from(self.id.0))),
+                    ("seq", LabelValue::U64(next.0)),
+                ],
+            );
             let is_null = request.operation.is_empty() && request.client == ClientId(0);
             // exactly-once at execution: a replayed or doubly-ordered
             // request (Byzantine primary) is skipped, not re-executed

@@ -25,6 +25,9 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     // byte-identical across identical seeded runs, so it may not read
     // wall clocks or iterate randomized containers
     "itdos-obs",
+    // the forensic auditor must produce byte-identical reports for
+    // identical dumps: a pure function of the input bytes
+    "itdos-audit",
 ];
 
 /// Crates whose message handlers face Byzantine input directly: a panic

@@ -20,6 +20,11 @@ pub struct Event {
     pub seq: u64,
     /// Timestamp from the injected clock, in microseconds.
     pub at_micros: u64,
+    /// Span scope of the recording [`crate::Obs`] handle — the emitting
+    /// process's globally unique endpoint code in a wired system. Carried
+    /// on every record so an offline consumer of one merged dump can
+    /// attribute events to processes without an out-of-band process map.
+    pub scope: u64,
     /// Static event kind (catalogued in DESIGN.md §9).
     pub kind: &'static str,
     /// Label pairs in call-site order.
@@ -52,7 +57,7 @@ impl FlightRecorder {
 
     /// Records one event. With capacity 0 the event is counted (the
     /// sequence number advances) but nothing is retained.
-    pub fn record(&mut self, at_micros: u64, kind: &'static str, labels: &[Label]) {
+    pub fn record(&mut self, at_micros: u64, scope: u64, kind: &'static str, labels: &[Label]) {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.saturating_add(1);
         if self.capacity == 0 {
@@ -64,6 +69,7 @@ impl FlightRecorder {
         self.ring.push_back(Event {
             seq,
             at_micros,
+            scope,
             kind,
             labels: labels.to_vec(),
         });
@@ -116,7 +122,7 @@ mod tests {
     fn wraparound_keeps_newest_in_seq_order() {
         let mut fr = FlightRecorder::new(4);
         for i in 0..10u64 {
-            fr.record(i * 100, "tick", &[]);
+            fr.record(i * 100, 7, "tick", &[]);
         }
         let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order preserved");
@@ -130,7 +136,7 @@ mod tests {
     fn shrinking_capacity_evicts_oldest() {
         let mut fr = FlightRecorder::new(8);
         for i in 0..6u64 {
-            fr.record(i, "e", &[]);
+            fr.record(i, 0, "e", &[]);
         }
         fr.set_capacity(2);
         let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
@@ -140,7 +146,7 @@ mod tests {
     #[test]
     fn zero_capacity_counts_but_retains_nothing() {
         let mut fr = FlightRecorder::new(0);
-        fr.record(1, "e", &[]);
+        fr.record(1, 0, "e", &[]);
         assert!(fr.is_empty());
         assert_eq!(fr.total_recorded(), 1);
     }

@@ -190,13 +190,16 @@ impl Obs {
         rec.registry.observe(name, labels, value);
     }
 
-    /// Records a flight-recorder event stamped with the injected clock.
+    /// Records a flight-recorder event stamped with the injected clock
+    /// and tagged with this handle's scope, so a merged dump attributes
+    /// every event to the process that emitted it.
     #[inline]
     pub fn event(&self, kind: &'static str, labels: &[Label]) {
         let Some(r) = &self.inner else { return };
         let Ok(mut rec) = r.lock() else { return };
         let now = rec.clock.now_micros();
-        rec.flight.record(now, kind, labels);
+        let scope = self.scope;
+        rec.flight.record(now, scope, kind, labels);
     }
 
     /// Opens a span keyed by `(name, id)` in this handle's scope.

@@ -153,18 +153,27 @@ impl Histogram {
 
     /// Approximate p-th percentile (p in 0..=100): the upper bound of the
     /// first bucket whose cumulative count reaches rank `ceil(count*p/100)`,
-    /// clamped to the exact observed maximum. Deterministic integer math.
+    /// clamped into the exact observed `[min, max]` range. Deterministic
+    /// integer math. Edges are exact rather than bucket estimates: an
+    /// empty histogram reports 0 for every percentile, a single-sample
+    /// histogram reports the sample itself, and p0 reports the minimum.
     pub fn percentile(&self, p: u8) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        if self.count == 1 {
+            return self.max;
+        }
         let p = u128::from(p.min(100));
-        let rank = (u128::from(self.count) * p).div_ceil(100).max(1);
+        if p == 0 {
+            return self.min;
+        }
+        let rank = (u128::from(self.count) * p).div_ceil(100);
         let mut cumulative: u128 = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative += u128::from(c);
             if cumulative >= rank {
-                return Self::bucket_upper_bound(i).min(self.max);
+                return Self::bucket_upper_bound(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -309,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds_clamped_to_max() {
+    fn percentiles_are_bucket_upper_bounds_clamped_to_observed_range() {
         let mut h = Histogram::new();
         for v in [10u64, 20, 30, 40, 1000] {
             h.observe(v);
@@ -318,9 +327,39 @@ mod tests {
         assert_eq!(h.percentile(50), 31);
         // p99 -> rank 5 -> 1000 -> bucket 10 upper bound 1023, clamped to 1000
         assert_eq!(h.percentile(99), 1000);
-        assert_eq!(h.percentile(0), 15); // rank clamps to 1 -> first bucket hit
+        // p0 is the exact minimum, not a bucket bound below it
+        assert_eq!(h.percentile(0), 10);
+        // every estimate stays inside the observed range
+        for p in 0..=100u8 {
+            let v = h.percentile(p);
+            assert!((10..=1000).contains(&v), "p{p}={v} escaped [min,max]");
+        }
+    }
+
+    #[test]
+    fn percentile_edges_empty_and_single_sample() {
         let empty = Histogram::new();
-        assert_eq!(empty.percentile(50), 0);
+        for p in [0u8, 1, 50, 99, 100] {
+            assert_eq!(empty.percentile(p), 0, "empty histogram reports 0");
+        }
+        // a single sample is exact at every percentile — previously p50/p99
+        // reported the bucket upper bound via the min(max) clamp only when
+        // the sample happened to be a bucket max
+        for sample in [1u64, 300, 1023, 1024] {
+            let mut h = Histogram::new();
+            h.observe(sample);
+            for p in [0u8, 1, 50, 99, 100] {
+                assert_eq!(h.percentile(p), sample, "single-sample p{p}");
+            }
+        }
+        // two samples: p0 pins to min, p100 to max, mid estimates bounded
+        let mut h = Histogram::new();
+        h.observe(100);
+        h.observe(900);
+        assert_eq!(h.percentile(0), 100);
+        assert_eq!(h.percentile(100), 900);
+        assert_eq!(h.percentile(50), 127, "rank 1 of 2 -> bucket of 100");
+        assert_eq!(h.percentile(99), 900);
     }
 
     #[test]

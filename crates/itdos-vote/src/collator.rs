@@ -144,6 +144,11 @@ impl Collator {
         self.decision = None;
         self.late_suspects.clear();
         self.stats = CollationStats::default();
+        // round marker: request ids restart per connection, so an offline
+        // auditor needs this to avoid pairing a new round's ballots with a
+        // stale same-id decision
+        self.obs
+            .event("vote.begin", &[("request", LabelValue::U64(request_id))]);
         prev
     }
 
@@ -201,6 +206,16 @@ impl Collator {
             return Accept::Discarded(DiscardReason::DuplicateSender);
         }
         self.stats.accepted += 1;
+        // every accepted ballot goes on the flight record: the per-sender
+        // arrival timestamps are what lets an offline auditor measure how
+        // far behind the decision a straggling replica's replies land
+        self.obs.event(
+            "vote.reply",
+            &[
+                ("request", LabelValue::U64(request_id)),
+                ("sender", LabelValue::U64(u64::from(sender.0))),
+            ],
+        );
         if let Some(decision) = &self.decision {
             // post-decision arrival: check against the decided value
             let suspect = if self.comparator.equivalent(&decision.value, &value) {
@@ -233,6 +248,8 @@ impl Collator {
                     let kind = comparator_kind(&self.comparator);
                     let labels = [("comparator", LabelValue::Str(kind))];
                     self.obs.incr("vote.decided", &labels);
+                    self.obs
+                        .event("vote.decided", &[("request", LabelValue::U64(request_id))]);
                     self.obs
                         .observe("vote.votes_held", &labels, self.candidates.len() as u64);
                     self.obs

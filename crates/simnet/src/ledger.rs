@@ -1,0 +1,87 @@
+//! Ground-truth fault ledger.
+//!
+//! When a test or drill injects a fault — a Byzantine reply behavior on a
+//! replica, a crashed process — it records the victim here, on the
+//! simulator, outside the protocol's view. The ledger is *not* an input
+//! to any protocol logic or analyzer: it exists so regression tests can
+//! cross-check what a forensic tool (the `itdos-audit` blame set, GM
+//! expulsions) concluded against what was actually injected, and assert
+//! exact localization with no false positives.
+//!
+//! Entries are keyed by an opaque `u64` chosen by the injector (the core
+//! wiring uses the global element id), with a static string naming the
+//! fault kind. Storage is a `BTreeMap` so iteration is deterministic.
+
+use std::collections::BTreeMap;
+
+/// A record of deliberately injected faults, keyed by an injector-chosen
+/// id (element id in the core wiring).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLedger {
+    marks: BTreeMap<u64, &'static str>,
+}
+
+impl FaultLedger {
+    /// An empty ledger.
+    pub fn new() -> FaultLedger {
+        FaultLedger::default()
+    }
+
+    /// Records that the process identified by `id` was injected with a
+    /// fault of the given kind. A second mark on the same id overwrites
+    /// the kind (the id is faulty either way).
+    pub fn mark(&mut self, id: u64, kind: &'static str) {
+        self.marks.insert(id, kind);
+    }
+
+    /// The injected fault kind for `id`, if any.
+    pub fn kind_of(&self, id: u64) -> Option<&'static str> {
+        self.marks.get(&id).copied()
+    }
+
+    /// True when `id` was marked faulty.
+    pub fn contains(&self, id: u64) -> bool {
+        self.marks.contains_key(&id)
+    }
+
+    /// All marked ids in ascending order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.marks.keys().copied().collect()
+    }
+
+    /// Iterates `(id, kind)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &'static str)> + '_ {
+        self.marks.iter().map(|(&id, &kind)| (id, kind))
+    }
+
+    /// Number of marked ids.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_deduplicated_and_ordered() {
+        let mut ledger = FaultLedger::new();
+        assert!(ledger.is_empty());
+        ledger.mark(9, "silent");
+        ledger.mark(3, "corrupt-value");
+        ledger.mark(9, "slow");
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.ids(), vec![3, 9]);
+        assert_eq!(ledger.kind_of(9), Some("slow"), "re-mark overwrites");
+        assert!(ledger.contains(3));
+        assert!(!ledger.contains(4));
+        let pairs: Vec<(u64, &str)> = ledger.iter().collect();
+        assert_eq!(pairs, vec![(3, "corrupt-value"), (9, "slow")]);
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod ledger;
 pub mod net;
 pub mod node;
 pub mod process;
@@ -65,6 +66,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use ledger::FaultLedger;
 pub use node::{GroupId, NodeId};
 pub use process::{Context, Process, Timer, TimerId};
 pub use sim::Simulator;

@@ -8,6 +8,7 @@ use xrand::rngs::SmallRng;
 use xrand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, PassThrough, Verdict};
+use crate::ledger::FaultLedger;
 use crate::net::NetConfig;
 use crate::node::{GroupId, NodeId};
 use crate::process::{Action, Context, Process, Timer, TimerId};
@@ -77,6 +78,7 @@ pub struct Simulator {
     config: NetConfig,
     adversary: Box<dyn Adversary>,
     stats: NetStats,
+    fault_ledger: FaultLedger,
     net_rng: SmallRng,
     master_seed: u64,
     obs_clock: Option<std::sync::Arc<itdos_obs::ManualClock>>,
@@ -105,6 +107,7 @@ impl Simulator {
             config: NetConfig::default(),
             adversary: Box::new(PassThrough),
             stats: NetStats::default(),
+            fault_ledger: FaultLedger::new(),
             net_rng: SmallRng::seed_from_u64(seed ^ 0x6e65_745f_726e_67),
             master_seed: seed,
             obs_clock: None,
@@ -193,6 +196,18 @@ impl Simulator {
     /// Mutable statistics access (to enable the ledger or reset counters).
     pub fn stats_mut(&mut self) -> &mut NetStats {
         &mut self.stats
+    }
+
+    /// Ground-truth ledger of deliberately injected process faults (see
+    /// [`crate::ledger`]). Read by regression tests to cross-check
+    /// forensic blame sets against what was actually injected.
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        &self.fault_ledger
+    }
+
+    /// Mutable fault ledger, for injectors to mark their victims.
+    pub fn fault_ledger_mut(&mut self) -> &mut FaultLedger {
+        &mut self.fault_ledger
     }
 
     /// Network configuration (latency, loss, partitions).

@@ -1,8 +1,13 @@
 //! Intrusion drill: a guided tour of the fault pipeline — corruption,
 //! masking, detection, signed-message proof, expulsion, rekey, and
-//! continued service (§2.1, §3.6).
+//! continued service (§2.1, §3.6) — followed by a forensic audit that
+//! localizes the compromised element from telemetry alone.
 //!
 //! Run with: `cargo run --example intrusion_drill`
+//!
+//! Pass a path argument to also write the first drill's JSONL dump
+//! (metrics + flight events + embedded topology) there, ready for the
+//! offline audit CLI: `cargo run -p itdos-bench --bin audit -- FILE`.
 
 use itdos::fault::Behavior;
 use itdos::system::SystemBuilder;
@@ -38,10 +43,13 @@ fn ledger_servant() -> Box<dyn Servant> {
     }))
 }
 
-fn drill(title: &str, behavior: Behavior, seed: u64) {
+fn drill(title: &str, behavior: Behavior, seed: u64, dump_to: Option<&str>) {
     println!("\n=== drill: {title} ===");
     let mut builder = SystemBuilder::new(seed);
     builder.observability(true);
+    // keep the whole timeline: a truncated flight ring would cost the
+    // auditor its earliest evidence (and it would say so in the report)
+    builder.flight_capacity(1 << 14);
     builder.repository(repo());
     builder.add_domain(
         LEDGER,
@@ -92,29 +100,44 @@ fn drill(title: &str, behavior: Behavior, seed: u64) {
 
     println!("\n-- per-phase metrics for this drill --");
     print!("{}", system.metrics_report());
+
+    // the forensic layer: from telemetry alone, which element was bad?
+    println!("\n-- forensic audit --");
+    print!("{}", system.audit_report());
+
+    if let Some(path) = dump_to {
+        let dump = system.audit_jsonl();
+        std::fs::write(path, &dump).expect("write dump");
+        println!("(dump written to {path}: {} lines)", dump.lines().count());
+    }
 }
 
 fn main() {
+    let dump_path = std::env::args().nth(1);
     println!("== ITDOS intrusion drill: one compromised element out of four ==");
     drill(
         "value corruption (detected by the vote, expelled via proof)",
         Behavior::CorruptValue,
         41,
+        dump_path.as_deref(),
     );
     drill(
         "silence (masked by 2f+1 rule; nothing to prove)",
         Behavior::Silent,
         42,
+        None,
     );
     drill(
         "deliberate slowness (vote decides without waiting, §3.6)",
         Behavior::Slow(SimDuration::from_millis(400)),
         43,
+        None,
     );
     drill(
         "intermittent lies (caught on the request where it lies)",
         Behavior::Intermittent,
         44,
+        None,
     );
     println!("\nall drills complete: integrity and availability held throughout.");
 }

@@ -241,3 +241,102 @@ fn any_single_crash_is_masked() {
         );
     }
 }
+
+/// One real instrumented dump (topology included) to feed the parser
+/// adversarial variants of.
+fn forensic_dump() -> String {
+    let mut builder = common::bank_system(75);
+    builder.observability(true);
+    let mut system = builder.build();
+    for i in 0..2i64 {
+        let done = system.invoke(
+            common::CLIENT,
+            common::BANK,
+            b"acct",
+            "Bank::Account",
+            "deposit",
+            vec![Value::LongLong(1 + i)],
+        );
+        assert!(done.result.is_ok());
+    }
+    system.settle();
+    let dump = system.audit_jsonl();
+    assert!(
+        dump.lines().count() > 20,
+        "need a substantive dump to mutate"
+    );
+    dump
+}
+
+/// The JSONL parser is total on arbitrary input: random bytes may be
+/// rejected but never panic, recurse out of stack, or loop. This is the
+/// forensic boundary — the auditor chews on dumps recovered from
+/// compromised machines.
+#[test]
+fn jsonl_parser_is_total_on_random_bytes() {
+    // nesting bombs are bounded, not followed
+    let bomb = "[".repeat(1 << 16);
+    assert!(itdos_obs::jsonl::parse_lines(&bomb).is_err());
+    let obj_bomb = format!("{}\"k\":1{}", "{".repeat(1 << 16), "}".repeat(1 << 16));
+    assert!(itdos_obs::jsonl::parse_dump(&obj_bomb).is_err());
+    prop::check("jsonl parser total on random bytes", CASES, |rng, _| {
+        let raw = arbitrary::bytes(rng, 256);
+        let text = String::from_utf8_lossy(&raw);
+        let _ = itdos_obs::jsonl::parse_lines(&text);
+        let _ = itdos_obs::jsonl::parse_dump(&text);
+        let _ = itdos_obs::jsonl::validate(&text);
+    });
+}
+
+/// Truncation at any byte boundary — a dump cut off mid-line by a crash
+/// or a partial copy — parses or errors cleanly, never panics.
+#[test]
+fn jsonl_parser_survives_truncated_dumps() {
+    let dump = forensic_dump();
+    prop::check("jsonl parser total on truncation", CASES, |rng, _| {
+        let mut cut = rng.gen_range(0..=dump.len());
+        while !dump.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let text = &dump[..cut];
+        let _ = itdos_obs::jsonl::parse_dump(text);
+        let _ = itdos_obs::jsonl::validate(text);
+    });
+}
+
+/// Byte-level corruption of a real dump — flipped quotes, braces, digits
+/// — is contained to a parse error.
+#[test]
+fn jsonl_parser_survives_mutated_dumps() {
+    let dump = forensic_dump();
+    prop::check("jsonl parser total on mutation", CASES, |rng, _| {
+        let mut bytes = dump.clone().into_bytes();
+        for _ in 0..rng.gen_range(1..8usize) {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen();
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = itdos_obs::jsonl::parse_dump(&text);
+        let _ = itdos_obs::jsonl::validate(&text);
+    });
+}
+
+/// The typed parser reads back exactly what the writer emitted: every
+/// event line surfaces as an `EventRecord` with its seq/scope intact, in
+/// writer order.
+#[test]
+fn jsonl_typed_parse_round_trips_events() {
+    let dump = forensic_dump();
+    let parsed = itdos_obs::jsonl::parse_dump(&dump).expect("own dump parses");
+    let raw_events = dump.matches("\"type\":\"event\"").count();
+    assert_eq!(parsed.events.len(), raw_events);
+    for pair in parsed.events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seqs strictly increase");
+    }
+    assert!(
+        parsed.events.iter().all(|e| !e.kind.is_empty()),
+        "every event keeps its kind"
+    );
+    let scopes: std::collections::BTreeSet<u64> = parsed.events.iter().map(|e| e.scope).collect();
+    assert!(scopes.len() > 1, "events carry distinct per-process scopes");
+}
