@@ -30,6 +30,15 @@ trap 'rm -f "$drill_dump"' EXIT
 cargo run -q --release --offline -p itdos --example intrusion_drill -- "$drill_dump" > /dev/null
 cargo run -q --release --offline -p itdos-bench --bin audit -- --expect-blame "$drill_dump" > /dev/null
 
+echo '== bft throughput smoke (BENCH_bft smoke run)'
+# runs the batched configuration twice (byte-identical obs dumps) and
+# asserts batched throughput is no worse than the unbatched baseline;
+# the binary exits nonzero on either failure and must write its JSON
+bft_smoke="$(mktemp)"
+cargo run -q --release --offline -p itdos-bench --bin bft_throughput -- --smoke "$bft_smoke" > /dev/null
+test -s "$bft_smoke" || { echo 'BENCH_bft smoke output missing'; exit 1; }
+rm -f "$bft_smoke"
+
 echo '== audit bench (BENCH_audit.json)'
 # regenerates the committed snapshot in place (host-timing numbers move
 # run to run; the snapshot is a trajectory marker, not a gate)

@@ -21,18 +21,17 @@ fn bench_payloads(c: &mut Criterion) {
                 seed: 7000 + size as u64,
                 ..DeployOptions::default()
             });
+            let put = || {
+                itdos::Invocation::of(DOMAIN)
+                    .object(b"store")
+                    .interface("Store")
+                    .operation("put")
+            };
             // warm the connection with a tiny blob
-            system.invoke(
-                CLIENT,
-                DOMAIN,
-                b"store",
-                "Store",
-                "put",
-                vec![Value::Sequence(vec![Value::Octet(0)])],
-            );
+            system.invoke(CLIENT, put().arg(Value::Sequence(vec![Value::Octet(0)])));
             b.iter(|| {
                 let blob = Value::Sequence(vec![Value::Octet(0xAB); size]);
-                let done = system.invoke(CLIENT, DOMAIN, b"store", "Store", "put", vec![blob]);
+                let done = system.invoke(CLIENT, put().arg(blob));
                 assert_eq!(done.result, Ok(Value::ULong(size as u32)));
             });
         });

@@ -437,11 +437,11 @@ fn e10() {
         // warm invocation (opens the whole chain)
         system.invoke(
             CLIENT,
-            front,
-            b"desk",
-            "Trade::Desk",
-            "value_position",
-            vec![Value::LongLong(2)],
+            itdos::Invocation::of(front)
+                .object(b"desk")
+                .interface("Trade::Desk")
+                .operation("value_position")
+                .arg(Value::LongLong(2)),
         );
         let cost = itdos_bench::invoke_measured(
             &mut system,

@@ -11,6 +11,7 @@ pub mod harness;
 
 use itdos::fault::Behavior;
 use itdos::system::{System, SystemBuilder};
+use itdos::{Invocation, ObsConfig};
 use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
 use itdos_giop::platform::PlatformProfile;
 use itdos_giop::types::{TypeDesc, Value};
@@ -152,7 +153,11 @@ impl Default for DeployOptions {
 /// Builds a counter+sensor+store deployment.
 pub fn deploy(options: &DeployOptions) -> System {
     let mut builder = SystemBuilder::new(options.seed);
-    builder.observability(options.observability);
+    builder.obs(if options.observability {
+        ObsConfig::standard()
+    } else {
+        ObsConfig::off()
+    });
     builder.repository(repo());
     builder.comparator("Sensor", options.sensor_comparator.clone());
     builder.add_domain(
@@ -202,7 +207,14 @@ pub fn invoke_measured(
     let start_messages = system.sim.stats().total.messages;
     let start_bytes = system.sim.stats().total.bytes;
     let before = system.client(CLIENT).completed.len();
-    system.invoke_async(CLIENT, target, object_key, interface, operation, args);
+    system.invoke_async(
+        CLIENT,
+        Invocation::of(target)
+            .object(object_key)
+            .interface(interface)
+            .operation(operation)
+            .args(args),
+    );
     let mut guard = 0u64;
     while system.client(CLIENT).completed.len() == before {
         assert!(system.sim.step(), "quiesced without completing");
@@ -227,11 +239,11 @@ pub fn measure_invocation(system: &mut System, amount: i64) -> InvocationCost {
     let before = system.client(CLIENT).completed.len();
     system.invoke_async(
         CLIENT,
-        DOMAIN,
-        b"counter",
-        "Counter",
-        "add",
-        vec![Value::LongLong(amount)],
+        Invocation::of(DOMAIN)
+            .object(b"counter")
+            .interface("Counter")
+            .operation("add")
+            .arg(Value::LongLong(amount)),
     );
     let mut guard = 0u64;
     while system.client(CLIENT).completed.len() == before {
@@ -338,11 +350,11 @@ pub fn payload_sweep(sizes: &[usize]) -> Vec<(usize, InvocationCost)> {
             });
             system.invoke(
                 CLIENT,
-                DOMAIN,
-                b"store",
-                "Store",
-                "put",
-                vec![Value::Sequence(vec![Value::Octet(0)])],
+                Invocation::of(DOMAIN)
+                    .object(b"store")
+                    .interface("Store")
+                    .operation("put")
+                    .arg(Value::Sequence(vec![Value::Octet(0)])),
             );
             let blob = Value::Sequence(vec![Value::Octet(0xAB); size]);
             let cost = invoke_measured(&mut system, DOMAIN, b"store", "Store", "put", vec![blob]);

@@ -72,6 +72,9 @@ struct Outstanding {
     frames: BTreeMap<SenderId, SignedReply>,
     proof_sent: bool,
     decided: bool,
+    /// The decided result, held until every older round has also decided
+    /// so `completed` always lists invocations in submission order.
+    completion: Option<Completed>,
 }
 
 /// Span id for one invocation: request ids are assigned per connection by
@@ -129,7 +132,13 @@ pub struct SingletonClient {
     conns_by_target: BTreeMap<DomainId, ConnState>,
     shares: crate::keying::ShareBank,
     queue: VecDeque<(DomainId, RequestMessage)>,
-    outstanding: Option<Outstanding>,
+    /// In-flight (and recently decided) invocation rounds, submission
+    /// order. At most `pipeline` rounds are undecided at a time; decided
+    /// rounds linger to flag late faulty stragglers until the next pump.
+    rounds: VecDeque<Outstanding>,
+    /// How many invocations may be undecided concurrently (default 1, the
+    /// classic §3.6 one-outstanding-request-per-connection model).
+    pipeline: usize,
     opens_requested: std::collections::BTreeSet<DomainId>,
     /// Targets of our in-flight GM submissions, oldest first (`Some` for
     /// an `Open`, `None` for other ops). The GM channel is a serialized
@@ -171,7 +180,8 @@ impl SingletonClient {
             conns_by_target: BTreeMap::new(),
             shares: crate::keying::ShareBank::new(code),
             queue: VecDeque::new(),
-            outstanding: None,
+            rounds: VecDeque::new(),
+            pipeline: 1,
             opens_requested: std::collections::BTreeSet::new(),
             gm_pending: VecDeque::new(),
             obs: Obs::disabled(),
@@ -187,6 +197,22 @@ impl SingletonClient {
         self.obs = obs;
     }
 
+    /// Sets how many invocations may be in flight concurrently (clamped to
+    /// at least 1). Outbound BFT channels widen to match, so a batching
+    /// primary can order several of this client's requests per sequence
+    /// number; results still land in `completed` in submission order.
+    pub fn set_pipeline(&mut self, pipeline: usize) {
+        self.pipeline = pipeline.max(1);
+        for outbound in self.outbound.values_mut() {
+            outbound.set_window(self.pipeline);
+        }
+    }
+
+    /// The configured invocation pipeline depth.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
     fn my_code(&self) -> u64 {
         singleton_code(self.cfg.id)
     }
@@ -195,10 +221,10 @@ impl SingletonClient {
         [("client", LabelValue::U64(self.cfg.id))]
     }
 
-    /// True when no invocation is queued or awaiting a decision (a
-    /// decided round retained for late-fault flagging counts as idle).
+    /// True when no invocation is queued or awaiting a decision (decided
+    /// rounds retained for late-fault flagging count as idle).
     pub fn idle(&self) -> bool {
-        self.queue.is_empty() && self.outstanding.as_ref().map_or(true, |o| o.decided)
+        self.queue.is_empty() && self.rounds.iter().all(|o| o.decided)
     }
 
     fn submit_gm(&mut self, ctx: &mut Context<'_>, op: GmOp) {
@@ -255,59 +281,83 @@ impl SingletonClient {
     }
 
     fn pump(&mut self, ctx: &mut Context<'_>) {
-        // one outstanding request per connection (§3.6); a *decided* round
-        // is kept around only to flag late faulty stragglers and is
-        // garbage-collected when the next request begins
-        if self.outstanding.as_ref().is_some_and(|o| !o.decided) {
-            return;
+        loop {
+            let undecided = self.rounds.iter().filter(|o| !o.decided).count();
+            if undecided >= self.pipeline {
+                return;
+            }
+            let Some((target, _)) = self.queue.front() else {
+                return;
+            };
+            let target = *target;
+            if !self.conns_by_target.contains_key(&target) {
+                return; // waiting for keys
+            }
+            // decided rounds whose results were already released linger to
+            // keep collating late straggler replies (the auditor's stall
+            // evidence); they are garbage-collected only when new work
+            // actually starts (§3.6 generalized to a bounded pipeline)
+            while self
+                .rounds
+                .front()
+                .is_some_and(|o| o.decided && o.completion.is_none())
+            {
+                self.rounds.pop_front();
+            }
+            let (_, mut request) = self.queue.pop_front().expect("front exists");
+            let conn = self.conns_by_target.get_mut(&target).expect("checked");
+            request.request_id = conn.next_request_id;
+            conn.next_request_id += 1;
+            let meta = conn.meta;
+            let key = conn.key;
+            let thresholds = self.fabric.sender_thresholds(&meta, FrameKind::Reply);
+            let comparator = folded_comparator(
+                self.fabric
+                    .comparators
+                    .for_interface(&request.interface)
+                    .clone(),
+            );
+            let mut collator = Collator::new(thresholds, comparator);
+            collator.set_obs(self.obs.clone());
+            collator.begin(request.request_id);
+            self.rounds.push_back(Outstanding {
+                target,
+                connection: meta.connection,
+                request_id: request.request_id,
+                collator,
+                frames: BTreeMap::new(),
+                proof_sent: false,
+                decided: false,
+                completion: None,
+            });
+            self.obs.incr("client.requests", &self.obs_label());
+            self.obs.span_begin(
+                "invoke.reply_us",
+                invoke_span_id(meta.connection, request.request_id),
+            );
+            self.send_request(ctx, meta, key, &request);
+            // re-send later if replies do not arrive (lost DirectReply copies)
+            ctx.set_timer(
+                self.fabric
+                    .domain(target)
+                    .config
+                    .view_timeout
+                    .saturating_mul(8),
+                pack_timer(TimerTag::ClientRetry, request.request_id),
+            );
         }
-        let Some((target, _)) = self.queue.front() else {
-            return;
-        };
-        let target = *target;
-        if !self.conns_by_target.contains_key(&target) {
-            return; // waiting for keys
+    }
+
+    /// Pushes decided results into `completed` in submission order.
+    fn release(&mut self) {
+        for round in self.rounds.iter_mut() {
+            if !round.decided {
+                break;
+            }
+            if let Some(completion) = round.completion.take() {
+                self.completed.push(completion);
+            }
         }
-        let (_, mut request) = self.queue.pop_front().expect("front exists");
-        let conn = self.conns_by_target.get_mut(&target).expect("checked");
-        request.request_id = conn.next_request_id;
-        conn.next_request_id += 1;
-        let meta = conn.meta;
-        let key = conn.key;
-        let thresholds = self.fabric.sender_thresholds(&meta, FrameKind::Reply);
-        let comparator = folded_comparator(
-            self.fabric
-                .comparators
-                .for_interface(&request.interface)
-                .clone(),
-        );
-        let mut collator = Collator::new(thresholds, comparator);
-        collator.set_obs(self.obs.clone());
-        collator.begin(request.request_id);
-        self.outstanding = Some(Outstanding {
-            target,
-            connection: meta.connection,
-            request_id: request.request_id,
-            collator,
-            frames: BTreeMap::new(),
-            proof_sent: false,
-            decided: false,
-        });
-        self.obs.incr("client.requests", &self.obs_label());
-        self.obs.span_begin(
-            "invoke.reply_us",
-            invoke_span_id(meta.connection, request.request_id),
-        );
-        self.send_request(ctx, meta, key, &request);
-        // re-send later if replies do not arrive (lost DirectReply copies)
-        ctx.set_timer(
-            self.fabric
-                .domain(target)
-                .config
-                .view_timeout
-                .saturating_mul(8),
-            pack_timer(TimerTag::ClientRetry, request.request_id),
-        );
     }
 
     fn send_request(
@@ -344,10 +394,13 @@ impl SingletonClient {
         let op = itdos_bft::queue::QueueOp::Deliver(frame.encode()).encode();
         let fabric = self.fabric.clone();
         let code = self.my_code();
-        self.outbound
-            .entry(meta.server_domain)
-            .or_insert_with(|| Outbound::new(&fabric, meta.server_domain, code))
-            .submit(ctx, &fabric, op);
+        let pipeline = self.pipeline;
+        let outbound = self.outbound.entry(meta.server_domain).or_insert_with(|| {
+            let mut o = Outbound::new(&fabric, meta.server_domain, code);
+            o.set_window(pipeline);
+            o
+        });
+        outbound.submit(ctx, &fabric, op);
     }
 
     fn nonce(&self, conn: ConnectionId, epoch: u32, request_id: u64, sequence: u64) -> [u8; 16] {
@@ -363,23 +416,18 @@ impl SingletonClient {
     }
 
     fn handle_direct_reply(&mut self, ctx: &mut Context<'_>, msg: DirectReplyMsg) {
-        let Some(outstanding) = &mut self.outstanding else {
-            return; // late reply: discarded without penalty (§3.6)
-        };
-        if msg.connection != outstanding.connection {
-            return;
-        }
         let Some(conn) = self
             .conns_by_target
-            .get(&outstanding.target)
-            .filter(|c| c.meta.epoch == msg.epoch)
+            .values()
+            .find(|c| c.meta.connection == msg.connection && c.meta.epoch == msg.epoch)
         else {
             return;
         };
+        let conn_key = conn.key;
         let Some(sealed) = Sealed::from_bytes(&msg.sealed) else {
             return;
         };
-        let Ok(giop_bytes) = open(&conn.key.0, &sealed) else {
+        let Ok(giop_bytes) = open(&conn_key.0, &sealed) else {
             return;
         };
         let signed = SignedReply {
@@ -394,17 +442,41 @@ impl SingletonClient {
         let Ok(GiopMessage::Reply(reply)) = decode_message(&giop_bytes, &self.fabric.repo) else {
             return;
         };
+        // route to the round this reply answers; an unmatched reply is a
+        // late straggler for an already-collected round (§3.6: discarded
+        // without penalty)
+        let Some(idx) = self
+            .rounds
+            .iter()
+            .position(|o| o.connection == msg.connection && o.request_id == reply.request_id)
+        else {
+            return;
+        };
         let value = reply_to_value(&reply);
-        outstanding.frames.insert(msg.sender, signed);
-        let accept = outstanding
-            .collator
-            .offer(reply.request_id, msg.sender, value);
+        let round = &mut self.rounds[idx];
+        round.frames.insert(msg.sender, signed);
+        let accept = round.collator.offer(reply.request_id, msg.sender, value);
         match accept {
             Accept::Decided(decision) => {
-                let request_id = outstanding.request_id;
-                let connection = outstanding.connection;
-                let target = outstanding.target;
+                let request_id = round.request_id;
+                let connection = round.connection;
+                let target = round.target;
                 let suspects = decision.dissenters.clone();
+                let result = match value_to_reply(request_id, &decision.value) {
+                    Some(reply) => match reply.body {
+                        ReplyBody::Result(v) => Ok(v),
+                        ReplyBody::UserException { name } => Err(name),
+                        ReplyBody::SystemException { minor } => Err(format!("SYSTEM:{minor}")),
+                    },
+                    None => Err("undecodable decision".into()),
+                };
+                round.decided = true;
+                round.completion = Some(Completed {
+                    request_id,
+                    target,
+                    result,
+                    suspects: suspects.clone(),
+                });
                 self.obs.span_end(
                     "invoke.reply_us",
                     invoke_span_id(connection, request_id),
@@ -419,52 +491,35 @@ impl SingletonClient {
                         ("suspects", LabelValue::U64(suspects.len() as u64)),
                     ],
                 );
-                let result = match value_to_reply(request_id, &decision.value) {
-                    Some(reply) => match reply.body {
-                        ReplyBody::Result(v) => Ok(v),
-                        ReplyBody::UserException { name } => Err(name),
-                        ReplyBody::SystemException { minor } => Err(format!("SYSTEM:{minor}")),
-                    },
-                    None => Err("undecodable decision".into()),
-                };
-                self.completed.push(Completed {
-                    request_id,
-                    target,
-                    result,
-                    suspects: suspects.clone(),
-                });
                 if self.cfg.auto_proof && !suspects.is_empty() {
-                    self.send_proof(ctx, request_id, &suspects);
+                    self.send_proof(ctx, idx, &suspects);
                 }
-                // keep collecting late replies for fault flagging: the
-                // outstanding entry stays until the next request pumps
-                if let Some(o) = &mut self.outstanding {
-                    o.decided = true;
-                }
+                // decided rounds keep collecting late replies for fault
+                // flagging; their results release strictly in submission
+                // order so `completed` stays FIFO under pipelining
+                self.release();
                 self.pump(ctx);
             }
             Accept::Late { suspect: Some(s) } => {
                 // a slow faulty value arrived after the decision
                 if self.cfg.auto_proof {
-                    self.send_proof(
-                        ctx,
-                        self.outstanding.as_ref().expect("set").request_id,
-                        &[s],
-                    );
+                    self.send_proof(ctx, idx, &[s]);
                 }
             }
             _ => {}
         }
     }
 
-    fn send_proof(&mut self, ctx: &mut Context<'_>, request_id: u64, accused: &[SenderId]) {
-        let Some(outstanding) = &mut self.outstanding else {
+    fn send_proof(&mut self, ctx: &mut Context<'_>, round_idx: usize, accused: &[SenderId]) {
+        let Some(round) = self.rounds.get_mut(round_idx) else {
             return;
         };
-        if outstanding.proof_sent {
+        if round.proof_sent {
             return;
         }
-        outstanding.proof_sent = true;
+        round.proof_sent = true;
+        let request_id = round.request_id;
+        let messages: Vec<SignedReply> = round.frames.values().cloned().collect();
         self.obs
             .incr("client.proofs", &[("client", LabelValue::U64(self.cfg.id))]);
         self.obs.event(
@@ -491,7 +546,7 @@ impl SingletonClient {
         let proof = FaultProof {
             accused: accused.to_vec(),
             request_id,
-            messages: outstanding.frames.values().cloned().collect(),
+            messages,
         };
         self.proofs_sent += 1;
         self.submit_gm(ctx, GmOp::ChangeProof(proof));
@@ -613,14 +668,13 @@ impl Process for SingletonClient {
             }
             TimerTag::ClientRetry => {
                 // the request with this id may still be undecided: re-send
-                let needs_retry = self
-                    .outstanding
-                    .as_ref()
-                    .is_some_and(|o| o.request_id == param && o.collator.decision().is_none());
-                if needs_retry {
-                    let outstanding = self.outstanding.as_ref().expect("checked");
-                    let target = outstanding.target;
-                    let request_id = outstanding.request_id;
+                let undecided = self
+                    .rounds
+                    .iter()
+                    .find(|o| o.request_id == param && !o.decided);
+                if let Some(round) = undecided {
+                    let target = round.target;
+                    let request_id = round.request_id;
                     if let Some(conn) = self.conns_by_target.get(&target) {
                         // rebuild is unnecessary: replicas resend cached
                         // replies when the same op is re-ordered; simplest

@@ -80,10 +80,22 @@ struct ConnState {
     next_request_id: u64,
 }
 
+/// Rounds per (connection, frame kind) a voter bank retains. Pipelined
+/// requests interleave their frames in the total order, so each request id
+/// keeps its own quorum state; the bound keeps a byzantine sender from
+/// growing the bank without limit, and eviction is driven purely by the
+/// ordered delivery stream so every correct element evicts identically.
+const VOTER_ROUND_WINDOW: usize = 32;
+
 struct VoterEntry {
-    request_id: u64,
     collator: Collator,
     frames: BTreeMap<SenderId, SignedReply>,
+}
+
+struct VoterBank {
+    rounds: BTreeMap<u64, VoterEntry>,
+    /// Highest evicted request id; late frames at or below it are dropped.
+    floor: u64,
 }
 
 struct Current {
@@ -119,7 +131,7 @@ pub struct ServerElement {
     conns: BTreeMap<ConnectionId, ConnState>,
     shares: crate::keying::ShareBank,
     stalled: BTreeMap<ConnectionId, VecDeque<SmiopFrame>>,
-    voters: BTreeMap<(ConnectionId, u8), VoterEntry>,
+    voters: BTreeMap<(ConnectionId, u8), VoterBank>,
     outbound: BTreeMap<DomainId, Outbound>,
     inbox: VecDeque<(ConnectionMeta, RequestMessage)>,
     current: Option<Current>,
@@ -502,29 +514,33 @@ impl ServerElement {
         let comparator =
             folded_comparator(self.fabric.comparators.for_interface(interface).clone());
         let obs = self.obs.clone();
-        let entry = self.voters.entry(key).or_insert_with(|| {
-            let mut collator = Collator::new(thresholds, comparator.clone());
-            collator.set_obs(obs.clone());
-            collator.begin(request_id);
-            VoterEntry {
-                request_id,
-                collator,
-                frames: BTreeMap::new(),
+        let accept = {
+            let bank = self.voters.entry(key).or_insert_with(|| VoterBank {
+                rounds: BTreeMap::new(),
+                floor: 0,
+            });
+            if request_id <= bank.floor {
+                return; // round already evicted (§3.6 GC)
             }
-        });
-        if request_id > entry.request_id {
-            // new outstanding request: garbage-collect the old round (§3.6)
-            let mut collator = Collator::new(thresholds, comparator);
-            collator.set_obs(obs);
-            collator.begin(request_id);
-            *entry = VoterEntry {
-                request_id,
-                collator,
-                frames: BTreeMap::new(),
-            };
-        }
-        entry.frames.insert(sender, signed);
-        match entry.collator.offer(request_id, sender, value) {
+            let entry = bank.rounds.entry(request_id).or_insert_with(|| {
+                let mut collator = Collator::new(thresholds, comparator.clone());
+                collator.set_obs(obs.clone());
+                collator.begin(request_id);
+                VoterEntry {
+                    collator,
+                    frames: BTreeMap::new(),
+                }
+            });
+            entry.frames.insert(sender, signed);
+            let accept = entry.collator.offer(request_id, sender, value);
+            while bank.rounds.len() > VOTER_ROUND_WINDOW {
+                let oldest = *bank.rounds.keys().next().expect("non-empty");
+                bank.rounds.remove(&oldest);
+                bank.floor = bank.floor.max(oldest);
+            }
+            accept
+        };
+        match accept {
             Accept::Decided(decision) => {
                 let suspects = decision.dissenters.clone();
                 self.on_decided(ctx, meta, kind, request_id, decision.value);

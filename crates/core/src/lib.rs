@@ -66,7 +66,14 @@
 //! builder.add_client(1);
 //! let mut system = builder.build();
 //!
-//! let done = system.invoke(1, DomainId(1), b"counter", "Counter", "add", vec![Value::Long(5)]);
+//! let done = system.invoke(
+//!     1,
+//!     itdos::Invocation::of(DomainId(1))
+//!         .object(b"counter")
+//!         .interface("Counter")
+//!         .operation("add")
+//!         .arg(Value::Long(5)),
+//! );
 //! assert_eq!(done.result, Ok(Value::Long(5)));
 //! ```
 
@@ -79,6 +86,7 @@ pub mod fabric;
 pub mod fault;
 pub mod firewall;
 pub mod gm;
+pub mod invocation;
 pub mod keying;
 pub mod outbound;
 pub mod registry;
@@ -89,4 +97,6 @@ pub use client::{ClientConfig, Completed, SingletonClient};
 pub use element::{ElementConfig, ServerElement};
 pub use fabric::Fabric;
 pub use fault::Behavior;
+pub use invocation::{Invocation, Ticket};
+pub use itdos_obs::ObsConfig;
 pub use system::{System, SystemBuilder, GM_DOMAIN};

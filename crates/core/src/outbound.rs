@@ -5,10 +5,15 @@
 //! nested invocation or sending queue-control ops to its *own* group, any
 //! process talking to the Group Manager — drives one [`Outbound`] per
 //! target domain. It wraps the PBFT client protocol (send to all, collect
-//! `f+1` matching ACKs, retransmit on timeout) and serializes operations:
-//! one in flight per channel (§3.6's single outstanding request).
+//! `f+1` matching ACKs, retransmit on timeout). By default operations are
+//! serialized one in flight per channel (§3.6's single outstanding
+//! request); [`Outbound::set_window`] opens a pipelining window of several
+//! in-flight operations — the BFT primary batches them under shared
+//! sequence numbers — while accepted results are still released to the
+//! owner strictly in submission order, so every caller keeps its FIFO
+//! view of the channel.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use itdos_bft::auth::AuthContext;
 use itdos_bft::client::Client;
@@ -27,6 +32,11 @@ pub struct Outbound {
     auth: AuthContext,
     client: Client,
     queue: VecDeque<Vec<u8>>,
+    /// Timestamps of in-flight operations in submission order; results are
+    /// released to `accepted` only when the head decides (FIFO reorder).
+    in_order: VecDeque<u64>,
+    /// Decided results awaiting older operations, by timestamp.
+    decided: BTreeMap<u64, Vec<u8>>,
     /// Results of accepted operations, oldest first (drained by the owner).
     accepted: VecDeque<Vec<u8>>,
 }
@@ -50,8 +60,16 @@ impl Outbound {
             auth: fabric.bft_auth_client(target, code),
             client: Client::new(bft_client_id(code), spec.config.clone()),
             queue: VecDeque::new(),
+            in_order: VecDeque::new(),
+            decided: BTreeMap::new(),
             accepted: VecDeque::new(),
         }
+    }
+
+    /// Sets the pipelining window: how many operations may be in flight
+    /// concurrently (default 1, the strict §3.6 serialization).
+    pub fn set_window(&mut self, window: usize) {
+        self.client.set_window(window);
     }
 
     /// The target domain.
@@ -72,19 +90,34 @@ impl Outbound {
 
     /// True when nothing is queued or in flight.
     pub fn idle(&self) -> bool {
-        self.queue.is_empty() && !self.client.busy()
+        self.queue.is_empty() && self.client.in_flight() == 0
     }
 
     fn pump(&mut self, ctx: &mut Context<'_>, fabric: &Fabric) {
-        if self.client.busy() {
-            return;
+        let mut started = false;
+        while !self.client.busy() {
+            let Some(op) = self.queue.pop_front() else {
+                break;
+            };
+            let request = self.client.start_request(op).expect("window has room");
+            self.in_order.push_back(request.timestamp);
+            self.broadcast(ctx, fabric, &Message::Request(request));
+            started = true;
         }
-        let Some(op) = self.queue.pop_front() else {
-            return;
-        };
-        let request = self.client.start_request(op).expect("client is not busy");
-        self.broadcast(ctx, fabric, &Message::Request(request));
-        self.arm_retransmit(ctx, fabric);
+        if started {
+            self.arm_retransmit(ctx, fabric);
+        }
+    }
+
+    /// Moves decided results into `accepted` in submission order.
+    fn release(&mut self) {
+        while let Some(&head) = self.in_order.front() {
+            let Some(result) = self.decided.remove(&head) else {
+                break;
+            };
+            self.in_order.pop_front();
+            self.accepted.push_back(result);
+        }
     }
 
     fn arm_retransmit(&mut self, ctx: &mut Context<'_>, fabric: &Fabric) {
@@ -125,8 +158,9 @@ impl Outbound {
         let Ok(Message::Reply(reply)) = Message::decode(&envelope.payload) else {
             return false;
         };
-        if let Some(result) = self.client.on_reply(reply) {
-            self.accepted.push_back(result);
+        if let Some((timestamp, result)) = self.client.on_reply(reply) {
+            self.decided.insert(timestamp, result);
+            self.release();
             self.pump(ctx, fabric);
             return true;
         }
@@ -135,10 +169,14 @@ impl Outbound {
 
     /// Handles the retransmission timer.
     pub fn on_retransmit_timer(&mut self, ctx: &mut Context<'_>, fabric: &Fabric) {
-        if let Some(request) = self.client.retransmit() {
-            self.broadcast(ctx, fabric, &Message::Request(request));
-            self.arm_retransmit(ctx, fabric);
+        let undecided = self.client.retransmit_all();
+        if undecided.is_empty() {
+            return;
         }
+        for request in undecided {
+            self.broadcast(ctx, fabric, &Message::Request(request));
+        }
+        self.arm_retransmit(ctx, fabric);
     }
 }
 

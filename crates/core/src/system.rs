@@ -23,13 +23,20 @@ use simnet::{GroupId, NodeId, Simulator};
 use xrand::rngs::SmallRng;
 use xrand::SeedableRng;
 
+use itdos_obs::ObsConfig;
+
 use crate::client::{encode_command, ClientConfig, Completed, SingletonClient};
 use crate::codes::{element_code, singleton_code};
 use crate::element::{ElementConfig, ServerElement};
 use crate::fabric::{DomainSpec, Fabric};
 use crate::fault::Behavior;
 use crate::gm::{GmElement, GmMachine};
+use crate::invocation::{Invocation, Ticket};
 use crate::registry::ComparatorRegistry;
+
+/// Default [`System::settle`] step budget (see
+/// [`SystemBuilder::settle_budget`]).
+pub const DEFAULT_SETTLE_BUDGET: u64 = 20_000_000;
 
 /// Builds the servants hosted by one replica of a domain. Called once per
 /// replica index so heterogeneous *implementations* are possible (§2:
@@ -50,6 +57,13 @@ struct ClientPlan {
     auto_proof: bool,
 }
 
+/// BFT ordering overrides applied to every replication domain.
+#[derive(Debug, Clone, Copy, Default)]
+struct BftTuning {
+    max_batch: Option<usize>,
+    pipeline_depth: Option<u64>,
+}
+
 /// The deployment builder.
 pub struct SystemBuilder {
     seed: u64,
@@ -60,8 +74,10 @@ pub struct SystemBuilder {
     clients: Vec<ClientPlan>,
     ack_interval: u64,
     queue_capacity: usize,
-    observability: bool,
-    flight_capacity: Option<usize>,
+    obs_cfg: ObsConfig,
+    settle_budget: u64,
+    bft: BftTuning,
+    client_pipeline: usize,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -88,27 +104,69 @@ impl SystemBuilder {
             clients: Vec::new(),
             ack_interval: 8,
             queue_capacity: 1 << 20,
-            observability: false,
-            flight_capacity: None,
+            obs_cfg: ObsConfig::off(),
+            settle_budget: DEFAULT_SETTLE_BUDGET,
+            bft: BftTuning::default(),
+            client_pipeline: 1,
         }
     }
 
-    /// Enables the deterministic observability layer: one shared
+    /// Configures the deterministic observability layer: one shared
     /// [`itdos_obs::Obs`] recorder (metrics + flight recorder) driven by
-    /// the simulator clock and installed on every process. Off by
-    /// default — disabled hooks are free.
-    pub fn observability(&mut self, on: bool) -> &mut SystemBuilder {
-        self.observability = on;
+    /// the simulator clock and installed on every process. Off by default
+    /// ([`ObsConfig::off`]) — disabled hooks are free. Use
+    /// [`ObsConfig::standard`] for metrics/spans or
+    /// [`ObsConfig::forensic`] to keep a whole drill's event timeline
+    /// (consumed by [`System::metrics_jsonl`] / [`System::audit_jsonl`]).
+    pub fn obs(&mut self, cfg: ObsConfig) -> &mut SystemBuilder {
+        self.obs_cfg = cfg;
         self
     }
 
-    /// Overrides the flight-recorder ring capacity (default
-    /// [`itdos_obs::DEFAULT_FLIGHT_CAPACITY`]). Forensic audits want the
-    /// full event history of a run, so drills and audit tests raise this
-    /// before building; it must be set up front — resizing after events
-    /// were recorded evicts the oldest.
+    /// Enables the observability layer.
+    #[deprecated(note = "use `obs(ObsConfig::standard())` / `obs(ObsConfig::off())`")]
+    pub fn observability(&mut self, on: bool) -> &mut SystemBuilder {
+        self.obs_cfg.enabled = on;
+        self
+    }
+
+    /// Overrides the flight-recorder ring capacity.
+    #[deprecated(note = "use `obs(ObsConfig::forensic())` or `ObsConfig::with_flight_capacity`")]
     pub fn flight_capacity(&mut self, events: usize) -> &mut SystemBuilder {
-        self.flight_capacity = Some(events);
+        self.obs_cfg.flight_capacity = Some(events);
+        self
+    }
+
+    /// Overrides the [`System::settle`] step budget. Long-running load
+    /// experiments legitimately exceed the default; tests hunting a
+    /// livelock may want it far smaller so failures are fast.
+    pub fn settle_budget(&mut self, steps: u64) -> &mut SystemBuilder {
+        self.settle_budget = steps.max(1);
+        self
+    }
+
+    /// Overrides PBFT request batching for every replication domain:
+    /// up to `max_batch` client requests share one sequence number and up
+    /// to `pipeline_depth` sequence numbers run agreement concurrently
+    /// (defaults come from [`GroupConfig::for_f`]).
+    pub fn batching(&mut self, max_batch: usize, pipeline_depth: u64) -> &mut SystemBuilder {
+        self.bft.max_batch = Some(max_batch);
+        self.bft.pipeline_depth = Some(pipeline_depth);
+        self
+    }
+
+    /// Disables batching and pipelining (`max_batch = 1`,
+    /// `pipeline_depth = 1`) — the strict one-request-per-sequence
+    /// baseline used for throughput comparisons.
+    pub fn unbatched(&mut self) -> &mut SystemBuilder {
+        self.batching(1, 1)
+    }
+
+    /// Sets how many invocations every client may keep in flight
+    /// concurrently (default 1, the classic §3.6 model). Results are
+    /// still delivered in submission order.
+    pub fn client_pipeline(&mut self, depth: usize) -> &mut SystemBuilder {
+        self.client_pipeline = depth.max(1);
         self
     }
 
@@ -244,15 +302,25 @@ impl SystemBuilder {
     /// Builds the system: allocates nodes, deals keys, spawns processes.
     pub fn build(self) -> System {
         let mut sim = Simulator::new(self.seed);
-        let obs = if self.observability {
+        let obs = if self.obs_cfg.enabled {
             let (obs, clock) = itdos_obs::Obs::manual();
             sim.drive_obs_clock(clock);
-            if let Some(capacity) = self.flight_capacity {
+            if let Some(capacity) = self.obs_cfg.flight_capacity {
                 obs.set_flight_capacity(capacity);
             }
             obs
         } else {
             itdos_obs::Obs::disabled()
+        };
+        let tuned = |f: usize| {
+            let mut config = GroupConfig::for_f(f);
+            if let Some(max_batch) = self.bft.max_batch {
+                config.max_batch = max_batch.max(1);
+            }
+            if let Some(depth) = self.bft.pipeline_depth {
+                config.pipeline_depth = depth.max(1);
+            }
+            config
         };
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x1717_1717);
         let gm_n = 3 * self.gm_f + 1;
@@ -314,7 +382,7 @@ impl SystemBuilder {
             DomainSpec {
                 id: GM_DOMAIN,
                 f: self.gm_f,
-                config: GroupConfig::for_f(self.gm_f),
+                config: tuned(self.gm_f),
                 seed: group_seed(u64::MAX),
                 mcast: GroupId::from_raw(0),
                 nodes: gm_nodes.clone(),
@@ -327,7 +395,7 @@ impl SystemBuilder {
                 DomainSpec {
                     id: plan.id,
                     f: plan.f,
-                    config: GroupConfig::for_f(plan.f),
+                    config: tuned(plan.f),
                     seed: group_seed(plan.id.0),
                     mcast: GroupId::from_raw(1 + i as u32),
                     nodes: domain_nodes[i].clone(),
@@ -449,6 +517,7 @@ impl SystemBuilder {
                 auto_proof: plan.auto_proof,
             };
             let mut client = SingletonClient::new(fabric.clone(), cfg);
+            client.set_pipeline(self.client_pipeline);
             client.set_obs(obs.scoped(singleton_code(plan.id)));
             sim.replace_process(node, Box::new(client));
             client_node_map.insert(plan.id, node);
@@ -459,6 +528,8 @@ impl SystemBuilder {
             fabric,
             obs,
             client_nodes: client_node_map,
+            settle_budget: self.settle_budget,
+            submitted: BTreeMap::new(),
         }
     }
 }
@@ -470,9 +541,13 @@ pub struct System {
     /// The deployment wiring.
     pub fabric: Fabric,
     /// The shared observability handle (disabled unless the builder's
-    /// `observability(true)` was set).
+    /// [`SystemBuilder::obs`] enabled it).
     pub obs: itdos_obs::Obs,
     client_nodes: BTreeMap<u64, NodeId>,
+    settle_budget: u64,
+    /// Per-client count of submitted invocations, which doubles as the
+    /// next completion index (results release in submission order).
+    submitted: BTreeMap<u64, usize>,
 }
 
 impl std::fmt::Debug for System {
@@ -485,19 +560,29 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Starts an invocation from `client` without running the simulation.
-    pub fn invoke_async(
-        &mut self,
-        client: u64,
-        target: DomainId,
-        object_key: &[u8],
-        interface: &str,
-        operation: &str,
-        args: Vec<Value>,
-    ) {
-        let cmd = encode_command(&self.fabric, target, object_key, interface, operation, args);
+    /// Starts an invocation from `client` without running the simulation
+    /// and returns a [`Ticket`] for the eventual result (redeem with
+    /// [`System::await_all`] or [`System::result`]). Invocations on one
+    /// client complete in submission order even when the client pipelines
+    /// several concurrently ([`SystemBuilder::client_pipeline`]).
+    pub fn invoke_async(&mut self, client: u64, invocation: Invocation) -> Ticket {
+        let cmd = encode_command(
+            &self.fabric,
+            invocation.target,
+            &invocation.object_key,
+            &invocation.interface,
+            &invocation.operation,
+            invocation.args,
+        );
         let node = self.client_nodes[&client];
         self.sim.inject(node, cmd);
+        let index = self.submitted.entry(client).or_insert(0);
+        let ticket = Ticket {
+            client,
+            index: *index,
+        };
+        *index += 1;
+        ticket
     }
 
     /// Runs an invocation to completion and returns its outcome.
@@ -506,7 +591,67 @@ impl System {
     ///
     /// Panics if the system fails to quiesce or the invocation never
     /// completes — both indicate a protocol bug under test.
-    pub fn invoke(
+    pub fn invoke(&mut self, client: u64, invocation: Invocation) -> Completed {
+        let ticket = self.invoke_async(client, invocation);
+        self.settle();
+        self.result(ticket)
+            .unwrap_or_else(|| panic!("invocation did not complete (client {client})"))
+    }
+
+    /// The completed outcome a ticket refers to, if it has been reached.
+    pub fn result(&self, ticket: Ticket) -> Option<Completed> {
+        self.client(ticket.client)
+            .completed
+            .get(ticket.index)
+            .cloned()
+    }
+
+    /// Runs the system to quiescence and returns every ticket's outcome,
+    /// in ticket order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce or any ticket's invocation
+    /// never completed.
+    pub fn await_all(&mut self, tickets: &[Ticket]) -> Vec<Completed> {
+        self.settle();
+        tickets
+            .iter()
+            .map(|&ticket| {
+                self.result(ticket).unwrap_or_else(|| {
+                    panic!(
+                        "invocation {} of client {} did not complete",
+                        ticket.index, ticket.client
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Starts an invocation from `client` without running the simulation.
+    #[deprecated(note = "use `invoke_async(client, Invocation)` — the typed builder")]
+    pub fn invoke_async_positional(
+        &mut self,
+        client: u64,
+        target: DomainId,
+        object_key: &[u8],
+        interface: &str,
+        operation: &str,
+        args: Vec<Value>,
+    ) {
+        self.invoke_async(
+            client,
+            Invocation::of(target)
+                .object(object_key)
+                .interface(interface)
+                .operation(operation)
+                .args(args),
+        );
+    }
+
+    /// Runs an invocation to completion and returns its outcome.
+    #[deprecated(note = "use `invoke(client, Invocation)` — the typed builder")]
+    pub fn invoke_positional(
         &mut self,
         client: u64,
         target: DomainId,
@@ -515,26 +660,31 @@ impl System {
         operation: &str,
         args: Vec<Value>,
     ) -> Completed {
-        let before = self.client(client).completed.len();
-        self.invoke_async(client, target, object_key, interface, operation, args);
-        self.settle();
-        let completed = &self.client(client).completed;
-        assert!(
-            completed.len() > before,
-            "invocation did not complete (client {client})"
-        );
-        completed[before].clone()
+        self.invoke(
+            client,
+            Invocation::of(target)
+                .object(object_key)
+                .interface(interface)
+                .operation(operation)
+                .args(args),
+        )
     }
 
     /// Runs until the network is quiescent.
     ///
     /// # Panics
     ///
-    /// Panics on livelock (step budget exhausted).
+    /// Panics on livelock (step budget exhausted, configurable via
+    /// [`SystemBuilder::settle_budget`]); the message names the nodes
+    /// with undelivered work so the spin is attributable.
     pub fn settle(&mut self) {
-        self.sim
-            .run_steps(20_000_000)
-            .expect("system did not quiesce");
+        if self.sim.run_steps(self.settle_budget).is_err() {
+            panic!(
+                "system did not quiesce within {} steps (livelock?); pending work:\n{}",
+                self.settle_budget,
+                self.sim.pending_summary()
+            );
+        }
     }
 
     /// Mirrors the simulator's [`simnet::NetStats`] into the metrics

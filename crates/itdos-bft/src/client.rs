@@ -10,6 +10,11 @@
 //! reply is a *static acknowledgement*, identical on all correct replicas
 //! regardless of platform; the real CORBA reply travels separately and is
 //! voted by the VVM (§3.1).
+//!
+//! The default window of one outstanding request is the classic PBFT
+//! client (and the ITDOS §3.6 connection model); [`Client::set_window`]
+//! raises it so a pipelining caller can keep several timestamps in flight
+//! and let the primary batch them under one sequence number.
 
 use std::collections::BTreeMap;
 
@@ -19,16 +24,15 @@ use crate::message::{ClientRequest, Reply};
 /// One in-flight request's reply collection state.
 #[derive(Debug, Clone)]
 struct Outstanding {
-    timestamp: u64,
     request: ClientRequest,
     replies: BTreeMap<ReplicaId, Vec<u8>>,
-    decided: bool,
 }
 
 /// A BFT client for one replica group.
 ///
-/// Single outstanding request at a time — exactly the ITDOS connection
-/// model (§3.6: "only one outstanding request can exist for a connection").
+/// At most `window` undecided requests at a time (default 1 — §3.6: "only
+/// one outstanding request can exist for a connection"); each in-flight
+/// request collects replies independently, keyed by its timestamp.
 ///
 /// # Examples
 ///
@@ -45,17 +49,21 @@ pub struct Client {
     id: ClientId,
     config: GroupConfig,
     next_timestamp: u64,
-    outstanding: Option<Outstanding>,
+    window: usize,
+    /// Undecided requests by timestamp; an entry is removed the moment its
+    /// result is accepted, so late replies are discarded without penalty.
+    outstanding: BTreeMap<u64, Outstanding>,
 }
 
 impl Client {
-    /// Creates a client.
+    /// Creates a client with a window of one outstanding request.
     pub fn new(id: ClientId, config: GroupConfig) -> Client {
         Client {
             id,
             config,
             next_timestamp: 1,
-            outstanding: None,
+            window: 1,
+            outstanding: BTreeMap::new(),
         }
     }
 
@@ -64,13 +72,29 @@ impl Client {
         self.id
     }
 
-    /// True while a request is outstanding and undecided.
+    /// Sets the number of requests that may be in flight concurrently
+    /// (clamped to at least 1).
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// The configured in-flight window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// True while the in-flight window is full.
     pub fn busy(&self) -> bool {
-        self.outstanding.as_ref().is_some_and(|o| !o.decided)
+        self.outstanding.len() >= self.window
+    }
+
+    /// Number of undecided requests in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
     }
 
     /// Starts a request; returns the message to send to the group, or
-    /// `None` if one is already outstanding.
+    /// `None` if the window is full.
     pub fn start_request(&mut self, operation: Vec<u8>) -> Option<ClientRequest> {
         if self.busy() {
             return None;
@@ -82,39 +106,39 @@ impl Client {
             timestamp,
             operation,
         };
-        self.outstanding = Some(Outstanding {
+        self.outstanding.insert(
             timestamp,
-            request: request.clone(),
-            replies: BTreeMap::new(),
-            decided: false,
-        });
+            Outstanding {
+                request: request.clone(),
+                replies: BTreeMap::new(),
+            },
+        );
         Some(request)
     }
 
-    /// The current request, for retransmission after a timeout (PBFT
-    /// clients retransmit to all replicas, which triggers reply resend or a
-    /// view change).
+    /// The oldest undecided request, for retransmission after a timeout
+    /// (PBFT clients retransmit to all replicas, which triggers reply
+    /// resend or a view change).
     pub fn retransmit(&self) -> Option<ClientRequest> {
-        self.outstanding
-            .as_ref()
-            .filter(|o| !o.decided)
-            .map(|o| o.request.clone())
+        self.outstanding.values().next().map(|o| o.request.clone())
     }
 
-    /// Processes one reply. Returns the accepted result the first time f+1
-    /// matching replies have arrived.
-    pub fn on_reply(&mut self, reply: Reply) -> Option<Vec<u8>> {
+    /// Every undecided request, oldest first (pipelined retransmission).
+    pub fn retransmit_all(&self) -> Vec<ClientRequest> {
+        self.outstanding
+            .values()
+            .map(|o| o.request.clone())
+            .collect()
+    }
+
+    /// Processes one reply. Returns `(timestamp, result)` the first time
+    /// f+1 matching replies have arrived for that timestamp.
+    pub fn on_reply(&mut self, reply: Reply) -> Option<(u64, Vec<u8>)> {
         let threshold = self.config.f + 1;
-        let outstanding = self.outstanding.as_mut()?;
-        if reply.client != self.id
-            || reply.timestamp != outstanding.timestamp
-            || outstanding.decided
-        {
-            return None; // late or foreign reply: discarded without penalty
-        }
-        if reply.replica.0 as usize >= self.config.n {
+        if reply.client != self.id || reply.replica.0 as usize >= self.config.n {
             return None;
         }
+        let outstanding = self.outstanding.get_mut(&reply.timestamp)?;
         outstanding.replies.insert(reply.replica, reply.result);
         // count matching results
         let mut counts: BTreeMap<&[u8], usize> = BTreeMap::new();
@@ -126,15 +150,15 @@ impl Client {
             .find(|(_, c)| **c >= threshold)
             .map(|(r, _)| r.to_vec());
         if let Some(result) = winner {
-            outstanding.decided = true;
-            return Some(result);
+            self.outstanding.remove(&reply.timestamp);
+            return Some((reply.timestamp, result));
         }
         None
     }
 
-    /// Number of replies collected for the outstanding request.
+    /// Total replies collected across undecided requests.
     pub fn replies_collected(&self) -> usize {
-        self.outstanding.as_ref().map_or(0, |o| o.replies.len())
+        self.outstanding.values().map(|o| o.replies.len()).sum()
     }
 }
 
@@ -162,7 +186,10 @@ mod tests {
         let mut c = client();
         c.start_request(vec![0]).unwrap();
         assert_eq!(c.on_reply(reply(&c, 0, 1, b"ok")), None);
-        assert_eq!(c.on_reply(reply(&c, 1, 1, b"ok")), Some(b"ok".to_vec()));
+        assert_eq!(
+            c.on_reply(reply(&c, 1, 1, b"ok")),
+            Some((1, b"ok".to_vec()))
+        );
     }
 
     #[test]
@@ -171,7 +198,10 @@ mod tests {
         c.start_request(vec![0]).unwrap();
         assert_eq!(c.on_reply(reply(&c, 0, 1, b"evil")), None);
         assert_eq!(c.on_reply(reply(&c, 1, 1, b"ok")), None);
-        assert_eq!(c.on_reply(reply(&c, 2, 1, b"ok")), Some(b"ok".to_vec()));
+        assert_eq!(
+            c.on_reply(reply(&c, 2, 1, b"ok")),
+            Some((1, b"ok".to_vec()))
+        );
     }
 
     #[test]
@@ -187,7 +217,7 @@ mod tests {
     }
 
     #[test]
-    fn one_request_at_a_time() {
+    fn one_request_at_a_time_by_default() {
         let mut c = client();
         c.start_request(vec![0]).unwrap();
         assert!(c.start_request(vec![1]).is_none());
@@ -196,6 +226,28 @@ mod tests {
         c.on_reply(reply(&c, 1, 1, b"ok"));
         assert!(!c.busy(), "decided");
         assert!(c.start_request(vec![1]).is_some());
+    }
+
+    #[test]
+    fn window_allows_pipelined_requests() {
+        let mut c = client();
+        c.set_window(3);
+        let r1 = c.start_request(vec![1]).unwrap();
+        let r2 = c.start_request(vec![2]).unwrap();
+        let r3 = c.start_request(vec![3]).unwrap();
+        assert!(c.busy(), "window of 3 full");
+        assert!(c.start_request(vec![4]).is_none());
+        assert!(r1.timestamp < r2.timestamp && r2.timestamp < r3.timestamp);
+        // replies may decide out of submission order
+        c.on_reply(reply(&c, 0, r2.timestamp, b"b"));
+        assert_eq!(
+            c.on_reply(reply(&c, 1, r2.timestamp, b"b")),
+            Some((r2.timestamp, b"b".to_vec()))
+        );
+        assert_eq!(c.in_flight(), 2);
+        assert!(!c.busy(), "slot freed");
+        assert_eq!(c.retransmit().unwrap().timestamp, r1.timestamp, "oldest");
+        assert_eq!(c.retransmit_all().len(), 2);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub struct GroupConfig {
     /// How long a backup waits on an unexecuted request before starting a
     /// view change.
     pub view_timeout: SimDuration,
+    /// Maximum requests the primary packs into one batch (one sequence
+    /// number orders one batch). `1` disables batching.
+    pub max_batch: usize,
+    /// Maximum total operation bytes per batch; a batch always admits at
+    /// least one request even if that request alone exceeds the bound.
+    pub max_batch_bytes: usize,
+    /// Maximum sequence numbers concurrently in flight (assigned but not
+    /// yet executed) at the primary. `1` disables pipelining; the watermark
+    /// window is always a second, outer bound.
+    pub pipeline_depth: u64,
 }
 
 impl GroupConfig {
@@ -55,7 +65,19 @@ impl GroupConfig {
             checkpoint_interval: 16,
             watermark_window: 64,
             view_timeout: SimDuration::from_millis(50),
+            max_batch: 8,
+            max_batch_bytes: 1 << 20,
+            pipeline_depth: 16,
         }
+    }
+
+    /// The same group with batching and pipelining disabled: one request
+    /// per sequence number, one sequence number in flight (the pre-batching
+    /// protocol, used as the bench baseline).
+    pub fn unbatched(mut self) -> GroupConfig {
+        self.max_batch = 1;
+        self.pipeline_depth = 1;
+        self
     }
 
     /// The 2f+1 quorum used for prepared/committed certificates.
@@ -83,6 +105,15 @@ impl GroupConfig {
         assert!(
             self.watermark_window >= self.checkpoint_interval,
             "watermark window must cover at least one checkpoint interval"
+        );
+        assert!(self.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            self.max_batch_bytes >= 1,
+            "max_batch_bytes must be at least 1"
+        );
+        assert!(
+            self.pipeline_depth >= 1,
+            "pipeline_depth must be at least 1"
         );
     }
 }
@@ -122,6 +153,30 @@ mod tests {
     fn window_must_cover_checkpoint() {
         let mut cfg = GroupConfig::for_f(1);
         cfg.watermark_window = 8;
+        cfg.validate();
+    }
+
+    #[test]
+    fn unbatched_disables_batching_and_pipelining() {
+        let cfg = GroupConfig::for_f(1).unbatched();
+        cfg.validate();
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.pipeline_depth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.max_batch = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline_depth")]
+    fn zero_pipeline_rejected() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.pipeline_depth = 0;
         cfg.validate();
     }
 }

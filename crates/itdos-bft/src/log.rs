@@ -216,16 +216,16 @@ mod tests {
     }
 
     fn pre_prepare(view: u64, seq: u64) -> PrePrepare {
-        let request = ClientRequest {
+        let batch = crate::message::Batch::single(ClientRequest {
             client: ClientId(1),
             timestamp: seq,
             operation: vec![1],
-        };
+        });
         PrePrepare {
             view: View(view),
             seq: SeqNo(seq),
-            digest: request.digest(),
-            request,
+            digest: batch.digest(),
+            batch,
         }
     }
 

@@ -37,17 +37,63 @@ impl ClientRequest {
     }
 }
 
-/// Primary's ordering proposal for one request.
+/// An ordered group of requests agreed under one sequence number —
+/// Castro–Liskov's batching optimization, amortizing the three-phase
+/// quadratic message cost over `len()` requests.
+///
+/// The batch digest binds the count and every request digest in order, so
+/// two batches containing the same requests in different orders (or one
+/// with a request dropped or injected) never collide. An *empty* batch is
+/// the null operation used by new-view gap filling; it executes nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch {
+    /// The requests, in execution order.
+    pub requests: Vec<ClientRequest>,
+}
+
+impl Batch {
+    /// A batch of one request (the unbatched protocol).
+    pub fn single(request: ClientRequest) -> Batch {
+        Batch {
+            requests: vec![request],
+        }
+    }
+
+    /// The batch digest agreed by the three-phase protocol.
+    pub fn digest(&self) -> Digest {
+        let digests: Vec<Digest> = self.requests.iter().map(|r| r.digest()).collect();
+        let count = (self.requests.len() as u64).to_le_bytes();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(digests.len() + 2);
+        parts.push(b"bft-batch");
+        parts.push(&count);
+        for d in &digests {
+            parts.push(d.as_bytes());
+        }
+        Digest::of_parts(&parts)
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True for the null batch.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Primary's ordering proposal for one batch of requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrePrepare {
     /// View in which the order is proposed.
     pub view: View,
     /// Proposed sequence number.
     pub seq: SeqNo,
-    /// Digest of the embedded request.
+    /// Digest of the embedded batch.
     pub digest: Digest,
-    /// The full request (piggybacked, as in PBFT).
-    pub request: ClientRequest,
+    /// The full batch (piggybacked, as in PBFT).
+    pub batch: Batch,
 }
 
 /// Backup's agreement to the proposed order.
@@ -224,15 +270,26 @@ fn write_pre_prepare(w: &mut Writer, m: &PrePrepare) {
     w.u64(m.view.0);
     w.u64(m.seq.0);
     write_digest(w, &m.digest);
-    write_request(w, &m.request);
+    w.u32(m.batch.requests.len() as u32);
+    for req in &m.batch.requests {
+        write_request(w, req);
+    }
 }
 
 fn read_pre_prepare(r: &mut Reader<'_>) -> Result<PrePrepare, WireError> {
+    let view = View(r.u64()?);
+    let seq = SeqNo(r.u64()?);
+    let digest = read_digest(r)?;
+    let n_req = bounded(r.u32()?)?;
+    let mut requests = Vec::with_capacity(n_req.min(64) as usize);
+    for _ in 0..n_req {
+        requests.push(read_request(r)?);
+    }
     Ok(PrePrepare {
-        view: View(r.u64()?),
-        seq: SeqNo(r.u64()?),
-        digest: read_digest(r)?,
-        request: read_request(r)?,
+        view,
+        seq,
+        digest,
+        batch: Batch { requests },
     })
 }
 
@@ -506,12 +563,21 @@ mod tests {
     }
 
     fn sample_pre_prepare() -> PrePrepare {
-        let request = sample_request();
+        let batch = Batch {
+            requests: vec![
+                sample_request(),
+                ClientRequest {
+                    client: ClientId(10),
+                    timestamp: 1,
+                    operation: vec![4, 5],
+                },
+            ],
+        };
         PrePrepare {
             view: View(1),
             seq: SeqNo(5),
-            digest: request.digest(),
-            request,
+            digest: batch.digest(),
+            batch,
         }
     }
 
@@ -584,6 +650,51 @@ mod tests {
             let bytes = msg.encode();
             assert_eq!(Message::decode(&bytes).unwrap(), msg, "{}", msg.label());
         }
+    }
+
+    #[test]
+    fn batch_digest_binds_order_count_and_content() {
+        let a = sample_request();
+        let b = ClientRequest {
+            client: ClientId(10),
+            timestamp: 1,
+            operation: vec![4, 5],
+        };
+        let ab = Batch {
+            requests: vec![a.clone(), b.clone()],
+        };
+        let ba = Batch {
+            requests: vec![b.clone(), a.clone()],
+        };
+        assert_ne!(ab.digest(), ba.digest(), "order matters");
+        let just_a = Batch::single(a.clone());
+        assert_ne!(ab.digest(), just_a.digest(), "dropped request detected");
+        assert_ne!(just_a.digest(), a.digest(), "batch-of-one != raw request");
+        let null = Batch::default();
+        assert!(null.is_empty());
+        assert_ne!(null.digest(), just_a.digest());
+    }
+
+    #[test]
+    fn empty_batch_pre_prepare_round_trips() {
+        let batch = Batch::default();
+        let msg = Message::PrePrepare(PrePrepare {
+            view: View(3),
+            seq: SeqNo(9),
+            digest: batch.digest(),
+            batch,
+        });
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn hostile_batch_length_rejected() {
+        // a PRE-PREPARE claiming 2^30 requests in its batch
+        let mut w = Writer::new();
+        w.u8(2).u64(0).u64(1);
+        w.raw(&[0u8; 32]);
+        w.u32(1 << 30);
+        assert!(Message::decode(&w.finish()).is_err());
     }
 
     #[test]

@@ -245,7 +245,7 @@ impl Process for ClientNode {
         let Ok(Message::Reply(reply)) = Message::decode(&envelope.payload) else {
             return;
         };
-        if let Some(result) = self.client.on_reply(reply) {
+        if let Some((_ts, result)) = self.client.on_reply(reply) {
             self.results.push(result);
         }
     }

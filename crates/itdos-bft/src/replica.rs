@@ -15,10 +15,46 @@ use itdos_obs::{LabelValue, Obs};
 use crate::config::{ClientId, GroupConfig, ReplicaId, SeqNo, View};
 use crate::log::Log;
 use crate::message::{
-    Checkpoint, ClientRequest, Commit, Message, NewView, PrePrepare, Prepare, PreparedProof, Reply,
-    StateData, StateFetch, ViewChange,
+    Batch, Checkpoint, ClientRequest, Commit, Message, NewView, PrePrepare, Prepare, PreparedProof,
+    Reply, StateData, StateFetch, ViewChange,
 };
 use crate::state::StateMachine;
+
+/// Replies retained per client for exactly-once semantics. A pipelining
+/// client has several timestamps in flight at once, so a single
+/// last-timestamp record would drop a slower request that was ordered
+/// after a faster one; instead each replica keeps a bounded window of
+/// executed timestamps with their cached replies. Eviction is driven by
+/// the total order, so the window contents are identical on all correct
+/// replicas.
+const CLIENT_REPLY_WINDOW: usize = 32;
+
+/// Per-client exactly-once record: replies for the last
+/// [`CLIENT_REPLY_WINDOW`] executed timestamps, plus the eviction floor
+/// (timestamps at or below it are ancient and dropped outright).
+#[derive(Debug, Clone, Default)]
+struct ClientRecord {
+    replies: BTreeMap<u64, Reply>,
+    floor: u64,
+}
+
+impl ClientRecord {
+    /// True when `timestamp` already executed (cached or evicted).
+    fn executed(&self, timestamp: u64) -> bool {
+        timestamp <= self.floor || self.replies.contains_key(&timestamp)
+    }
+
+    /// Caches the reply for an executed timestamp, evicting the oldest
+    /// entries beyond the window.
+    fn record(&mut self, timestamp: u64, reply: Reply) {
+        self.replies.insert(timestamp, reply);
+        while self.replies.len() > CLIENT_REPLY_WINDOW {
+            if let Some((evicted, _)) = self.replies.pop_first() {
+                self.floor = self.floor.max(evicted);
+            }
+        }
+    }
+}
 
 /// An action the protocol asks the transport adapter to perform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,8 +99,8 @@ pub struct Replica<S> {
     last_executed: SeqNo,
     /// Next sequence the primary will assign.
     next_seq: SeqNo,
-    /// Last reply per client (exactly-once semantics).
-    client_table: BTreeMap<ClientId, (u64, Option<Reply>)>,
+    /// Recent replies per client (exactly-once semantics).
+    client_table: BTreeMap<ClientId, ClientRecord>,
     /// Requests accepted but not yet executed (view-change trigger).
     pending: BTreeSet<Digest>,
     /// Digests this primary has assigned a sequence number in the current
@@ -72,6 +108,15 @@ pub struct Replica<S> {
     ordered: BTreeSet<Digest>,
     /// Requests a primary could not yet assign (window full).
     backlog: VecDeque<ClientRequest>,
+    /// Highest per-client timestamp admitted to ordering (or executed).
+    /// Client timestamps are consecutive from 1, so this is the FIFO
+    /// admission floor for pipelined clients.
+    admitted_ts: BTreeMap<ClientId, u64>,
+    /// Requests that overtook an earlier timestamp of their own client on
+    /// the network (multicast + relay paths reorder freely); a primary
+    /// parks them until the gap fills so the total order preserves each
+    /// client's submission order.
+    reorder: BTreeMap<ClientId, BTreeMap<u64, ClientRequest>>,
     timer_epoch: u64,
     view_change_attempts: u32,
     in_view_change: bool,
@@ -124,6 +169,8 @@ impl<S: StateMachine> Replica<S> {
             pending: BTreeSet::new(),
             ordered: BTreeSet::new(),
             backlog: VecDeque::new(),
+            admitted_ts: BTreeMap::new(),
+            reorder: BTreeMap::new(),
             timer_epoch: 0,
             view_change_attempts: 0,
             in_view_change: false,
@@ -158,8 +205,8 @@ impl<S: StateMachine> Replica<S> {
         (u64::from(self.id.0) << 48) ^ seq.0
     }
 
-    /// Publishes queue-depth gauges (request backlog and accepted-but-
-    /// unexecuted requests).
+    /// Publishes queue-depth gauges (request backlog, accepted-but-
+    /// unexecuted requests, and sequence numbers in flight).
     fn obs_depths(&self) {
         if !self.obs.is_enabled() {
             return;
@@ -169,6 +216,11 @@ impl<S: StateMachine> Replica<S> {
             .gauge("bft.backlog_depth", &labels, self.backlog.len() as i64);
         self.obs
             .gauge("bft.pending_depth", &labels, self.pending.len() as i64);
+        self.obs.gauge(
+            "bft.pipeline_depth",
+            &labels,
+            self.next_seq.0.saturating_sub(self.last_executed.0) as i64,
+        );
     }
 
     /// This replica's id.
@@ -246,16 +298,16 @@ impl<S: StateMachine> Replica<S> {
     /// Handles a client request (also called when a backup relays one).
     pub fn on_request(&mut self, request: ClientRequest) {
         self.obs.incr("bft.requests", &self.obs_label());
-        // exactly-once: resend cached reply for a repeated timestamp
-        if let Some((last_ts, cached)) = self.client_table.get(&request.client) {
-            if request.timestamp < *last_ts {
-                return;
+        // exactly-once: resend the cached reply for an executed timestamp
+        if let Some(record) = self.client_table.get(&request.client) {
+            if request.timestamp <= record.floor {
+                return; // ancient: its reply window has passed
             }
-            if request.timestamp == *last_ts {
-                if let Some(reply) = cached.clone() {
-                    self.outputs
-                        .push(Output::ToClient(request.client, Message::Reply(reply)));
-                }
+            if let Some(reply) = record.replies.get(&request.timestamp) {
+                self.outputs.push(Output::ToClient(
+                    request.client,
+                    Message::Reply(reply.clone()),
+                ));
                 return;
             }
         }
@@ -271,8 +323,7 @@ impl<S: StateMachine> Replica<S> {
             let already_queued =
                 self.ordered.contains(&digest) || self.backlog.iter().any(|r| r.digest() == digest);
             if !already_queued {
-                self.backlog.push_back(request);
-                self.drain_backlog();
+                self.enqueue_in_client_order(request);
             }
         } else {
             // backup: relay to the primary and start the view-change timer
@@ -285,25 +336,105 @@ impl<S: StateMachine> Replica<S> {
         }
     }
 
+    /// Admits a deduplicated request to the backlog respecting per-client
+    /// timestamp order. A pipelined client has several timestamps on the
+    /// wire at once and the multicast + backup-relay paths reorder freely,
+    /// so a later timestamp can reach the primary first; parking it until
+    /// the gap fills keeps the total order aligned with each client's
+    /// submission order.
+    fn enqueue_in_client_order(&mut self, request: ClientRequest) {
+        let client = request.client;
+        let next = self.admitted_ts.get(&client).copied().unwrap_or(0) + 1;
+        if request.timestamp > next {
+            self.reorder
+                .entry(client)
+                .or_default()
+                .insert(request.timestamp, request);
+            return;
+        }
+        if request.timestamp < next {
+            // a view change ordered a later timestamp while this one fell
+            // through (its slot lost its prepared proof); submission order
+            // is already broken for it, so re-admit out of band rather
+            // than starve the client's retransmissions
+            self.backlog.push_back(request);
+            self.drain_backlog();
+            return;
+        }
+        self.admitted_ts.insert(client, request.timestamp);
+        self.backlog.push_back(request);
+        // the gap just filled: release consecutive parked successors
+        while let Some(buf) = self.reorder.get_mut(&client) {
+            let next = self.admitted_ts.get(&client).copied().unwrap_or(0) + 1;
+            match buf.remove(&next) {
+                Some(parked) => {
+                    self.admitted_ts.insert(client, parked.timestamp);
+                    self.backlog.push_back(parked);
+                }
+                None => {
+                    if buf.is_empty() {
+                        self.reorder.remove(&client);
+                    }
+                    break;
+                }
+            }
+        }
+        self.drain_backlog();
+    }
+
+    /// Assigns backlogged requests to sequence numbers, one *batch* per
+    /// sequence number. Flush policy: an open pipeline slot takes whatever
+    /// is pending immediately (low load ⇒ batches of one, lowest latency);
+    /// with all `pipeline_depth` slots occupied, requests accumulate in
+    /// the backlog and the next slot to free (execution progress or a
+    /// stabilized checkpoint re-opens the window) takes up to a full
+    /// batch — so batch size adapts to load with no timer in the loop.
     fn drain_backlog(&mut self) {
         loop {
             let seq = SeqNo(self.next_seq.0 + 1);
             if !self.log.in_window(seq) {
                 break; // window full until the next stable checkpoint
             }
-            let Some(request) = self.backlog.pop_front() else {
+            let in_flight = self.next_seq.0.saturating_sub(self.last_executed.0);
+            if in_flight >= self.config.pipeline_depth {
+                break; // all pipeline slots occupied: accumulate
+            }
+            if self.backlog.is_empty() {
                 break;
-            };
+            }
+            // pack a batch bounded by max_batch requests / max_batch_bytes
+            // (a batch always admits its first request, however large)
+            let mut requests = Vec::new();
+            let mut bytes = 0usize;
+            while requests.len() < self.config.max_batch {
+                let size = match self.backlog.front() {
+                    Some(front) => front.operation.len(),
+                    None => break,
+                };
+                if !requests.is_empty() && bytes.saturating_add(size) > self.config.max_batch_bytes
+                {
+                    break;
+                }
+                bytes += size;
+                if let Some(front) = self.backlog.pop_front() {
+                    requests.push(front);
+                }
+            }
+            let batch = Batch { requests };
             self.next_seq = seq;
-            self.ordered.insert(request.digest());
+            for request in &batch.requests {
+                self.ordered.insert(request.digest());
+            }
+            self.obs
+                .observe("bft.batch_size", &self.obs_label(), batch.len() as u64);
             // the primary's ordering phases start when it proposes
             self.obs.span_begin("bft.prepare_us", self.seq_span_id(seq));
             self.obs.span_begin("bft.order_us", self.seq_span_id(seq));
             let pp = PrePrepare {
                 view: self.view,
                 seq,
-                digest: request.digest(),
-                request,
+                digest: batch.digest(),
+                batch,
             };
             let entry = self.log.entry(self.view, seq);
             entry.pre_prepare = Some(pp.clone());
@@ -320,8 +451,21 @@ impl<S: StateMachine> Replica<S> {
             || pp.view != self.view
             || sender != self.config.primary_of(self.view)
             || !self.log.in_window(pp.seq)
-            || pp.digest != pp.request.digest()
         {
+            return;
+        }
+        if pp.batch.is_empty() || pp.digest != pp.batch.digest() {
+            // the primary is lying about its batch contents (or padding
+            // the sequence space with empty batches): refuse, and put the
+            // self-contradictory message on the flight record — like an
+            // equivocation it is hard forensic evidence against the sender
+            let labels = [
+                ("replica", LabelValue::U64(u64::from(self.id.0))),
+                ("seq", LabelValue::U64(pp.seq.0)),
+                ("view", LabelValue::U64(pp.view.0)),
+            ];
+            self.obs.incr("bft.bad_batches", &self.obs_label());
+            self.obs.event("bft.bad_batch_digest", &labels);
             return;
         }
         let view = self.view;
@@ -343,7 +487,22 @@ impl<S: StateMachine> Replica<S> {
             return; // duplicate
         }
         entry.pre_prepare = Some(pp.clone());
-        self.pending.insert(pp.digest);
+        let was_idle = self.pending.is_empty();
+        for request in &pp.batch.requests {
+            // a primary that fell behind can legitimately re-propose a
+            // request this replica already executed (its new-view carry was
+            // empty); marking it pending again would poison the view-change
+            // trigger forever, because execution never revisits old seqs
+            let executed = self
+                .client_table
+                .get(&request.client)
+                .is_some_and(|r| r.executed(request.timestamp));
+            if !executed {
+                self.pending.insert(request.digest());
+            }
+        }
+        self.obs
+            .observe("bft.batch_size", &self.obs_label(), pp.batch.len() as u64);
         // a backup's ordering phases start at pre-prepare acceptance
         self.obs
             .span_begin("bft.prepare_us", self.seq_span_id(pp.seq));
@@ -361,14 +520,10 @@ impl<S: StateMachine> Replica<S> {
             .insert(self.id, prepare);
         self.outputs
             .push(Output::ToAllReplicas(Message::Prepare(prepare)));
-        self.arm_timer_if_first_pending();
-        self.try_commit(view, pp.seq);
-    }
-
-    fn arm_timer_if_first_pending(&mut self) {
-        if self.pending.len() == 1 {
+        if was_idle && !self.pending.is_empty() {
             self.arm_timer();
         }
+        self.try_commit(view, pp.seq);
     }
 
     fn on_prepare(&mut self, sender: ReplicaId, prepare: Prepare) {
@@ -455,12 +610,12 @@ impl<S: StateMachine> Replica<S> {
         loop {
             let next = SeqNo(self.last_executed.0 + 1);
             let view = self.view;
-            let request = match self.log.entry_ref(view, next) {
+            let batch = match self.log.entry_ref(view, next) {
                 Some(entry) if !entry.executed && entry.committed_local(&self.config) => {
                     // committed implies a pre-prepare; stall rather than
                     // panic on an inconsistent entry
                     match entry.pre_prepare.as_ref() {
-                        Some(pp) => pp.request.clone(),
+                        Some(pp) => pp.batch.clone(),
                         None => break,
                     }
                 }
@@ -469,13 +624,11 @@ impl<S: StateMachine> Replica<S> {
             progressed = true;
             self.log.entry(view, next).executed = true;
             self.last_executed = next;
-            self.pending.remove(&request.digest());
             let labels = self.obs_label();
             self.obs
                 .span_end("bft.commit_us", self.seq_span_id(next), &labels);
             self.obs
                 .span_end("bft.order_us", self.seq_span_id(next), &labels);
-            self.obs.incr("bft.executed", &labels);
             // commit certificate reached and applied: the last ordering
             // phase this replica can attest for `next`
             self.obs.event(
@@ -485,24 +638,34 @@ impl<S: StateMachine> Replica<S> {
                     ("seq", LabelValue::U64(next.0)),
                 ],
             );
-            let is_null = request.operation.is_empty() && request.client == ClientId(0);
-            // exactly-once at execution: a replayed or doubly-ordered
-            // request (Byzantine primary) is skipped, not re-executed
-            let is_stale = self
-                .client_table
-                .get(&request.client)
-                .is_some_and(|(last_ts, _)| request.timestamp <= *last_ts);
-            if !is_null && !is_stale {
+            // unpack the batch in its agreed order; an empty batch (the
+            // new-view null operation) executes nothing
+            for request in batch.requests {
+                self.pending.remove(&request.digest());
+                // keep the FIFO admission floor current on every replica,
+                // so a backup elected primary later admits from the right
+                // per-client position
+                let floor = self.admitted_ts.entry(request.client).or_insert(0);
+                *floor = (*floor).max(request.timestamp);
+                // exactly-once at execution: a replayed or doubly-ordered
+                // request (Byzantine primary) is skipped, not re-executed
+                let record = self.client_table.entry(request.client).or_default();
+                if record.executed(request.timestamp) {
+                    continue;
+                }
                 let result = self.app.execute(&request.operation);
                 let reply = Reply {
-                    view: self.view,
+                    view,
                     timestamp: request.timestamp,
                     client: request.client,
                     replica: self.id,
                     result: result.clone(),
                 };
                 self.client_table
-                    .insert(request.client, (request.timestamp, Some(reply.clone())));
+                    .entry(request.client)
+                    .or_default()
+                    .record(request.timestamp, reply.clone());
+                self.obs.incr("bft.executed", &labels);
                 self.outputs
                     .push(Output::ToClient(request.client, Message::Reply(reply)));
                 self.outputs.push(Output::Executed {
@@ -857,16 +1020,33 @@ impl<S: StateMachine> Replica<S> {
             ],
         );
         self.outputs.push(Output::EnteredView(view));
-        // ordering state is per-view: rebuilt from the carried pre-prepares
-        self.ordered = pre_prepares.iter().map(|pp| pp.digest).collect();
+        // ordering state is per-view: rebuilt from every request carried
+        // inside the re-issued batches
+        self.ordered = pre_prepares
+            .iter()
+            .flat_map(|pp| pp.batch.requests.iter().map(|r| r.digest()))
+            .collect();
+        // carried requests are (re-)assigned sequence numbers, so they
+        // advance the FIFO admission floor; parked requests from the old
+        // view are dropped — client retransmission re-delivers them
+        self.reorder.clear();
+        for pp in &pre_prepares {
+            for request in &pp.batch.requests {
+                let floor = self.admitted_ts.entry(request.client).or_insert(0);
+                *floor = (*floor).max(request.timestamp);
+            }
+        }
         let mut max_seq = self.log.low();
         for pp in pre_prepares {
             max_seq = max_seq.max(pp.seq);
+            let already_executed = pp.seq <= self.last_executed;
             let entry = self.log.entry(view, pp.seq);
             entry.pre_prepare = Some(pp.clone());
-            if pp.seq <= self.last_executed {
+            if already_executed {
+                // executed in a prior view: the flag stops local
+                // re-execution, but agreement must still run so a peer
+                // that missed the commit can assemble a quorum
                 entry.executed = true;
-                continue;
             }
             let prepare = Prepare {
                 view,
@@ -882,7 +1062,11 @@ impl<S: StateMachine> Replica<S> {
                 self.outputs
                     .push(Output::ToAllReplicas(Message::Prepare(prepare)));
             }
-            self.pending.insert(pp.digest);
+            if !already_executed {
+                for request in &pp.batch.requests {
+                    self.pending.insert(request.digest());
+                }
+            }
         }
         self.next_seq = max_seq.max(SeqNo(self.last_executed.0));
         if !self.pending.is_empty() {
@@ -897,7 +1081,7 @@ impl<S: StateMachine> Replica<S> {
 /// Structural validation of a view-change message.
 fn validate_view_change(vc: &ViewChange, config: &GroupConfig) -> bool {
     for proof in &vc.prepared {
-        if proof.pre_prepare.digest != proof.pre_prepare.request.digest() {
+        if proof.pre_prepare.digest != proof.pre_prepare.batch.digest() {
             return false;
         }
         let matching = proof
@@ -949,24 +1133,23 @@ fn compute_new_view_pre_prepares(view_changes: &[ViewChange], view: View) -> Vec
     for seq_raw in (min_s.0 + 1)..=max_s.0 {
         let seq = SeqNo(seq_raw);
         let pp = match best.get(&seq) {
+            // the prepared batch is carried over *whole*: a view change
+            // interrupting a partially-agreed batch re-proposes every
+            // request in it, in the same order, under the same digest
             Some(proof) => PrePrepare {
                 view,
                 seq,
                 digest: proof.pre_prepare.digest,
-                request: proof.pre_prepare.request.clone(),
+                batch: proof.pre_prepare.batch.clone(),
             },
             None => {
-                // gap: the null request
-                let request = ClientRequest {
-                    client: ClientId(0),
-                    timestamp: 0,
-                    operation: Vec::new(),
-                };
+                // gap: the null (empty) batch
+                let batch = Batch::default();
                 PrePrepare {
                     view,
                     seq,
-                    digest: request.digest(),
-                    request,
+                    digest: batch.digest(),
+                    batch,
                 }
             }
         };
@@ -1057,6 +1240,16 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    fn group_with(cfg: GroupConfig) -> Group {
+        Group {
+            replicas: (0..cfg.n as u32)
+                .map(|i| Replica::new(cfg.clone(), ReplicaId(i), CounterMachine::new()))
+                .collect(),
+            replies: Vec::new(),
+            executed: Vec::new(),
         }
     }
 
@@ -1198,6 +1391,181 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_depth_bounds_sequences_in_flight() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.max_batch = 1;
+        cfg.pipeline_depth = 2;
+        let mut g = group_with(cfg);
+        for ts in 1..=5 {
+            g.replicas[0].on_request(request(ts, 1));
+        }
+        // with nothing delivered yet, only two sequence numbers may be
+        // proposed; the rest wait in the backlog
+        assert!(g.replicas[0].log().entry_ref(View(0), SeqNo(2)).is_some());
+        assert!(g.replicas[0].log().entry_ref(View(0), SeqNo(3)).is_none());
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(
+                r.last_executed(),
+                SeqNo(5),
+                "backlog drained as slots freed"
+            );
+            assert_eq!(r.app().total(), 5);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_accumulates_full_batches() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.max_batch = 4;
+        cfg.pipeline_depth = 1;
+        let mut g = group_with(cfg);
+        for ts in 1..=5 {
+            g.replicas[0].on_request(request(ts, 1));
+        }
+        // the single slot was taken by ts=1 alone (open slot ⇒ immediate
+        // flush); ts=2..=5 accumulate while it is in flight
+        assert!(g.replicas[0].log().entry_ref(View(0), SeqNo(2)).is_none());
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(r.app().total(), 5);
+            assert_eq!(
+                r.last_executed(),
+                SeqNo(2),
+                "five requests agreed as two batches"
+            );
+        }
+        assert_eq!(g.replies.len(), 5 * 4, "one reply per request per replica");
+    }
+
+    #[test]
+    fn max_batch_bytes_splits_oversized_batches() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.max_batch = 8;
+        cfg.max_batch_bytes = 12; // each CounterMachine op is 8 bytes
+        cfg.pipeline_depth = 1;
+        let mut g = group_with(cfg);
+        for ts in 1..=4 {
+            g.replicas[0].on_request(request(ts, 1));
+        }
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(r.app().total(), 4);
+            assert_eq!(
+                r.last_executed(),
+                SeqNo(4),
+                "byte bound keeps every batch at one op"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_both_execute() {
+        let mut g = Group::new();
+        // ts=2 reaches the primary before ts=1 (network reorder under a
+        // pipelining client): both must execute, in arrival order
+        g.replicas[0].on_request(request(2, 10));
+        g.replicas[0].on_request(request(1, 7));
+        g.pump(&[]);
+        for r in &g.replicas {
+            assert_eq!(r.app().total(), 17);
+        }
+        assert_eq!(g.replies.iter().filter(|r| r.timestamp == 1).count(), 4);
+        assert_eq!(g.replies.iter().filter(|r| r.timestamp == 2).count(), 4);
+    }
+
+    #[test]
+    fn batch_interrupted_by_view_change_reproposed_intact() {
+        let mut g = Group::new();
+        // primary 0 proposes a batch of three requests, then crashes; the
+        // backups prepare it but every COMMIT is dropped, so the batch is
+        // prepared-not-committed when the view change starts
+        let pp = pre_prepare_of(0, 1, vec![request(1, 5), request(2, 6), request(3, 7)]);
+        for j in 1..4 {
+            g.replicas[j].on_message(ReplicaId(0), Message::PrePrepare(pp.clone()));
+        }
+        let mut prepares = Vec::new();
+        for i in 1..4 {
+            for out in g.replicas[i].take_outputs() {
+                if let Output::ToAllReplicas(Message::Prepare(p)) = out {
+                    prepares.push((i, p));
+                }
+            }
+        }
+        for (from, p) in prepares {
+            for j in 1..4 {
+                if j != from {
+                    g.replicas[j].on_message(ReplicaId(from as u32), Message::Prepare(p));
+                }
+            }
+        }
+        for i in 1..4 {
+            let _ = g.replicas[i].take_outputs(); // drop the commits
+        }
+        assert_eq!(g.replicas[1].app().total(), 0, "not yet executed");
+        for i in 1..4 {
+            let epoch = g.replicas[i].timer_epoch;
+            g.replicas[i].on_view_timeout(epoch);
+        }
+        g.pump(&[0]);
+        // the whole batch carried over: every request executed exactly
+        // once, in the original order, with no client retransmission
+        for r in &g.replicas[1..4] {
+            assert_eq!(r.view(), View(1));
+            assert_eq!(r.last_executed(), SeqNo(1));
+            assert_eq!(r.app().total(), 18, "no request lost");
+        }
+        for ts in 1..=3u64 {
+            assert_eq!(
+                g.replies.iter().filter(|r| r.timestamp == ts).count(),
+                3,
+                "one reply per live replica for ts {ts}, none duplicated"
+            );
+        }
+    }
+
+    #[test]
+    fn batches_straddling_checkpoint_boundary_gc_correctly() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.max_batch = 2;
+        cfg.pipeline_depth = 1;
+        let mut g = group_with(cfg);
+        // 36 requests agreed mostly as two-request batches: the sequence
+        // numbers cross the checkpoints at 16 and beyond
+        let mut ts = 0;
+        for _round in 0..9 {
+            for _ in 0..4 {
+                ts += 1;
+                g.replicas[0].on_request(request(ts, 1));
+            }
+            g.pump(&[]);
+        }
+        for r in &g.replicas {
+            assert_eq!(r.app().total(), 36, "every request executed");
+            assert!(
+                r.log().low() >= SeqNo(16),
+                "stable checkpoint advanced past batched entries"
+            );
+            let live = r.log().len() as u64;
+            let above_checkpoint = r.last_executed().0 - r.log().low().0;
+            assert!(
+                live <= above_checkpoint,
+                "entries at or below the checkpoint garbage-collected \
+                 ({live} live, low {:?}, executed {:?})",
+                r.log().low(),
+                r.last_executed()
+            );
+        }
+        for t in 1..=36u64 {
+            assert_eq!(
+                g.replies.iter().filter(|r| r.timestamp == t).count(),
+                4,
+                "ts {t} executed exactly once group-wide"
+            );
+        }
+    }
+
+    #[test]
     fn checkpoints_advance_watermarks() {
         let mut g = Group::new();
         for ts in 1..=17 {
@@ -1209,23 +1577,21 @@ mod tests {
         }
     }
 
+    fn pre_prepare_of(view: u64, seq: u64, requests: Vec<ClientRequest>) -> PrePrepare {
+        let batch = Batch { requests };
+        PrePrepare {
+            view: View(view),
+            seq: SeqNo(seq),
+            digest: batch.digest(),
+            batch,
+        }
+    }
+
     #[test]
     fn equivocating_primary_is_refused() {
         let mut r1 = replica(1);
-        let req_a = request(1, 1);
-        let req_b = request(1, 2);
-        let pp_a = PrePrepare {
-            view: View(0),
-            seq: SeqNo(1),
-            digest: req_a.digest(),
-            request: req_a,
-        };
-        let pp_b = PrePrepare {
-            view: View(0),
-            seq: SeqNo(1),
-            digest: req_b.digest(),
-            request: req_b,
-        };
+        let pp_a = pre_prepare_of(0, 1, vec![request(1, 1)]);
+        let pp_b = pre_prepare_of(0, 1, vec![request(1, 2)]);
         r1.on_message(ReplicaId(0), Message::PrePrepare(pp_a.clone()));
         r1.on_message(ReplicaId(0), Message::PrePrepare(pp_b));
         let entry = r1.log().entry_ref(View(0), SeqNo(1)).unwrap();
@@ -1239,29 +1605,32 @@ mod tests {
     #[test]
     fn pre_prepare_from_non_primary_ignored() {
         let mut r1 = replica(1);
-        let req = request(1, 1);
-        let pp = PrePrepare {
-            view: View(0),
-            seq: SeqNo(1),
-            digest: req.digest(),
-            request: req,
-        };
+        let pp = pre_prepare_of(0, 1, vec![request(1, 1)]);
         r1.on_message(ReplicaId(2), Message::PrePrepare(pp)); // 2 is not primary of view 0
         assert!(r1.log().entry_ref(View(0), SeqNo(1)).is_none());
     }
 
     #[test]
-    fn mismatched_digest_pre_prepare_ignored() {
+    fn mismatched_batch_digest_refused_and_audited() {
         let mut r1 = replica(1);
-        let req = request(1, 1);
-        let pp = PrePrepare {
-            view: View(0),
-            seq: SeqNo(1),
-            digest: Digest::of(b"lie"),
-            request: req,
-        };
+        let (obs, _clock) = Obs::manual();
+        r1.set_obs(obs.clone());
+        // the digest claims a different batch than the one embedded
+        let mut pp = pre_prepare_of(0, 1, vec![request(1, 1)]);
+        pp.digest = Digest::of(b"lie");
         r1.on_message(ReplicaId(0), Message::PrePrepare(pp));
+        assert!(r1.log().entry_ref(View(0), SeqNo(1)).is_none(), "refused");
+        let labels = [("replica", LabelValue::U64(1))];
+        assert_eq!(obs.counter_value("bft.bad_batches", &labels), 1);
+        let audited = obs
+            .with_flight(|f| f.events().any(|e| e.kind == "bft.bad_batch_digest"))
+            .unwrap_or(false);
+        assert!(audited, "contradiction lands on the flight record");
+        // an empty batch from a live primary is refused the same way
+        let null = pre_prepare_of(0, 1, Vec::new());
+        r1.on_message(ReplicaId(0), Message::PrePrepare(null));
         assert!(r1.log().entry_ref(View(0), SeqNo(1)).is_none());
+        assert_eq!(obs.counter_value("bft.bad_batches", &labels), 2);
     }
 
     #[test]
@@ -1373,13 +1742,7 @@ mod tests {
             })
             .collect();
         // a forged pre-prepare smuggled into the new view
-        let rogue = request(1, 999_999);
-        let forged = PrePrepare {
-            view: View(1),
-            seq: SeqNo(1),
-            digest: rogue.digest(),
-            request: rogue,
-        };
+        let forged = pre_prepare_of(1, 1, vec![request(1, 999_999)]);
         let nv = NewView {
             view: View(1),
             view_changes: vcs,

@@ -56,6 +56,69 @@ use std::sync::{Arc, Mutex};
 /// unboundedly.
 pub const MAX_OPEN_SPANS: usize = 1024;
 
+/// Declarative observability configuration: whether the layer is on and
+/// how much flight-recorder history to retain. Deployment builders take
+/// one of these instead of separate boolean/capacity knobs.
+///
+/// # Examples
+///
+/// ```
+/// use itdos_obs::ObsConfig;
+///
+/// assert!(!ObsConfig::off().enabled);
+/// assert!(ObsConfig::standard().enabled);
+/// assert!(ObsConfig::forensic().flight_capacity.unwrap() > 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Install an enabled [`Obs`] recorder. Off means every hook is free.
+    pub enabled: bool,
+    /// Flight-recorder ring capacity override; `None` keeps
+    /// [`DEFAULT_FLIGHT_CAPACITY`]. Must be fixed up front — resizing
+    /// after events were recorded evicts the oldest.
+    pub flight_capacity: Option<usize>,
+}
+
+impl ObsConfig {
+    /// Observability disabled (the default): all hooks are no-ops.
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            flight_capacity: None,
+        }
+    }
+
+    /// Metrics, spans, and the default-sized flight recorder.
+    pub fn standard() -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            flight_capacity: None,
+        }
+    }
+
+    /// Forensic-audit profile: a flight recorder large enough (32 Ki
+    /// events) to keep a whole drill's timeline for offline blame
+    /// analysis.
+    pub fn forensic() -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            flight_capacity: Some(1 << 15),
+        }
+    }
+
+    /// Overrides the flight-recorder capacity.
+    pub fn with_flight_capacity(mut self, events: usize) -> ObsConfig {
+        self.flight_capacity = Some(events);
+        self
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig::off()
+    }
+}
+
 /// The sink behind an enabled [`Obs`] handle.
 pub struct Recorder {
     clock: Arc<dyn Clock>,

@@ -193,6 +193,39 @@ impl Simulator {
         &self.stats
     }
 
+    /// Undelivered work per node: `(messages, timers)` still scheduled for
+    /// each destination. Livelock diagnostics — when a run exhausts its
+    /// step budget, this names the nodes the event loop is spinning on.
+    pub fn pending_by_node(&self) -> BTreeMap<NodeId, (usize, usize)> {
+        let mut out: BTreeMap<NodeId, (usize, usize)> = BTreeMap::new();
+        for kind in self.event_payloads.values() {
+            match kind {
+                EventKind::Deliver { to, .. } => out.entry(*to).or_default().0 += 1,
+                EventKind::TimerFire { node, .. } => out.entry(*node).or_default().1 += 1,
+            }
+        }
+        out
+    }
+
+    /// Renders [`Simulator::pending_by_node`] as one human-readable line
+    /// per node, for livelock panic messages.
+    pub fn pending_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let pending = self.pending_by_node();
+        if pending.is_empty() {
+            return "no pending events".into();
+        }
+        let mut out = String::new();
+        for (node, (messages, timers)) in pending {
+            let _ = writeln!(
+                out,
+                "  node {}: {messages} pending message(s), {timers} pending timer(s)",
+                node.as_raw()
+            );
+        }
+        out
+    }
+
     /// Mutable statistics access (to enable the ledger or reset counters).
     pub fn stats_mut(&mut self) -> &mut NetStats {
         &mut self.stats

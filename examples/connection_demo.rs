@@ -5,6 +5,7 @@
 //! Run with: `cargo run --example connection_demo`
 
 use itdos::system::SystemBuilder;
+use itdos::Invocation;
 use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
 use itdos_giop::types::{TypeDesc, Value};
 use itdos_groupmgr::membership::DomainId;
@@ -41,11 +42,11 @@ fn main() {
     println!("== Figure 3: connection establishment ==\n");
     let done = system.invoke(
         CLIENT,
-        ECHO,
-        b"echo",
-        "Echo",
-        "echo",
-        vec![Value::String("hello intrusion tolerance".into())],
+        Invocation::of(ECHO)
+            .object(b"echo")
+            .interface("Echo")
+            .operation("echo")
+            .arg(Value::String("hello intrusion tolerance".into())),
     );
     println!("(a) logical invocation result: {:?}\n", done.result);
 
@@ -96,11 +97,11 @@ fn main() {
     let shares_before = system.sim.stats().label("gm-keyshare").messages;
     system.invoke(
         CLIENT,
-        ECHO,
-        b"echo",
-        "Echo",
-        "echo",
-        vec![Value::String("again".into())],
+        Invocation::of(ECHO)
+            .object(b"echo")
+            .interface("Echo")
+            .operation("echo")
+            .arg(Value::String("again".into())),
     );
     let shares_after = system.sim.stats().label("gm-keyshare").messages;
     println!("key-share messages: {shares_before} before, {shares_after} after (no new keying)");

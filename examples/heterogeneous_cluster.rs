@@ -76,11 +76,11 @@ fn main() {
     let mut system = build(Comparator::InexactRel(1e-6), 7);
     let done = system.invoke(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "fuse",
-        samples.clone(),
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("fuse")
+            .args(samples.clone()),
     );
     println!("\ninexact voting (rel eps 1e-6):");
     println!("  fused reading -> {:?}", done.result);
@@ -95,11 +95,11 @@ fn main() {
     let mut system = build(Comparator::Exact, 7);
     system.invoke_async(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "fuse",
-        samples,
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("fuse")
+            .args(samples),
     );
     system
         .sim
@@ -126,14 +126,14 @@ fn main() {
     let mut system = builder.build();
     let done = system.invoke(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "fuse",
-        vec![Value::Sequence(vec![
-            Value::Double(20.0),
-            Value::Double(20.2),
-        ])],
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("fuse")
+            .arg(Value::Sequence(vec![
+                Value::Double(20.0),
+                Value::Double(20.2),
+            ])),
     );
     println!("\ninexact voting with one corrupt replica:");
     println!("  fused reading -> {:?}", done.result);

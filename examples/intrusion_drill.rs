@@ -46,10 +46,10 @@ fn ledger_servant() -> Box<dyn Servant> {
 fn drill(title: &str, behavior: Behavior, seed: u64, dump_to: Option<&str>) {
     println!("\n=== drill: {title} ===");
     let mut builder = SystemBuilder::new(seed);
-    builder.observability(true);
-    // keep the whole timeline: a truncated flight ring would cost the
-    // auditor its earliest evidence (and it would say so in the report)
-    builder.flight_capacity(1 << 14);
+    // forensic profile: a flight ring holding the whole timeline — a
+    // truncated ring would cost the auditor its earliest evidence (and it
+    // would say so in the report)
+    builder.obs(itdos::ObsConfig::forensic());
     builder.repository(repo());
     builder.add_domain(
         LEDGER,
@@ -63,11 +63,11 @@ fn drill(title: &str, behavior: Behavior, seed: u64, dump_to: Option<&str>) {
 
     let done = system.invoke(
         CLIENT,
-        LEDGER,
-        b"ledger",
-        "Ledger",
-        "append",
-        vec![Value::LongLong(1000)],
+        itdos::Invocation::of(LEDGER)
+            .object(b"ledger")
+            .interface("Ledger")
+            .operation("append")
+            .arg(Value::LongLong(1000)),
     );
     println!("append(1000) -> {:?}", done.result);
     println!("suspects: {:?}", done.suspects);
@@ -89,11 +89,11 @@ fn drill(title: &str, behavior: Behavior, seed: u64, dump_to: Option<&str>) {
     // service must continue either way
     let done = system.invoke(
         CLIENT,
-        LEDGER,
-        b"ledger",
-        "Ledger",
-        "append",
-        vec![Value::LongLong(24)],
+        itdos::Invocation::of(LEDGER)
+            .object(b"ledger")
+            .interface("Ledger")
+            .operation("append")
+            .arg(Value::LongLong(24)),
     );
     println!("append(24)  -> {:?} (service continues)", done.result);
     assert_eq!(done.result, Ok(Value::LongLong(1024)));

@@ -101,11 +101,11 @@ fn main() {
     for quantity in [10i64, 3, 25] {
         let done = system.invoke(
             CLIENT,
-            DESK,
-            b"desk",
-            "Trade::Desk",
-            "value_position",
-            vec![Value::LongLong(quantity)],
+            itdos::Invocation::of(DESK)
+                .object(b"desk")
+                .interface("Trade::Desk")
+                .operation("value_position")
+                .arg(Value::LongLong(quantity)),
         );
         println!("value_position({quantity:>2}) -> {:?}", done.result);
         assert_eq!(done.result, Ok(Value::LongLong(1937 * quantity)));

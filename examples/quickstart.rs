@@ -4,6 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use itdos::system::SystemBuilder;
+use itdos::Invocation;
 use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
 use itdos_giop::types::{TypeDesc, Value};
 use itdos_groupmgr::membership::DomainId;
@@ -71,38 +72,31 @@ fn main() {
 
     // 3. Invoke. The first call transparently performs Figure 3 connection
     //    establishment: open_request → threshold key shares → invocation.
+    let account = || {
+        Invocation::of(BANK)
+            .object(b"acct-1")
+            .interface("Bank::Account")
+    };
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"acct-1",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(500)],
+        account().operation("deposit").arg(Value::LongLong(500)),
     );
     println!("deposit(500)  -> {:?}", done.result);
 
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"acct-1",
-        "Bank::Account",
-        "withdraw",
-        vec![Value::LongLong(120)],
+        account().operation("withdraw").arg(Value::LongLong(120)),
     );
     println!("withdraw(120) -> {:?}", done.result);
 
     // User exceptions replicate and vote like results do.
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"acct-1",
-        "Bank::Account",
-        "withdraw",
-        vec![Value::LongLong(10_000)],
+        account().operation("withdraw").arg(Value::LongLong(10_000)),
     );
     println!("withdraw(10000) -> {:?} (voted exception)", done.result);
 
-    let done = system.invoke(CLIENT, BANK, b"acct-1", "Bank::Account", "balance", vec![]);
+    let done = system.invoke(CLIENT, account().operation("balance"));
     println!("balance()     -> {:?}", done.result);
 
     let stats = system.sim.stats();

@@ -12,11 +12,11 @@ use simnet::SimDuration;
 fn deposit(system: &mut itdos::System, amount: i64) -> itdos::Completed {
     system.invoke(
         CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(amount)],
+        itdos::Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(amount)),
     )
 }
 
@@ -111,11 +111,11 @@ fn client_tampering_fails_closed() {
     system.sim.set_adversary(Box::new(adversary));
     system.invoke_async(
         CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(1_000_000)],
+        itdos::Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(1_000_000)),
     );
     system
         .sim

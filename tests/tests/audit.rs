@@ -11,29 +11,30 @@ mod common;
 use common::{bank_system, BANK, CLIENT};
 use itdos::fault::Behavior;
 use itdos::system::System;
+use itdos::{Invocation, ObsConfig};
 use itdos_audit::Auditor;
 use itdos_giop::types::Value;
 use itdos_obs::LabelValue;
 use simnet::adversary::{Scripted, Verdict};
 use simnet::SimDuration;
 
+fn deposit(amount: i64) -> Invocation {
+    Invocation::of(BANK)
+        .object(b"acct")
+        .interface("Bank::Account")
+        .operation("deposit")
+        .arg(Value::LongLong(amount))
+}
+
 /// Builds an instrumented bank system with `behavior` on replica index 3
 /// and runs three deposits.
 fn faulty_run(seed: u64, behavior: Behavior) -> System {
     let mut builder = bank_system(seed);
-    builder.observability(true);
-    builder.flight_capacity(1 << 15); // keep the whole timeline
+    builder.obs(ObsConfig::forensic()); // keep the whole timeline
     builder.behavior(BANK, 3, behavior);
     let mut system = builder.build();
     for i in 0..3i64 {
-        let done = system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(10 + i)],
-        );
+        let done = system.invoke(CLIENT, deposit(10 + i));
         assert!(done.result.is_ok(), "service must continue: {done:?}");
     }
     system.settle();
@@ -83,18 +84,10 @@ fn blame_matches_the_ground_truth_ledger_for_every_profile() {
 #[test]
 fn clean_run_produces_empty_blame_and_perfect_health() {
     let mut builder = bank_system(65);
-    builder.observability(true);
-    builder.flight_capacity(1 << 15);
+    builder.obs(ObsConfig::forensic());
     let mut system = builder.build();
     for i in 0..3i64 {
-        let done = system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(1 + i)],
-        );
+        let done = system.invoke(CLIENT, deposit(1 + i));
         assert!(done.result.is_ok());
     }
     system.settle();
@@ -117,8 +110,7 @@ fn clean_run_produces_empty_blame_and_perfect_health() {
 fn network_adversaries_are_not_blamed_on_replicas() {
     // replay: every message duplicated twice
     let mut builder = bank_system(66);
-    builder.observability(true);
-    builder.flight_capacity(1 << 15);
+    builder.obs(ObsConfig::forensic());
     let mut system = builder.build();
     let mut adversary = Scripted::new();
     adversary.rule(None, None, |_, _| {
@@ -129,14 +121,7 @@ fn network_adversaries_are_not_blamed_on_replicas() {
     });
     system.sim.set_adversary(Box::new(adversary));
     for _ in 0..2 {
-        let done = system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(10)],
-        );
+        let done = system.invoke(CLIENT, deposit(10));
         assert!(done.result.is_ok());
     }
     system.settle();
@@ -150,21 +135,13 @@ fn network_adversaries_are_not_blamed_on_replicas() {
 
     // tampering: one element's outbound traffic corrupted in flight
     let mut builder = bank_system(67);
-    builder.observability(true);
-    builder.flight_capacity(1 << 15);
+    builder.obs(ObsConfig::forensic());
     let mut system = builder.build();
     let victim = system.fabric.domain(BANK).nodes[2];
     let mut adversary = Scripted::new();
     adversary.tamper_from(victim);
     system.sim.set_adversary(Box::new(adversary));
-    let done = system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(5)],
-    );
+    let done = system.invoke(CLIENT, deposit(5));
     assert_eq!(done.result, Ok(Value::LongLong(5)));
     system.settle();
     assert!(system.sim.fault_ledger().is_empty());

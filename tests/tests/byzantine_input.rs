@@ -11,7 +11,7 @@
 
 use itdos_bft::auth::{AuthProof, Envelope, Peer};
 use itdos_bft::message::{
-    Checkpoint, ClientRequest, Commit, Message, PrePrepare, Prepare, StateData, StateFetch,
+    Batch, Checkpoint, ClientRequest, Commit, Message, PrePrepare, Prepare, StateData, StateFetch,
 };
 use itdos_bft::state::CounterMachine;
 use itdos_bft::{ClientId, GroupConfig, Replica, ReplicaId, SeqNo, View};
@@ -61,14 +61,15 @@ fn valid_pbft_messages() -> Vec<Message> {
         timestamp: 9,
         operation: vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
-    let d = request.digest();
+    let batch = Batch::single(request.clone());
+    let d = batch.digest();
     vec![
-        Message::Request(request.clone()),
+        Message::Request(request),
         Message::PrePrepare(PrePrepare {
             view: View(0),
             seq: SeqNo(1),
             digest: d,
-            request,
+            batch,
         }),
         Message::Prepare(Prepare {
             view: View(0),
@@ -228,19 +229,19 @@ fn replica_survives_adversarial_field_values() {
         operation: vec![0xFF; 8],
     };
     let hostile = vec![
-        // pre-prepare whose digest does not match the request
+        // pre-prepare whose digest does not match the batch
         Message::PrePrepare(PrePrepare {
             view: View(0),
             seq: SeqNo(1),
             digest: digest(b"lie"),
-            request: request.clone(),
+            batch: Batch::single(request.clone()),
         }),
         // sequence number at the numeric edge (watermark arithmetic)
         Message::PrePrepare(PrePrepare {
             view: View(0),
             seq: SeqNo(u64::MAX),
-            digest: request.digest(),
-            request: request.clone(),
+            digest: Batch::single(request.clone()).digest(),
+            batch: Batch::single(request.clone()),
         }),
         // view far in the future
         Message::Prepare(Prepare {

@@ -9,11 +9,11 @@ use itdos_giop::types::Value;
 fn deposit(system: &mut itdos::System, amount: i64) {
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(amount)],
+        itdos::Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(amount)),
     );
     assert!(done.result.is_ok());
 }
@@ -109,7 +109,13 @@ fn rekey_cuts_off_expelled_element() {
     deposit(&mut system, 10); // fault detected, proof sent, rekey done
     system.settle();
     // healthy elements carry the epoch-1 connection; invoke again
-    let done = system.invoke(CLIENT, BANK, b"acct", "Bank::Account", "balance", vec![]);
+    let done = system.invoke(
+        CLIENT,
+        itdos::Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("balance"),
+    );
     assert_eq!(done.result, Ok(Value::LongLong(10)));
     // the expelled element cannot contribute: the client decided among
     // the three remaining elements only

@@ -3,21 +3,23 @@
 mod common;
 
 use common::{bank_system, BANK, CLIENT};
+use itdos::Invocation;
 use itdos_giop::types::Value;
+
+fn deposit(amount: i64) -> Invocation {
+    Invocation::of(BANK)
+        .object(b"acct")
+        .interface("Bank::Account")
+        .operation("deposit")
+        .arg(Value::LongLong(amount))
+}
 
 /// Figure 1: a singleton client invokes on a 3f+1 replicated server
 /// through the full stack; all correct replicas converge.
 #[test]
 fn figure1_singleton_client_replicated_server() {
     let mut system = bank_system(11).build();
-    let done = system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(250)],
-    );
+    let done = system.invoke(CLIENT, deposit(250));
     assert_eq!(done.result, Ok(Value::LongLong(250)));
     assert!(done.suspects.is_empty());
     // every element executed the request and replied
@@ -33,18 +35,17 @@ fn figure1_singleton_client_replicated_server() {
 fn figure1_sequential_invocations_accumulate() {
     let mut system = bank_system(12).build();
     for (i, amount) in [100i64, 50, -30].iter().enumerate() {
-        let done = system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(*amount)],
-        );
+        let done = system.invoke(CLIENT, deposit(*amount));
         let expected = [100i64, 150, 120][i];
         assert_eq!(done.result, Ok(Value::LongLong(expected)));
     }
-    let done = system.invoke(CLIENT, BANK, b"acct", "Bank::Account", "balance", vec![]);
+    let done = system.invoke(
+        CLIENT,
+        Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("balance"),
+    );
     assert_eq!(done.result, Ok(Value::LongLong(120)));
 }
 
@@ -54,14 +55,7 @@ fn figure1_sequential_invocations_accumulate() {
 fn figure2_stack_layers_all_exercised() {
     let mut system = bank_system(13).build();
     system.sim.stats_mut().enable_ledger();
-    system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(1)],
-    );
+    system.invoke(CLIENT, deposit(1));
     let stats = system.sim.stats();
     // SMIOP layer: GIOP-in-BFT submission and the direct voted reply path
     assert!(
@@ -87,25 +81,11 @@ fn figure2_stack_layers_all_exercised() {
 #[test]
 fn figure3_connection_establishment_and_reuse() {
     let mut system = bank_system(14).build();
-    system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(5)],
-    );
+    system.invoke(CLIENT, deposit(5));
     let shares_after_first = system.sim.stats().label("gm-keyshare").messages;
     // 4 GM elements × (4 server elements + 1 client) = 20 share messages
     assert_eq!(shares_after_first, 20, "one full key distribution");
-    system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(5)],
-    );
+    system.invoke(CLIENT, deposit(5));
     let shares_after_second = system.sim.stats().label("gm-keyshare").messages;
     assert_eq!(
         shares_after_second, shares_after_first,
@@ -120,14 +100,7 @@ fn figure3_connection_establishment_and_reuse() {
 fn deterministic_replay() {
     let run = |seed| {
         let mut system = bank_system(seed).build();
-        system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(9)],
-        );
+        system.invoke(CLIENT, deposit(9));
         (
             system.sim.now(),
             system.sim.stats().total.messages,

@@ -45,11 +45,11 @@ fn inexact_voting_accepts_heterogeneous_correct_replicas() {
     let mut system = sensor_system(41, Comparator::InexactRel(1e-6));
     let done = system.invoke(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "read_average",
-        samples(),
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("read_average")
+            .args(samples()),
     );
     let value = match done.result {
         Ok(Value::Double(v)) => v,
@@ -72,11 +72,11 @@ fn exact_voting_starves_on_heterogeneous_floats() {
     let mut system = sensor_system(42, Comparator::Exact);
     system.invoke_async(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "read_average",
-        samples(),
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("read_average")
+            .args(samples()),
     );
     // bounded run: the system keeps retrying but can never decide
     system
@@ -106,11 +106,11 @@ fn inexact_voting_still_detects_byzantine_values() {
     let mut system = builder.build();
     let done = system.invoke(
         CLIENT,
-        SENSORS,
-        b"fusion",
-        "Sensor::Fusion",
-        "read_average",
-        samples(),
+        itdos::Invocation::of(SENSORS)
+            .object(b"fusion")
+            .interface("Sensor::Fusion")
+            .operation("read_average")
+            .args(samples()),
     );
     let faulty = system.fabric.domain(SENSORS).elements[2];
     assert!(matches!(done.result, Ok(Value::Double(_))));
@@ -133,11 +133,11 @@ fn integer_interfaces_vote_exactly_across_platforms() {
     let mut system = builder.build();
     let done = system.invoke(
         CLIENT,
-        DomainId(1),
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(10)],
+        itdos::Invocation::of(DomainId(1))
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(10)),
     );
     assert_eq!(done.result, Ok(Value::LongLong(10)));
     assert!(done.suspects.is_empty());

@@ -49,11 +49,11 @@ fn nested_invocation_across_domains() {
     let mut system = trading_system(31).build();
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"desk",
-        "Trade::Desk",
-        "value_position",
-        vec![Value::LongLong(10)],
+        itdos::Invocation::of(BANK)
+            .object(b"desk")
+            .interface("Trade::Desk")
+            .operation("value_position")
+            .arg(Value::LongLong(10)),
     );
     assert_eq!(done.result, Ok(Value::LongLong(70)), "10 × 7");
     // the pricer domain actually served the nested request
@@ -73,11 +73,11 @@ fn nested_connection_is_reused() {
     for quantity in [1i64, 2, 3] {
         let done = system.invoke(
             CLIENT,
-            BANK,
-            b"desk",
-            "Trade::Desk",
-            "value_position",
-            vec![Value::LongLong(quantity)],
+            itdos::Invocation::of(BANK)
+                .object(b"desk")
+                .interface("Trade::Desk")
+                .operation("value_position")
+                .arg(Value::LongLong(quantity)),
         );
         assert_eq!(done.result, Ok(Value::LongLong(quantity * 7)));
     }
@@ -95,11 +95,11 @@ fn nested_reply_voting_masks_faulty_pricer() {
     let mut system = builder.build();
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"desk",
-        "Trade::Desk",
-        "value_position",
-        vec![Value::LongLong(5)],
+        itdos::Invocation::of(BANK)
+            .object(b"desk")
+            .interface("Trade::Desk")
+            .operation("value_position")
+            .arg(Value::LongLong(5)),
     );
     assert_eq!(
         done.result,
@@ -203,11 +203,11 @@ fn depth_two_nesting() {
     let mut system = builder.build();
     let done = system.invoke(
         CLIENT,
-        BANK,
-        b"desk",
-        "Trade::Desk",
-        "value_position",
-        vec![Value::LongLong(3)],
+        itdos::Invocation::of(BANK)
+            .object(b"desk")
+            .interface("Trade::Desk")
+            .operation("value_position")
+            .arg(Value::LongLong(3)),
     );
     assert_eq!(done.result, Ok(Value::LongLong(24)), "3 × (7 + 1)");
 }

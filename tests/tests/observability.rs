@@ -9,24 +9,26 @@ mod common;
 
 use common::{bank_system, BANK, CLIENT};
 use itdos::system::System;
+use itdos::{Invocation, ObsConfig};
 use itdos_giop::types::Value;
 use itdos_groupmgr::membership::DomainId;
 use itdos_obs::LabelValue;
 
+fn deposit(amount: i64) -> Invocation {
+    Invocation::of(BANK)
+        .object(b"acct")
+        .interface("Bank::Account")
+        .operation("deposit")
+        .arg(Value::LongLong(amount))
+}
+
 /// Builds an instrumented bank system and runs `invocations` deposits.
 fn instrumented_run(seed: u64, invocations: u64) -> System {
     let mut builder = bank_system(seed);
-    builder.observability(true);
+    builder.obs(ObsConfig::standard());
     let mut system = builder.build();
     for i in 0..invocations {
-        let done = system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(10 + i as i64)],
-        );
+        let done = system.invoke(CLIENT, deposit(10 + i as i64));
         assert!(done.result.is_ok());
     }
     system.settle();
@@ -39,8 +41,8 @@ fn instrumented_run(seed: u64, invocations: u64) -> System {
 /// itdos-obs on the lint L2 list.
 #[test]
 fn identical_runs_dump_identical_metrics() {
-    let mut a = instrumented_run(71, 3);
-    let mut b = instrumented_run(71, 3);
+    let a = instrumented_run(71, 3);
+    let b = instrumented_run(71, 3);
     let dump_a = a.metrics_jsonl();
     let dump_b = b.metrics_jsonl();
     assert!(!dump_a.is_empty());
@@ -53,8 +55,8 @@ fn identical_runs_dump_identical_metrics() {
 /// equality above is not vacuous.
 #[test]
 fn different_seeds_dump_different_metrics() {
-    let mut a = instrumented_run(72, 3);
-    let mut b = instrumented_run(73, 3);
+    let a = instrumented_run(72, 3);
+    let b = instrumented_run(73, 3);
     assert_ne!(a.metrics_jsonl(), b.metrics_jsonl());
 }
 
@@ -62,7 +64,7 @@ fn different_seeds_dump_different_metrics() {
 /// object (the `exp_report --metrics` CI gate relies on this).
 #[test]
 fn dump_is_valid_json_lines() {
-    let mut system = instrumented_run(74, 2);
+    let system = instrumented_run(74, 2);
     let dump = system.metrics_jsonl();
     let lines = itdos_obs::jsonl::validate(&dump).expect("dump must parse");
     assert!(lines > 20, "expected a substantive dump, got {lines} lines");
@@ -73,7 +75,7 @@ fn dump_is_valid_json_lines() {
 /// all leave traces.
 #[test]
 fn invocation_populates_protocol_metrics() {
-    let mut system = instrumented_run(75, 2);
+    let system = instrumented_run(75, 2);
     let obs = system.obs.clone();
     system.sim.stats().export_obs(&obs);
 
@@ -155,18 +157,11 @@ fn spans_are_isolated_across_processes() {
     const SECOND: u64 = 2;
     let mut builder = bank_system(79);
     builder.add_client(SECOND);
-    builder.observability(true);
+    builder.obs(ObsConfig::standard());
     let mut system = builder.build();
     for client in [CLIENT, SECOND] {
         for i in 0..2 {
-            let done = system.invoke(
-                client,
-                BANK,
-                b"acct",
-                "Bank::Account",
-                "deposit",
-                vec![Value::LongLong(1 + i)],
-            );
+            let done = system.invoke(client, deposit(1 + i));
             assert!(done.result.is_ok());
         }
     }
@@ -214,17 +209,17 @@ fn spans_are_isolated_across_processes() {
 #[test]
 fn refused_open_cancels_span_and_counts() {
     let mut builder = bank_system(80);
-    builder.observability(true);
+    builder.obs(ObsConfig::standard());
     let mut system = builder.build();
     // DomainId(9) is not registered with the GM: the open is refused and
     // the invocation never completes
     system.invoke_async(
         CLIENT,
-        DomainId(9),
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(1)],
+        Invocation::of(DomainId(9))
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(1)),
     );
     system.settle();
     let obs = system.obs.clone();
@@ -252,18 +247,11 @@ fn refused_open_cancels_span_and_counts() {
 #[test]
 fn flight_recorder_wraps_at_capacity() {
     let mut builder = bank_system(76);
-    builder.observability(true);
+    builder.obs(ObsConfig::standard());
     let mut system = builder.build();
     system.obs.set_flight_capacity(8);
     for i in 0..3 {
-        system.invoke(
-            CLIENT,
-            BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(i)],
-        );
+        system.invoke(CLIENT, deposit(i));
     }
     system.settle();
     let (len, total, first_seq) = system
@@ -291,17 +279,10 @@ fn flight_recorder_wraps_at_capacity() {
 #[test]
 fn span_timings_are_simulated_time() {
     let mut builder = bank_system(77);
-    builder.observability(true);
+    builder.obs(ObsConfig::standard());
     let mut system = builder.build();
     let start = system.sim.now();
-    system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(1)],
-    );
+    system.invoke(CLIENT, deposit(1));
     let elapsed = system.sim.now().since(start).as_micros();
     system.settle();
     let reply_max = system
@@ -326,14 +307,7 @@ fn span_timings_are_simulated_time() {
 #[test]
 fn disabled_by_default_and_dumps_empty() {
     let mut system = bank_system(78).build();
-    system.invoke(
-        CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(5)],
-    );
+    system.invoke(CLIENT, deposit(5));
     assert!(!system.obs.is_enabled());
     assert_eq!(system.metrics_jsonl(), "");
     assert_eq!(system.metrics_report(), "");

@@ -228,11 +228,11 @@ fn any_single_crash_is_masked() {
         system.sim.config_mut().isolate(node);
         let done = system.invoke(
             common::CLIENT,
-            common::BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(33)],
+            itdos::Invocation::of(common::BANK)
+                .object(b"acct")
+                .interface("Bank::Account")
+                .operation("deposit")
+                .arg(Value::LongLong(33)),
         );
         assert_eq!(
             done.result,
@@ -246,16 +246,16 @@ fn any_single_crash_is_masked() {
 /// adversarial variants of.
 fn forensic_dump() -> String {
     let mut builder = common::bank_system(75);
-    builder.observability(true);
+    builder.obs(itdos::ObsConfig::standard());
     let mut system = builder.build();
     for i in 0..2i64 {
         let done = system.invoke(
             common::CLIENT,
-            common::BANK,
-            b"acct",
-            "Bank::Account",
-            "deposit",
-            vec![Value::LongLong(1 + i)],
+            itdos::Invocation::of(common::BANK)
+                .object(b"acct")
+                .interface("Bank::Account")
+                .operation("deposit")
+                .arg(Value::LongLong(1 + i)),
         );
         assert!(done.result.is_ok());
     }

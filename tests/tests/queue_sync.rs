@@ -11,11 +11,11 @@ use itdos_giop::types::Value;
 fn deposit(system: &mut itdos::System, amount: i64) -> itdos::Completed {
     system.invoke(
         CLIENT,
-        BANK,
-        b"acct",
-        "Bank::Account",
-        "deposit",
-        vec![Value::LongLong(amount)],
+        itdos::Invocation::of(BANK)
+            .object(b"acct")
+            .interface("Bank::Account")
+            .operation("deposit")
+            .arg(Value::LongLong(amount)),
     )
 }
 
