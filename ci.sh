@@ -26,9 +26,19 @@ echo '== forensic audit smoke (drill dump -> audit CLI)'
 # the drill writes its corrupt-replica dump; the audit CLI must parse it,
 # produce a byte-identical report twice, and blame at least one element
 drill_dump="$(mktemp)"
-trap 'rm -f "$drill_dump"' EXIT
-cargo run -q --release --offline -p itdos --example intrusion_drill -- "$drill_dump" > /dev/null
+rep_a="$(mktemp)"
+rep_b="$(mktemp)"
+trap 'rm -f "$drill_dump" "$rep_a" "$rep_b"' EXIT
+cargo run -q --release --offline -p itdos --example intrusion_drill -- "$drill_dump" "$rep_a" > /dev/null
 cargo run -q --release --offline -p itdos-bench --bin audit -- --expect-blame "$drill_dump" > /dev/null
+
+echo '== replacement drill determinism (run twice, byte-identical dumps)'
+# the expel->replace->re-intrude drill must replay exactly: same seed,
+# same admission, same second expulsion, byte-identical forensic dump —
+# and that dump must itself audit to a blame set (both intruders)
+cargo run -q --release --offline -p itdos --example intrusion_drill -- "$drill_dump" "$rep_b" > /dev/null
+cmp "$rep_a" "$rep_b" || { echo 'replacement drill dump diverged between runs'; exit 1; }
+cargo run -q --release --offline -p itdos-bench --bin audit -- --expect-blame "$rep_a" > /dev/null
 
 echo '== bft throughput smoke (BENCH_bft smoke run)'
 # runs the batched configuration twice (byte-identical obs dumps) and

@@ -140,6 +140,10 @@ pub struct SingletonClient {
     /// classic §3.6 one-outstanding-request-per-connection model).
     pipeline: usize,
     opens_requested: std::collections::BTreeSet<DomainId>,
+    /// Admission notices by (admitted, epoch) → attesting GM codes.
+    admit_notices: BTreeMap<(SenderId, u64), std::collections::BTreeSet<u64>>,
+    /// Admissions already applied to our fabric copy.
+    admissions_applied: std::collections::BTreeSet<(SenderId, u64)>,
     /// Targets of our in-flight GM submissions, oldest first (`Some` for
     /// an `Open`, `None` for other ops). The GM channel is a serialized
     /// FIFO, so accepted results pair with these in order — used to close
@@ -183,6 +187,8 @@ impl SingletonClient {
             rounds: VecDeque::new(),
             pipeline: 1,
             opens_requested: std::collections::BTreeSet::new(),
+            admit_notices: BTreeMap::new(),
+            admissions_applied: std::collections::BTreeSet::new(),
             gm_pending: VecDeque::new(),
             obs: Obs::disabled(),
             completed: Vec::new(),
@@ -625,6 +631,59 @@ impl SingletonClient {
         );
         self.pump(ctx);
     }
+
+    /// A GM element vouches for a replica replacement on a domain we talk
+    /// to. At `f_gm + 1` distinct attestations at least one correct GM
+    /// element agrees, so the roster change was really ordered: swap the
+    /// slot in our fabric copy so reply voting and routing follow the new
+    /// roster.
+    fn handle_admit_notice(&mut self, msg: crate::wire::AdmitNoticeMsg) {
+        let pairwise = self.fabric.pairwise(msg.gm_code, self.my_code());
+        let Some(sealed) = Sealed::from_bytes(&msg.sealed) else {
+            return;
+        };
+        let Ok(plain) = open(&pairwise, &sealed) else {
+            return;
+        };
+        let expect = crate::element::admit_notice_plaintext(
+            msg.domain,
+            msg.admitted,
+            msg.replaced,
+            msg.slot,
+            msg.node,
+            msg.epoch,
+            &msg.verifying_key,
+        );
+        if plain != expect {
+            return;
+        }
+        let votes = self
+            .admit_notices
+            .entry((msg.admitted, msg.epoch))
+            .or_default();
+        votes.insert(msg.gm_code);
+        let gm_f = self.fabric.domain(self.fabric.gm_domain).f;
+        if votes.len() > gm_f && self.admissions_applied.insert((msg.admitted, msg.epoch)) {
+            self.fabric.apply_admission(
+                msg.domain,
+                msg.admitted,
+                msg.replaced,
+                msg.slot as usize,
+                NodeId::from_raw(msg.node as u32),
+            );
+            self.obs
+                .incr("client.admissions_applied", &self.obs_label());
+            self.obs.event(
+                "client.admission_applied",
+                &[
+                    ("client", LabelValue::U64(self.cfg.id)),
+                    ("admitted", LabelValue::U64(u64::from(msg.admitted.0))),
+                    ("replaced", LabelValue::U64(u64::from(msg.replaced.0))),
+                    ("epoch", LabelValue::U64(msg.epoch)),
+                ],
+            );
+        }
+    }
 }
 
 impl Process for SingletonClient {
@@ -652,6 +711,7 @@ impl Process for SingletonClient {
             CoreMsg::KeyShare(m) => self.handle_key_share(ctx, m),
             CoreMsg::DirectReply(m) => self.handle_direct_reply(ctx, m),
             CoreMsg::Notice(_) => {}
+            CoreMsg::AdmitNotice(m) => self.handle_admit_notice(m),
         }
     }
 

@@ -17,7 +17,7 @@ use itdos_bft::queue::{ElementId, QueueMachine, QueueOp};
 use itdos_bft::replica::{Output, Replica};
 use itdos_crypto::hash::Digest;
 use itdos_crypto::keys::CommunicationKey;
-use itdos_crypto::sign::SigningKey;
+use itdos_crypto::sign::{SigningKey, VerifyingKey};
 use itdos_crypto::symmetric::{open, seal, Sealed};
 use itdos_giop::giop::{GiopMessage, ReplyBody, ReplyMessage, RequestMessage};
 use itdos_giop::platform::PlatformProfile;
@@ -38,7 +38,9 @@ use crate::codes::{element_code, pack_timer, unpack_timer, TimerTag, ELEMENT_COD
 use crate::fabric::Fabric;
 use crate::fault::Behavior;
 use crate::outbound::Outbound;
-use crate::wire::{ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame};
+use crate::wire::{
+    AdmitNoticeMsg, ConnectionMeta, CoreMsg, DirectReplyMsg, FrameKind, GmOp, SmiopFrame,
+};
 use itdos_vote::folding::{
     folded_comparator, reply_to_value, request_to_value, value_to_reply, value_to_request,
 };
@@ -139,6 +141,16 @@ pub struct ServerElement {
     processed: u64,
     acked_index: u64,
     notices: BTreeMap<SenderId, BTreeSet<u64>>,
+    /// Admission notices by (admitted, epoch) → attesting GM codes.
+    admit_notices: BTreeMap<(SenderId, u64), BTreeSet<u64>>,
+    /// Admissions already applied (threshold reached once).
+    admissions_applied: BTreeSet<(SenderId, u64)>,
+    /// True while this element is a fresh replacement catching up via
+    /// state transfer; cleared when the transfer completes.
+    onboarding: bool,
+    /// Slot incumbent whose place this element should request from the GM
+    /// on start (replica replacement).
+    pending_admit: Option<SenderId>,
     reported: BTreeSet<SenderId>,
     expel_submitted: BTreeSet<SenderId>,
     delayed: Vec<Option<DelayedSend>>,
@@ -207,6 +219,10 @@ impl ServerElement {
             processed: 0,
             acked_index: 0,
             notices: BTreeMap::new(),
+            admit_notices: BTreeMap::new(),
+            admissions_applied: BTreeSet::new(),
+            onboarding: false,
+            pending_admit: None,
             reported: BTreeSet::new(),
             expel_submitted: BTreeSet::new(),
             delayed: Vec::new(),
@@ -247,6 +263,35 @@ impl ServerElement {
     /// Established connections count (tests).
     pub fn connection_count(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Overrides this element's (mis)behaviour at runtime — drills use it
+    /// to script a fresh intrusion after a replacement restored the
+    /// domain. Callers injecting a fault should also record it in the
+    /// simulator's ground-truth fault ledger.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.cfg.behavior = behavior;
+    }
+
+    /// Marks this element as a fresh replacement that must onboard via
+    /// state transfer before participating. The replica enters its
+    /// quiescent joining mode on process start (so the state-fetch sends
+    /// get a context), and normal operation resumes once a trusted
+    /// checkpoint is installed.
+    pub fn begin_onboarding(&mut self) {
+        self.onboarding = true;
+    }
+
+    /// True while the element is still catching up (tests).
+    pub fn is_onboarding(&self) -> bool {
+        self.onboarding
+    }
+
+    /// Queues a GM admission request: on process start the element asks
+    /// the Group Manager group (as an ordinary BFT client) to admit it
+    /// into `replaced`'s roster slot.
+    pub fn request_admission(&mut self, replaced: SenderId) {
+        self.pending_admit = Some(replaced);
     }
 
     /// The element's endpoint code.
@@ -330,7 +375,24 @@ impl ServerElement {
                         .saturating_mul(1 << attempt.min(16));
                     ctx.set_timer(timeout, pack_timer(TimerTag::View, epoch));
                 }
-                Output::EnteredView(_) | Output::StateTransferred(_) => {}
+                Output::StateTransferred(seq) => {
+                    if self.onboarding {
+                        self.onboarding = false;
+                        self.obs.span_end(
+                            "replica.onboarding_us",
+                            u64::from(self.cfg.element.0),
+                            &self.obs_label(),
+                        );
+                        self.obs.event(
+                            "element.onboarded",
+                            &[
+                                ("element", LabelValue::U64(u64::from(self.cfg.element.0))),
+                                ("seq", LabelValue::U64(seq.0)),
+                            ],
+                        );
+                    }
+                }
+                Output::EnteredView(_) => {}
             }
         }
     }
@@ -882,6 +944,67 @@ impl ServerElement {
             self.submit_op(ctx, own, op.encode());
         }
     }
+
+    fn handle_admit_notice(&mut self, ctx: &mut Context<'_>, msg: AdmitNoticeMsg) {
+        let pairwise = self.fabric.pairwise(msg.gm_code, self.my_code());
+        let Some(sealed) = Sealed::from_bytes(&msg.sealed) else {
+            return;
+        };
+        let Ok(plain) = open(&pairwise, &sealed) else {
+            return;
+        };
+        let expect = admit_notice_plaintext(
+            msg.domain,
+            msg.admitted,
+            msg.replaced,
+            msg.slot,
+            msg.node,
+            msg.epoch,
+            &msg.verifying_key,
+        );
+        if plain != expect {
+            return;
+        }
+        let votes = self
+            .admit_notices
+            .entry((msg.admitted, msg.epoch))
+            .or_default();
+        votes.insert(msg.gm_code);
+        let gm_f = self.fabric.domain(self.fabric.gm_domain).f;
+        if votes.len() > gm_f && self.admissions_applied.insert((msg.admitted, msg.epoch)) {
+            // f_gm+1 distinct GM elements vouch: at least one is correct,
+            // so the GM group really ordered this admission — adopt the
+            // new roster (a no-op on the joiner itself, whose fabric was
+            // built post-admission)
+            self.fabric.apply_admission(
+                msg.domain,
+                msg.admitted,
+                msg.replaced,
+                msg.slot as usize,
+                NodeId::from_raw(msg.node as u32),
+            );
+            self.obs
+                .incr("element.admissions_applied", &self.obs_label());
+            self.obs.event(
+                "element.admission_applied",
+                &[
+                    ("element", LabelValue::U64(u64::from(self.cfg.element.0))),
+                    ("admitted", LabelValue::U64(u64::from(msg.admitted.0))),
+                    ("replaced", LabelValue::U64(u64::from(msg.replaced.0))),
+                    ("epoch", LabelValue::U64(msg.epoch)),
+                ],
+            );
+            if msg.domain == self.cfg.domain {
+                // announce the joiner to our own ordered stream; the Join
+                // is idempotent in the queue machine and forces a barrier
+                // checkpoint at its sequence number, which the joiner's
+                // state transfer latches onto
+                let op = QueueOp::Join(ElementId(msg.admitted.0));
+                let own = self.cfg.domain;
+                self.submit_op(ctx, own, op.encode());
+            }
+        }
+    }
 }
 
 /// Canonical plaintext of an expulsion notice (sealed pairwise per GM
@@ -894,9 +1017,59 @@ pub fn notice_plaintext(domain: DomainId, expelled: SenderId) -> Vec<u8> {
     out
 }
 
+/// Canonical plaintext of an admission notice (sealed pairwise per GM
+/// element → recipient). Binds every roster-relevant field so a byzantine
+/// GM element cannot splice values between admissions.
+pub fn admit_notice_plaintext(
+    domain: DomainId,
+    admitted: SenderId,
+    replaced: SenderId,
+    slot: u32,
+    node: u64,
+    epoch: u64,
+    verifying_key: &VerifyingKey,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    out.extend_from_slice(b"admit");
+    out.extend_from_slice(&domain.0.to_le_bytes());
+    out.extend_from_slice(&admitted.0.to_le_bytes());
+    out.extend_from_slice(&replaced.0.to_le_bytes());
+    out.extend_from_slice(&slot.to_le_bytes());
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&verifying_key.to_bytes());
+    out
+}
+
 impl Process for ServerElement {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.join(self.fabric.domain(self.cfg.domain).mcast);
+        if let Some(replaced) = self.pending_admit.take() {
+            // replica replacement, step 1 (Figure 3 adapted): ask the GM
+            // ordering group to admit us into the expelled slot; key
+            // shares and the peers' Join barrier follow from its decision
+            self.obs
+                .incr("element.admission_requests", &self.obs_label());
+            let node = self
+                .fabric
+                .node_of(self.my_code())
+                .map_or(0, |n| u64::from(n.as_raw()));
+            let op = GmOp::Admit {
+                domain: self.cfg.domain,
+                replacement: self.cfg.element,
+                replaced,
+                node,
+                verifying_key: self.fabric.verifying_key(self.cfg.element),
+            };
+            let gm = self.fabric.gm_domain;
+            self.submit_op(ctx, gm, op.encode());
+        }
+        if self.onboarding {
+            self.obs
+                .span_begin("replica.onboarding_us", u64::from(self.cfg.element.0));
+            self.replica.begin_onboarding();
+            self.drain_replica(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
@@ -944,6 +1117,7 @@ impl Process for ServerElement {
             }
             CoreMsg::KeyShare(m) => self.handle_key_share(ctx, m),
             CoreMsg::Notice(m) => self.handle_notice(ctx, m),
+            CoreMsg::AdmitNotice(m) => self.handle_admit_notice(ctx, m),
             CoreMsg::DirectReply(_) => {}
         }
     }

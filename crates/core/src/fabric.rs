@@ -67,6 +67,10 @@ pub struct Fabric {
     pub dprf_verifier: Verifier,
     /// Seed for pairwise keys and element signing keys.
     pub global_seed: [u8; 32],
+    /// Elements retired by replica replacement: `(domain, element, slot)`
+    /// in admission order. Kept so forensic tooling can still attribute a
+    /// retired element's pre-replacement traffic.
+    pub retired: Vec<(DomainId, SenderId, usize)>,
 }
 
 impl Fabric {
@@ -170,6 +174,34 @@ impl Fabric {
             .map(|e| element_code(*e))
             .collect()
     }
+
+    /// Applies a GM-ordered admission to this process's wiring copy: the
+    /// fresh element takes the replaced element's roster slot and node.
+    /// Returns false (and changes nothing) unless `replaced` currently
+    /// holds `slot` — which also makes re-application a no-op, so peers
+    /// can apply the same notice-threshold event at most once.
+    pub fn apply_admission(
+        &mut self,
+        domain: DomainId,
+        admitted: SenderId,
+        replaced: SenderId,
+        slot: usize,
+        node: NodeId,
+    ) -> bool {
+        let Some(spec) = self.domains.get_mut(&domain) else {
+            return false;
+        };
+        if spec.elements.get(slot) != Some(&replaced) || spec.nodes.len() <= slot {
+            return false;
+        }
+        spec.elements[slot] = admitted;
+        spec.nodes[slot] = node;
+        // the retired element keeps its endpoint_nodes entry so straggler
+        // traffic still routes (and gets dropped by its receiver)
+        self.endpoint_nodes.insert(element_code(admitted), node);
+        self.retired.push((domain, replaced, slot));
+        true
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +237,7 @@ mod tests {
             comparators: ComparatorRegistry::new(),
             dprf_verifier: dprf.verifier().clone(),
             global_seed: [9u8; 32],
+            retired: Vec::new(),
         }
     }
 
@@ -252,6 +285,57 @@ mod tests {
             1,
             "replicated server"
         );
+    }
+
+    #[test]
+    fn apply_admission_swaps_the_slot() {
+        let mut f = fabric();
+        // wrong slot or wrong incumbent: refused, nothing changes
+        assert!(!f.apply_admission(
+            DomainId(1),
+            SenderId(14),
+            SenderId(3),
+            2,
+            NodeId::from_raw(8)
+        ));
+        assert!(!f.apply_admission(
+            DomainId(9),
+            SenderId(14),
+            SenderId(3),
+            3,
+            NodeId::from_raw(8)
+        ));
+        assert!(f.apply_admission(
+            DomainId(1),
+            SenderId(14),
+            SenderId(3),
+            3,
+            NodeId::from_raw(8)
+        ));
+        let spec = f.domain(DomainId(1));
+        assert_eq!(spec.elements[3], SenderId(14));
+        assert_eq!(spec.nodes[3], NodeId::from_raw(8));
+        assert_eq!(spec.replica_index(SenderId(14)), Some(3));
+        assert_eq!(spec.replica_index(SenderId(3)), None);
+        assert_eq!(
+            f.node_of(element_code(SenderId(14))),
+            Some(NodeId::from_raw(8))
+        );
+        assert_eq!(
+            f.node_of(element_code(SenderId(3))),
+            Some(NodeId::from_raw(3)),
+            "retired element still routable for stragglers"
+        );
+        assert_eq!(f.retired, vec![(DomainId(1), SenderId(3), 3)]);
+        // a second application of the same notice is a no-op
+        assert!(!f.apply_admission(
+            DomainId(1),
+            SenderId(14),
+            SenderId(3),
+            3,
+            NodeId::from_raw(8)
+        ));
+        assert_eq!(f.retired.len(), 1);
     }
 
     #[test]

@@ -30,7 +30,8 @@ use crate::element::notice_plaintext;
 use crate::fabric::Fabric;
 use crate::registry::ComparatorRegistry;
 use crate::wire::{
-    encode_directives, ConnectionMeta, CoreMsg, Directive, GmOp, KeyShareMsg, NoticeMsg,
+    encode_directives, AdmitNoticeMsg, ConnectionMeta, CoreMsg, Directive, GmOp, KeyShareMsg,
+    NoticeMsg,
 };
 
 /// Refusal reason codes carried in [`Directive::Refused`].
@@ -43,6 +44,9 @@ pub mod refusal {
     pub const PROOF: u32 = 2;
     /// A change vote was invalid (foreign accuser / inactive accused).
     pub const VOTE: u32 = 3;
+    /// An admission was invalid (unknown domain, slot not vacant, or the
+    /// replacement id already taken).
+    pub const ADMIT: u32 = 4;
 }
 
 /// The deterministic replicated state machine of the GM domain.
@@ -138,6 +142,39 @@ impl GmMachine {
             GmOp::Close(id) => {
                 self.manager.close_connection(*id);
                 Vec::new()
+            }
+            GmOp::Admit {
+                domain,
+                replacement,
+                replaced,
+                node,
+                verifying_key,
+            } => {
+                let record = itdos_groupmgr::membership::ElementRecord {
+                    id: *replacement,
+                    verifying_key: *verifying_key,
+                };
+                match self.manager.admit(*domain, record, *replaced) {
+                    Ok(admission) => {
+                        // Admitted goes FIRST: recipients must apply the
+                        // roster update before the rekeying key shares
+                        // naming the newcomer arrive
+                        let mut out = vec![Directive::Admitted {
+                            domain: admission.domain,
+                            element: admission.admitted,
+                            replaced: admission.replaced,
+                            slot: admission.slot as u32,
+                            node: *node,
+                            epoch: admission.epoch,
+                            verifying_key: *verifying_key,
+                        }];
+                        for rekey in admission.rekeys {
+                            out.push(self.key_dist_directive(rekey));
+                        }
+                        out
+                    }
+                    Err(_) => vec![Directive::Refused(refusal::ADMIT)],
+                }
             }
         }
     }
@@ -451,6 +488,83 @@ impl GmElement {
                 Directive::VoteRecorded => {
                     self.obs.incr("gm.votes_recorded", &[]);
                 }
+                Directive::Admitted {
+                    domain,
+                    element,
+                    replaced,
+                    slot,
+                    node,
+                    epoch,
+                    verifying_key,
+                } => {
+                    self.obs.incr("gm.admissions", &[]);
+                    self.obs.event(
+                        "gm.admitted",
+                        &[
+                            ("domain", LabelValue::U64(domain.0)),
+                            ("element", LabelValue::U64(u64::from(element.0))),
+                            ("replaced", LabelValue::U64(u64::from(replaced.0))),
+                            ("epoch", LabelValue::U64(epoch)),
+                        ],
+                    );
+                    // apply the roster update to our own wiring first so
+                    // the rekey KeyDists following in this directive list
+                    // resolve the newcomer's node
+                    self.fabric.apply_admission(
+                        domain,
+                        element,
+                        replaced,
+                        slot as usize,
+                        NodeId::from_raw(node as u32),
+                    );
+                    // notify the domain's elements (newcomer included) and
+                    // every client whose connections touch the domain —
+                    // each applies the update at f_gm+1 distinct GM notices
+                    let mut codes: Vec<u64> = self.fabric.element_codes(domain);
+                    for (_, rec) in self.replica.app().manager().connections() {
+                        if rec.server != domain && rec.client_domain != Some(domain) {
+                            continue;
+                        }
+                        match rec.client_domain {
+                            Some(cd) if cd != domain => {
+                                codes.extend(self.fabric.element_codes(cd));
+                            }
+                            None => codes.push(endpoint_code(rec.client)),
+                            _ => {}
+                        }
+                    }
+                    codes.sort_unstable();
+                    codes.dedup();
+                    let plain = crate::element::admit_notice_plaintext(
+                        domain,
+                        element,
+                        replaced,
+                        slot,
+                        node,
+                        epoch,
+                        &verifying_key,
+                    );
+                    for code in codes {
+                        let Some(dest) = self.fabric.node_of(code) else {
+                            continue;
+                        };
+                        let pairwise = self.fabric.pairwise(self.my_code(), code);
+                        let nonce = admit_nonce(self.my_code(), code, element, epoch);
+                        let sealed = seal(&pairwise, nonce, &plain);
+                        let msg = CoreMsg::AdmitNotice(AdmitNoticeMsg {
+                            gm_code: self.my_code(),
+                            domain,
+                            admitted: element,
+                            replaced,
+                            slot,
+                            node,
+                            epoch,
+                            verifying_key,
+                            sealed: sealed.to_bytes(),
+                        });
+                        ctx.send_labeled(dest, Bytes::from(msg.encode()), "gm-admit-notice");
+                    }
+                }
             }
         }
     }
@@ -473,6 +587,17 @@ fn notice_nonce(gm: u64, recipient: u64, expelled: SenderId) -> [u8; 16] {
         &gm.to_le_bytes(),
         &recipient.to_le_bytes(),
         &expelled.0.to_le_bytes(),
+    ]);
+    d.0[..16].try_into().expect("16 bytes")
+}
+
+fn admit_nonce(gm: u64, recipient: u64, admitted: SenderId, epoch: u64) -> [u8; 16] {
+    let d = Digest::of_parts(&[
+        b"admit-nonce",
+        &gm.to_le_bytes(),
+        &recipient.to_le_bytes(),
+        &admitted.0.to_le_bytes(),
+        &epoch.to_le_bytes(),
     ]);
     d.0[..16].try_into().expect("16 bytes")
 }

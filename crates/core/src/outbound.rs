@@ -215,6 +215,7 @@ mod tests {
             comparators: crate::registry::ComparatorRegistry::new(),
             dprf_verifier: dprf.verifier().clone(),
             global_seed: [2u8; 32],
+            retired: Vec::new(),
         }
     }
 

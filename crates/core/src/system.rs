@@ -62,6 +62,14 @@ struct ClientPlan {
 struct BftTuning {
     max_batch: Option<usize>,
     pipeline_depth: Option<u64>,
+    client_reply_window: Option<usize>,
+}
+
+/// Per-domain pieces the builder hands over to the built [`System`] so
+/// replica replacement can construct a like-for-like element later.
+struct DomainRuntime {
+    factory: ServantFactory,
+    platforms: Option<Vec<PlatformProfile>>,
 }
 
 /// The deployment builder.
@@ -164,9 +172,21 @@ impl SystemBuilder {
 
     /// Sets how many invocations every client may keep in flight
     /// concurrently (default 1, the classic §3.6 model). Results are
-    /// still delivered in submission order.
+    /// still delivered in submission order. At build time the depth is
+    /// clamped to the replicas' per-client reply-cache window
+    /// ([`SystemBuilder::client_reply_window`]): a deeper pipeline could
+    /// let a retransmitted request fall out of every correct replica's
+    /// cache and be re-executed.
     pub fn client_pipeline(&mut self, depth: usize) -> &mut SystemBuilder {
         self.client_pipeline = depth.max(1);
+        self
+    }
+
+    /// Overrides the per-client reply-cache window every replica retains
+    /// (the duplicate-suppression depth; default comes from
+    /// [`GroupConfig::for_f`]). Clamped to at least 1.
+    pub fn client_reply_window(&mut self, window: usize) -> &mut SystemBuilder {
+        self.bft.client_reply_window = Some(window.max(1));
         self
     }
 
@@ -320,7 +340,29 @@ impl SystemBuilder {
             if let Some(depth) = self.bft.pipeline_depth {
                 config.pipeline_depth = depth.max(1);
             }
+            if let Some(window) = self.bft.client_reply_window {
+                config.client_reply_window = window.max(1);
+            }
             config
+        };
+        // the client pipeline must fit inside every replica's per-client
+        // reply cache, or a retransmitted request could fall off the cache
+        // and be re-executed — clamp and record rather than misbehave
+        let reply_window = tuned(0).client_reply_window;
+        let client_pipeline = if self.client_pipeline > reply_window {
+            obs.incr(
+                "config.client_pipeline_clamped",
+                &[
+                    (
+                        "requested",
+                        itdos_obs::LabelValue::U64(self.client_pipeline as u64),
+                    ),
+                    ("window", itdos_obs::LabelValue::U64(reply_window as u64)),
+                ],
+            );
+            reply_window
+        } else {
+            self.client_pipeline
         };
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x1717_1717);
         let gm_n = 3 * self.gm_f + 1;
@@ -423,6 +465,7 @@ impl SystemBuilder {
             comparators: self.comparators.clone(),
             dprf_verifier: verifier,
             global_seed: seed_bytes,
+            retired: Vec::new(),
         };
 
         // -- GM membership (covers every server domain and client)
@@ -517,11 +560,25 @@ impl SystemBuilder {
                 auto_proof: plan.auto_proof,
             };
             let mut client = SingletonClient::new(fabric.clone(), cfg);
-            client.set_pipeline(self.client_pipeline);
+            client.set_pipeline(client_pipeline);
             client.set_obs(obs.scoped(singleton_code(plan.id)));
             sim.replace_process(node, Box::new(client));
             client_node_map.insert(plan.id, node);
         }
+
+        let domain_runtime: BTreeMap<DomainId, DomainRuntime> = self
+            .domains
+            .into_iter()
+            .map(|p| {
+                (
+                    p.id,
+                    DomainRuntime {
+                        factory: p.factory,
+                        platforms: p.platforms,
+                    },
+                )
+            })
+            .collect();
 
         System {
             sim,
@@ -530,6 +587,10 @@ impl SystemBuilder {
             client_nodes: client_node_map,
             settle_budget: self.settle_budget,
             submitted: BTreeMap::new(),
+            domain_runtime,
+            ack_interval: self.ack_interval,
+            queue_capacity: self.queue_capacity,
+            next_element,
         }
     }
 }
@@ -548,6 +609,13 @@ pub struct System {
     /// Per-client count of submitted invocations, which doubles as the
     /// next completion index (results release in submission order).
     submitted: BTreeMap<u64, usize>,
+    /// Per-domain servant factories and platform plans, retained so
+    /// replica replacement can build a like-for-like fresh element.
+    domain_runtime: BTreeMap<DomainId, DomainRuntime>,
+    ack_interval: u64,
+    queue_capacity: usize,
+    /// Next unused global element id (replacements get fresh ids).
+    next_element: u32,
 }
 
 impl std::fmt::Debug for System {
@@ -687,6 +755,86 @@ impl System {
         }
     }
 
+    /// Replaces an expelled element of `domain` with a freshly keyed,
+    /// empty-state honest element. Allocates a new global id and a new
+    /// simulated node, takes the expelled node off the network (it may
+    /// still hold its old slot's keys), asks the Group Manager group to
+    /// admit the newcomer into the vacated slot, and starts the joiner
+    /// in onboarding mode so it catches up via state transfer before it
+    /// orders or votes. Returns the new element's id; run
+    /// [`System::settle`] afterwards to let admission, rekeying, and
+    /// catch-up complete — after which the domain again tolerates its
+    /// full `f` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replaced` is not on `domain`'s roster (never a member,
+    /// or already replaced).
+    pub fn spawn_replacement(&mut self, domain: DomainId, replaced: SenderId) -> SenderId {
+        self.spawn_replacement_with(domain, replaced, Behavior::Honest)
+    }
+
+    /// [`System::spawn_replacement`] with an explicit behaviour — drills
+    /// use this to prove a replaced slot can turn faulty *again* and the
+    /// restored domain still masks it.
+    pub fn spawn_replacement_with(
+        &mut self,
+        domain: DomainId,
+        replaced: SenderId,
+        behavior: Behavior,
+    ) -> SenderId {
+        let slot = self
+            .fabric
+            .domain(domain)
+            .replica_index(replaced)
+            .expect("replaced element is on the domain roster");
+        let old_node = self.fabric.domain(domain).nodes[slot];
+        let mcast = self.fabric.domain(domain).mcast;
+        let admitted = SenderId(self.next_element);
+        self.next_element += 1;
+        let node = self.sim.add_process(Box::new(Idle));
+        // the expelled process still holds its slot's BFT keys: take it
+        // off the network before the newcomer assumes the slot, so it
+        // cannot impersonate the replacement
+        self.sim.replace_process(old_node, Box::new(Idle));
+        self.sim.leave_group(old_node, mcast);
+        // the host-side wiring copy adopts the new roster immediately;
+        // running processes adopt it when f_gm+1 GM elements vouch
+        self.fabric
+            .apply_admission(domain, admitted, replaced, slot, node);
+        let runtime = self
+            .domain_runtime
+            .get(&domain)
+            .expect("replacement targets a declared server domain");
+        let platform = runtime
+            .platforms
+            .as_ref()
+            .map(|p| p[slot % p.len()])
+            .unwrap_or_else(|| PlatformProfile::for_replica(slot));
+        let cfg = ElementConfig {
+            domain,
+            index: slot,
+            element: admitted,
+            platform,
+            behavior,
+            ack_interval: self.ack_interval,
+            queue_capacity: self.queue_capacity,
+        };
+        if !matches!(cfg.behavior, Behavior::Honest) {
+            self.sim
+                .fault_ledger_mut()
+                .mark(u64::from(admitted.0), cfg.behavior.kind());
+        }
+        let servants = (runtime.factory)(slot);
+        let mut element = ServerElement::new(self.fabric.clone(), cfg, servants);
+        element.set_obs(self.obs.scoped(element_code(admitted)));
+        element.begin_onboarding();
+        element.request_admission(replaced);
+        self.sim.replace_process(node, Box::new(element));
+        self.sim.join_group(node, mcast);
+        admitted
+    }
+
     /// Mirrors the simulator's [`simnet::NetStats`] into the metrics
     /// registry (idempotent) and returns the combined JSON-lines dump.
     /// Empty string when observability is off.
@@ -722,6 +870,18 @@ impl System {
                     },
                 );
             }
+        }
+        // retired (replaced) elements stay in the map: their signed
+        // pre-replacement traffic must remain attributable to a slot
+        for &(domain, element, slot) in &self.fabric.retired {
+            topology
+                .elements
+                .entry(u64::from(element.0))
+                .or_insert(itdos_audit::ElementInfo {
+                    domain: domain.0,
+                    index: slot as u64,
+                    scope: element_code(element),
+                });
         }
         for &id in self.client_nodes.keys() {
             topology.clients.insert(id, singleton_code(id));

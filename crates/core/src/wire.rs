@@ -2,7 +2,7 @@
 //! operations and directives, and fault-proof serialization.
 
 use itdos_bft::wire::{Reader, WireError, Writer};
-use itdos_crypto::sign::Signature;
+use itdos_crypto::sign::{Signature, VerifyingKey};
 use itdos_groupmgr::manager::ConnectionId;
 use itdos_groupmgr::membership::{DomainId, Endpoint};
 use itdos_vote::detector::{FaultProof, SignedReply};
@@ -27,6 +27,9 @@ pub enum CoreMsg {
     /// A Group Manager notice (e.g. expulsion), authenticated per GM
     /// element via the pairwise channel.
     Notice(NoticeMsg),
+    /// A Group Manager admission notice: a fresh element replaced an
+    /// expelled one; carries the roster update every endpoint applies.
+    AdmitNotice(AdmitNoticeMsg),
 }
 
 /// Connection metadata carried with every key distribution so endpoints
@@ -87,6 +90,31 @@ pub struct NoticeMsg {
     pub sealed: Vec<u8>,
 }
 
+/// A Group Manager admission notice pushed to domain elements and clients:
+/// the roster update for a replacement, applied once `f_gm + 1` distinct GM
+/// elements concur.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmitNoticeMsg {
+    /// Which GM element sent it.
+    pub gm_code: u64,
+    /// The domain regaining an element.
+    pub domain: DomainId,
+    /// The freshly admitted element.
+    pub admitted: SenderId,
+    /// The expelled element it replaces.
+    pub replaced: SenderId,
+    /// The roster slot (replica index) being reused.
+    pub slot: u32,
+    /// The node the replacement runs on.
+    pub node: u64,
+    /// The domain's new membership epoch.
+    pub epoch: u64,
+    /// The replacement's verifying key, for roster updates.
+    pub verifying_key: VerifyingKey,
+    /// `seal(pairwise(gm, recipient), nonce, notice-bytes)` — integrity tag.
+    pub sealed: Vec<u8>,
+}
+
 /// The kind of GIOP traffic inside an SMIOP frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
@@ -142,6 +170,21 @@ pub enum GmOp {
     },
     /// Close a connection.
     Close(ConnectionId),
+    /// A fresh element's request to replace an expelled one (the joiner
+    /// submits this as a GM client; the GM's ordering group totally orders
+    /// the admission so every GM element applies it identically).
+    Admit {
+        /// The degraded domain to rejoin.
+        domain: DomainId,
+        /// The fresh element's id.
+        replacement: SenderId,
+        /// The expelled element whose slot it takes.
+        replaced: SenderId,
+        /// The node the replacement runs on.
+        node: u64,
+        /// The replacement's verifying key.
+        verifying_key: VerifyingKey,
+    },
 }
 
 /// Directives the deterministic GM state machine emits; every GM element
@@ -168,6 +211,25 @@ pub enum Directive {
     },
     /// A change vote was recorded but the threshold is not yet reached.
     VoteRecorded,
+    /// A fresh element was admitted into an expelled slot; emitted before
+    /// the rekeying [`Directive::KeyDist`]s so recipients update their
+    /// rosters before new key shares arrive.
+    Admitted {
+        /// The domain regaining an element.
+        domain: DomainId,
+        /// The freshly admitted element.
+        element: SenderId,
+        /// The expelled element it replaces.
+        replaced: SenderId,
+        /// The roster slot (replica index) being reused.
+        slot: u32,
+        /// The node the replacement runs on.
+        node: u64,
+        /// The domain's new membership epoch.
+        epoch: u64,
+        /// The replacement's verifying key.
+        verifying_key: VerifyingKey,
+    },
 }
 
 // --------------------------------------------------------------- encoding
@@ -242,6 +304,18 @@ impl CoreMsg {
                 w.u32(m.expelled.0);
                 w.bytes(&m.sealed);
             }
+            CoreMsg::AdmitNotice(m) => {
+                w.u8(5);
+                w.u64(m.gm_code);
+                w.u64(m.domain.0);
+                w.u32(m.admitted.0);
+                w.u32(m.replaced.0);
+                w.u32(m.slot);
+                w.u64(m.node);
+                w.u64(m.epoch);
+                w.raw(&m.verifying_key.to_bytes());
+                w.bytes(&m.sealed);
+            }
         }
         w.finish()
     }
@@ -275,6 +349,17 @@ impl CoreMsg {
                 gm_code: r.u64()?,
                 domain: DomainId(r.u64()?),
                 expelled: SenderId(r.u32()?),
+                sealed: r.bytes()?.to_vec(),
+            }),
+            5 => CoreMsg::AdmitNotice(AdmitNoticeMsg {
+                gm_code: r.u64()?,
+                domain: DomainId(r.u64()?),
+                admitted: SenderId(r.u32()?),
+                replaced: SenderId(r.u32()?),
+                slot: r.u32()?,
+                node: r.u64()?,
+                epoch: r.u64()?,
+                verifying_key: VerifyingKey::from_bytes(r.raw(8)?.try_into().expect("8 bytes")),
                 sealed: r.bytes()?.to_vec(),
             }),
             _ => return Err(WireError),
@@ -421,6 +506,20 @@ impl GmOp {
                 w.u8(4);
                 w.u64(c.0);
             }
+            GmOp::Admit {
+                domain,
+                replacement,
+                replaced,
+                node,
+                verifying_key,
+            } => {
+                w.u8(5);
+                w.u64(domain.0);
+                w.u32(replacement.0);
+                w.u32(replaced.0);
+                w.u64(*node);
+                w.raw(&verifying_key.to_bytes());
+            }
         }
         w.finish()
     }
@@ -444,6 +543,13 @@ impl GmOp {
                 accused: SenderId(r.u32()?),
             },
             4 => GmOp::Close(ConnectionId(r.u64()?)),
+            5 => GmOp::Admit {
+                domain: DomainId(r.u64()?),
+                replacement: SenderId(r.u32()?),
+                replaced: SenderId(r.u32()?),
+                node: r.u64()?,
+                verifying_key: VerifyingKey::from_bytes(r.raw(8)?.try_into().expect("8 bytes")),
+            },
             _ => return Err(WireError),
         };
         r.expect_end()?;
@@ -481,6 +587,24 @@ pub fn encode_directives(directives: &[Directive]) -> Vec<u8> {
             }
             Directive::VoteRecorded => {
                 w.u8(4);
+            }
+            Directive::Admitted {
+                domain,
+                element,
+                replaced,
+                slot,
+                node,
+                epoch,
+                verifying_key,
+            } => {
+                w.u8(5);
+                w.u64(domain.0);
+                w.u32(element.0);
+                w.u32(replaced.0);
+                w.u32(*slot);
+                w.u64(*node);
+                w.u64(*epoch);
+                w.raw(&verifying_key.to_bytes());
             }
         }
     }
@@ -524,6 +648,15 @@ pub fn decode_directives(bytes: &[u8]) -> Result<Vec<Directive>, WireError> {
                 element: SenderId(r.u32()?),
             },
             4 => Directive::VoteRecorded,
+            5 => Directive::Admitted {
+                domain: DomainId(r.u64()?),
+                element: SenderId(r.u32()?),
+                replaced: SenderId(r.u32()?),
+                slot: r.u32()?,
+                node: r.u64()?,
+                epoch: r.u64()?,
+                verifying_key: VerifyingKey::from_bytes(r.raw(8)?.try_into().expect("8 bytes")),
+            },
             _ => return Err(WireError),
         });
     }
@@ -575,6 +708,17 @@ mod tests {
                 domain: DomainId(1),
                 expelled: SenderId(3),
                 sealed: vec![2; 48],
+            }),
+            CoreMsg::AdmitNotice(AdmitNoticeMsg {
+                gm_code: 1_000_051,
+                domain: DomainId(1),
+                admitted: SenderId(14),
+                replaced: SenderId(3),
+                slot: 3,
+                node: 22,
+                epoch: 1,
+                verifying_key: SigningKey::from_seed(b"r").verifying_key(),
+                sealed: vec![6; 48],
             }),
         ];
         for m in msgs {
@@ -628,6 +772,13 @@ mod tests {
                 accused: SenderId(3),
             },
             GmOp::Close(ConnectionId(2)),
+            GmOp::Admit {
+                domain: DomainId(1),
+                replacement: SenderId(14),
+                replaced: SenderId(3),
+                node: 22,
+                verifying_key: SigningKey::from_seed(b"r").verifying_key(),
+            },
         ];
         for op in ops {
             assert_eq!(GmOp::decode(&op.encode()).unwrap(), op);
@@ -648,8 +799,47 @@ mod tests {
                 element: SenderId(3),
             },
             Directive::VoteRecorded,
+            Directive::Admitted {
+                domain: DomainId(1),
+                element: SenderId(14),
+                replaced: SenderId(3),
+                slot: 3,
+                node: 22,
+                epoch: 1,
+                verifying_key: SigningKey::from_seed(b"r").verifying_key(),
+            },
         ];
         assert_eq!(decode_directives(&encode_directives(&ds)).unwrap(), ds);
+    }
+
+    #[test]
+    fn truncated_admission_messages_rejected() {
+        let full = GmOp::Admit {
+            domain: DomainId(1),
+            replacement: SenderId(14),
+            replaced: SenderId(3),
+            node: 22,
+            verifying_key: SigningKey::from_seed(b"r").verifying_key(),
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(GmOp::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        let notice = CoreMsg::AdmitNotice(AdmitNoticeMsg {
+            gm_code: 1_000_051,
+            domain: DomainId(1),
+            admitted: SenderId(14),
+            replaced: SenderId(3),
+            slot: 3,
+            node: 22,
+            epoch: 1,
+            verifying_key: SigningKey::from_seed(b"r").verifying_key(),
+            sealed: vec![6; 48],
+        })
+        .encode();
+        for cut in 1..notice.len() {
+            assert!(CoreMsg::decode(&notice[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

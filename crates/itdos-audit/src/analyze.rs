@@ -236,6 +236,11 @@ impl Analyzer for DivergenceAnalyzer {
 /// Participation check: a server-domain element whose domain served
 /// requests but which never emitted a reply is silent. Honest replicas
 /// all reply, so a clean run cannot trip this.
+///
+/// An element admitted mid-run by replica replacement (DESIGN.md §14)
+/// could not have replied before it existed, so its pre-admission window
+/// is benign: its silence is judged only against the voted rounds its
+/// domain served *after* the GM's `gm.admitted` event for it.
 pub struct ParticipationAnalyzer;
 
 impl Analyzer for ParticipationAnalyzer {
@@ -244,6 +249,18 @@ impl Analyzer for ParticipationAnalyzer {
     }
 
     fn run(&self, input: &AuditInput<'_>) -> Vec<Finding> {
+        // earliest `gm.admitted` timestamp per admitted element (every GM
+        // element records the event; the first one marks the admission)
+        let mut admitted_at: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in input.events {
+            if e.kind != "gm.admitted" {
+                continue;
+            }
+            if let Some(element) = e.label_u64("element") {
+                let at = admitted_at.entry(element).or_insert(e.at_us);
+                *at = (*at).min(e.at_us);
+            }
+        }
         let mut findings = Vec::new();
         for domain in input.topology.server_domains() {
             let members = input.topology.domain_members(domain);
@@ -261,17 +278,59 @@ impl Analyzer for ParticipationAnalyzer {
                 continue; // the domain saw no traffic; silence proves nothing
             }
             for (&element, &emitted) in members.iter().zip(&replies) {
-                if emitted == 0 {
+                if emitted != 0 {
+                    continue;
+                }
+                if let Some(&admitted) = admitted_at.get(&element) {
+                    // voted replies by domain peers after this admission:
+                    // only that traffic can convict the newcomer
+                    let post = input
+                        .events
+                        .iter()
+                        .filter(|e| {
+                            e.kind == "vote.reply"
+                                && e.at_us >= admitted
+                                && e.label_u64("sender").is_some_and(|s| members.contains(&s))
+                        })
+                        .count() as u64;
+                    if post == 0 {
+                        findings.push(Finding {
+                            analyzer: self.name(),
+                            severity: Severity::Info,
+                            kind: "quiet-joiner",
+                            element: Some(element),
+                            domain: Some(domain),
+                            count: 0,
+                            detail: format!(
+                                "admitted at {admitted}us; the domain served no voted \
+                                 round afterwards, so its silence is benign"
+                            ),
+                        });
+                        continue;
+                    }
                     findings.push(Finding {
                         analyzer: self.name(),
                         severity: Severity::Blame,
                         kind: "silent",
                         element: Some(element),
                         domain: Some(domain),
-                        count: busiest,
-                        detail: format!("emitted 0 replies while a domain peer emitted {busiest}"),
+                        count: post,
+                        detail: format!(
+                            "emitted 0 replies across {post} voted peer reply(ies) \
+                             after its admission at {admitted}us"
+                        ),
                     });
+                    continue;
                 }
+                findings.push(Finding {
+                    analyzer: self.name(),
+                    severity: Severity::Blame,
+                    kind: "silent",
+                    element: Some(element),
+                    domain: Some(domain),
+                    count: busiest,
+                    detail: format!("emitted 0 replies while a domain peer emitted {busiest}"),
+                });
             }
         }
         findings

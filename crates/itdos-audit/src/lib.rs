@@ -294,6 +294,65 @@ mod tests {
     }
 
     #[test]
+    fn pre_admission_silence_is_benign_post_admission_silence_is_not() {
+        // elements 4..6 of domain 1 replied; element 7 never did — but it
+        // was admitted mid-run (replica replacement), after which the
+        // domain served nothing: benign, reported as Info only
+        let mut dump = String::new();
+        for e in [4u64, 5, 6] {
+            dump.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"element.replies\",\"labels\":{{\"element\":{e}}},\"value\":3}}\n"
+            ));
+        }
+        dump.push_str(&event(
+            0,
+            40,
+            1,
+            "vote.reply",
+            &[("request", 1), ("sender", 4)],
+        ));
+        dump.push_str(&event(
+            1,
+            500,
+            1_000_000,
+            "gm.admitted",
+            &[("domain", 1), ("element", 7), ("replaced", 6), ("epoch", 1)],
+        ));
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert!(
+            report.blamed_elements().is_empty(),
+            "pre-admission silence smeared: {}",
+            report.render()
+        );
+        assert!(report.findings.iter().any(|f| f.kind == "quiet-joiner"
+            && f.element == Some(7)
+            && f.severity == Severity::Info));
+        assert_eq!(report.health[&7], 100, "no health debit for the joiner");
+
+        // …but once peers answer voted rounds AFTER the admission and the
+        // joiner still says nothing, the silence is real
+        dump.push_str(&event(
+            2,
+            900,
+            1,
+            "vote.reply",
+            &[("request", 2), ("sender", 4)],
+        ));
+        dump.push_str(&event(
+            3,
+            905,
+            1,
+            "vote.reply",
+            &[("request", 2), ("sender", 5)],
+        ));
+        let report = Auditor::new(topo()).audit(&dump).unwrap();
+        assert_eq!(report.blamed_elements(), vec![7]);
+        let f = &report.findings[0];
+        assert_eq!((f.kind, f.count), ("silent", 2));
+        assert!(f.detail.contains("after its admission"));
+    }
+
+    #[test]
     fn stalls_respect_round_markers() {
         let c = AuditConfig::default();
         let late = c.stall_budget_us + 1;

@@ -54,6 +54,12 @@ pub struct GroupConfig {
     /// yet executed) at the primary. `1` disables pipelining; the watermark
     /// window is always a second, outer bound.
     pub pipeline_depth: u64,
+    /// Replies retained per client for exactly-once duplicate suppression.
+    /// A client pipelining deeper than this window can have an in-flight
+    /// request's cached reply evicted before its retransmission arrives,
+    /// silently breaking exactly-once — deployments must keep client
+    /// pipeline depths at or below this bound.
+    pub client_reply_window: usize,
 }
 
 impl GroupConfig {
@@ -68,6 +74,7 @@ impl GroupConfig {
             max_batch: 8,
             max_batch_bytes: 1 << 20,
             pipeline_depth: 16,
+            client_reply_window: 32,
         }
     }
 
@@ -114,6 +121,10 @@ impl GroupConfig {
         assert!(
             self.pipeline_depth >= 1,
             "pipeline_depth must be at least 1"
+        );
+        assert!(
+            self.client_reply_window >= 1,
+            "client_reply_window must be at least 1"
         );
     }
 }
@@ -177,6 +188,14 @@ mod tests {
     fn zero_pipeline_rejected() {
         let mut cfg = GroupConfig::for_f(1);
         cfg.pipeline_depth = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "client_reply_window")]
+    fn zero_reply_window_rejected() {
+        let mut cfg = GroupConfig::for_f(1);
+        cfg.client_reply_window = 0;
         cfg.validate();
     }
 }

@@ -1,6 +1,6 @@
 //! The replica message log: per-(view, seq) certificates and watermarks.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use itdos_crypto::hash::Digest;
 
@@ -62,8 +62,10 @@ pub struct Log {
     /// Low watermark: sequence of the last stable checkpoint.
     low: SeqNo,
     window: u64,
-    /// Checkpoint messages by (seq, digest), sender-deduplicated.
-    checkpoints: BTreeMap<(SeqNo, Digest), BTreeSet<ReplicaId>>,
+    /// Checkpoint messages by (seq, digest), sender-deduplicated. The full
+    /// messages are retained (not just the sender set) so a view change
+    /// can embed a real checkpoint certificate proving its stable seq.
+    checkpoints: BTreeMap<(SeqNo, Digest), BTreeMap<ReplicaId, Checkpoint>>,
     /// Own checkpoint snapshots retained for state transfer: seq →
     /// (digest, snapshot bytes).
     own_checkpoints: BTreeMap<SeqNo, (Digest, Vec<u8>)>,
@@ -112,7 +114,7 @@ impl Log {
             .checkpoints
             .entry((checkpoint.seq, checkpoint.state_digest))
             .or_default();
-        set.insert(checkpoint.replica);
+        set.insert(checkpoint.replica, *checkpoint);
         set.len()
     }
 
@@ -122,6 +124,32 @@ impl Log {
             .get(&(seq, digest))
             .map(|s| s.len())
             .unwrap_or(0)
+    }
+
+    /// A checkpoint certificate for the current stable checkpoint: `needed`
+    /// checkpoint messages from distinct replicas agreeing on one digest at
+    /// `low()`. Prefers the digest this replica itself checkpointed; falls
+    /// back to any digest group reaching the size. Empty at genesis
+    /// (`low() == 0`, nothing to prove) or when no group qualifies.
+    pub fn stable_certificate(&self, needed: usize) -> Vec<Checkpoint> {
+        if self.low.0 == 0 {
+            return Vec::new();
+        }
+        let own_digest = self.own_checkpoints.get(&self.low).map(|(d, _)| *d);
+        let mut fallback = Vec::new();
+        for ((seq, digest), msgs) in &self.checkpoints {
+            if *seq != self.low || msgs.len() < needed {
+                continue;
+            }
+            let cert: Vec<Checkpoint> = msgs.values().take(needed).copied().collect();
+            if own_digest == Some(*digest) {
+                return cert;
+            }
+            if fallback.is_empty() {
+                fallback = cert;
+            }
+        }
+        fallback
     }
 
     /// Stores this replica's own checkpoint snapshot for state transfer.
@@ -383,6 +411,62 @@ mod tests {
         // an executed entry is no longer evidence of a gap
         log.entry(View(0), SeqNo(6)).executed = true;
         assert!(!log.committed_beyond(SeqNo(0), &cfg));
+    }
+
+    #[test]
+    fn stable_certificate_proves_the_low_watermark() {
+        let cfg = config();
+        let mut log = Log::new(&cfg);
+        assert!(
+            log.stable_certificate(2).is_empty(),
+            "genesis needs no proof"
+        );
+        let digest = Digest::of(b"state");
+        for i in 0..3u32 {
+            log.add_checkpoint(&Checkpoint {
+                seq: SeqNo(16),
+                state_digest: digest,
+                replica: ReplicaId(i),
+            });
+        }
+        log.store_own_checkpoint(SeqNo(16), digest, vec![1]);
+        log.stabilize(SeqNo(16));
+        let cert = log.stable_certificate(2);
+        assert_eq!(cert.len(), 2);
+        assert!(cert.iter().all(|c| c.seq == SeqNo(16)));
+        assert!(cert.iter().all(|c| c.state_digest == digest));
+        assert!(
+            log.stable_certificate(4).is_empty(),
+            "not enough distinct voters"
+        );
+    }
+
+    #[test]
+    fn stable_certificate_prefers_own_digest() {
+        let cfg = config();
+        let mut log = Log::new(&cfg);
+        let own = Digest::of(b"own");
+        let bogus = Digest::of(b"bogus");
+        // a Byzantine clique votes a bogus digest; our own digest group
+        // also qualifies — the certificate must follow our own state
+        for i in 0..2u32 {
+            log.add_checkpoint(&Checkpoint {
+                seq: SeqNo(16),
+                state_digest: bogus,
+                replica: ReplicaId(10 + i),
+            });
+        }
+        for i in 0..2u32 {
+            log.add_checkpoint(&Checkpoint {
+                seq: SeqNo(16),
+                state_digest: own,
+                replica: ReplicaId(i),
+            });
+        }
+        log.store_own_checkpoint(SeqNo(16), own, vec![1]);
+        log.stabilize(SeqNo(16));
+        let cert = log.stable_certificate(2);
+        assert!(cert.iter().all(|c| c.state_digest == own));
     }
 
     #[test]

@@ -314,6 +314,13 @@ impl StateMachine for QueueMachine {
         };
         *self = restored;
     }
+
+    fn is_barrier(&self, operation: &[u8]) -> bool {
+        // a Join is the replacement admission barrier: every replica
+        // forces a checkpoint right after executing it, so the joiner can
+        // state-transfer from a quorum at exactly its admission point
+        matches!(QueueOp::decode(operation), Ok(QueueOp::Join(_)))
+    }
 }
 
 fn restore_queue(snapshot: &[u8]) -> Result<QueueMachine, WireError> {

@@ -19,19 +19,17 @@ use crate::message::{
     Reply, StateData, StateFetch, ViewChange,
 };
 use crate::state::StateMachine;
-
-/// Replies retained per client for exactly-once semantics. A pipelining
-/// client has several timestamps in flight at once, so a single
-/// last-timestamp record would drop a slower request that was ordered
-/// after a faster one; instead each replica keeps a bounded window of
-/// executed timestamps with their cached replies. Eviction is driven by
-/// the total order, so the window contents are identical on all correct
-/// replicas.
-const CLIENT_REPLY_WINDOW: usize = 32;
+use crate::wire::{Reader, WireError, Writer};
 
 /// Per-client exactly-once record: replies for the last
-/// [`CLIENT_REPLY_WINDOW`] executed timestamps, plus the eviction floor
-/// (timestamps at or below it are ancient and dropped outright).
+/// [`GroupConfig::client_reply_window`] executed timestamps, plus the
+/// eviction floor (timestamps at or below it are ancient and dropped
+/// outright). A pipelining client has several timestamps in flight at
+/// once, so a single last-timestamp record would drop a slower request
+/// that was ordered after a faster one; instead each replica keeps a
+/// bounded window of executed timestamps with their cached replies.
+/// Eviction is driven by the total order, so the window contents are
+/// identical on all correct replicas.
 #[derive(Debug, Clone, Default)]
 struct ClientRecord {
     replies: BTreeMap<u64, Reply>,
@@ -46,9 +44,9 @@ impl ClientRecord {
 
     /// Caches the reply for an executed timestamp, evicting the oldest
     /// entries beyond the window.
-    fn record(&mut self, timestamp: u64, reply: Reply) {
+    fn record(&mut self, timestamp: u64, reply: Reply, window: usize) {
         self.replies.insert(timestamp, reply);
-        while self.replies.len() > CLIENT_REPLY_WINDOW {
+        while self.replies.len() > window.max(1) {
             if let Some((evicted, _)) = self.replies.pop_first() {
                 self.floor = self.floor.max(evicted);
             }
@@ -131,6 +129,15 @@ pub struct Replica<S> {
     /// True during proactive recovery: the replica distrusts its own app
     /// state and accepts a trusted snapshot even at its current sequence.
     recovering: bool,
+    /// True while onboarding as a fresh replacement: the replica stays
+    /// quiescent (no votes, relays, or view changes) until a trusted state
+    /// transfer lands it at the group's current state.
+    joining: bool,
+    /// Highest view observed per peer while joining, mined from messages
+    /// that attest the sender operates in that view; on completion the
+    /// joiner adopts the (f+1)-th highest — vouched for by at least one
+    /// correct replica, so Byzantine peers cannot inflate it.
+    peer_views: BTreeMap<ReplicaId, u64>,
     outputs: Vec<Output>,
     /// Instrumentation sink; a disabled handle (the default) makes every
     /// hook a no-op.
@@ -178,6 +185,8 @@ impl<S: StateMachine> Replica<S> {
             fetching: None,
             state_offers: BTreeMap::new(),
             recovering: false,
+            joining: false,
+            peer_views: BTreeMap::new(),
             outputs: Vec::new(),
             obs: Obs::disabled(),
         }
@@ -281,6 +290,29 @@ impl<S: StateMachine> Replica<S> {
 
     /// Handles a verified protocol message from `sender`.
     pub fn on_message(&mut self, sender: ReplicaId, message: Message) {
+        if self.joining {
+            // quiescent onboarding: only checkpoint/state-transfer traffic
+            // is acted on; ordering traffic is mined for the senders'
+            // current views so the joiner can adopt one on completion
+            match message {
+                Message::Checkpoint(cp) => self.on_checkpoint(sender, cp),
+                Message::StateData(sd) => self.on_state_data(sd),
+                Message::PrePrepare(pp) => {
+                    if sender == self.config.primary_of(pp.view) {
+                        self.note_peer_view(sender, pp.view);
+                    }
+                }
+                Message::Prepare(p) => self.note_peer_view(sender, p.view),
+                Message::Commit(c) => self.note_peer_view(sender, c.view),
+                Message::NewView(nv) => {
+                    if sender == nv.primary {
+                        self.note_peer_view(sender, nv.view);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
         match message {
             Message::Request(req) => self.on_request(req),
             Message::PrePrepare(pp) => self.on_pre_prepare(sender, pp),
@@ -298,6 +330,11 @@ impl<S: StateMachine> Replica<S> {
     /// Handles a client request (also called when a backup relays one).
     pub fn on_request(&mut self, request: ClientRequest) {
         self.obs.incr("bft.requests", &self.obs_label());
+        if self.joining {
+            // quiescent while onboarding: no relays, no ordering — the
+            // client's retransmission finds us once we are caught up
+            return;
+        }
         // exactly-once: resend the cached reply for an executed timestamp
         if let Some(record) = self.client_table.get(&request.client) {
             if request.timestamp <= record.floor {
@@ -640,6 +677,7 @@ impl<S: StateMachine> Replica<S> {
             );
             // unpack the batch in its agreed order; an empty batch (the
             // new-view null operation) executes nothing
+            let mut barrier = false;
             for request in batch.requests {
                 self.pending.remove(&request.digest());
                 // keep the FIFO admission floor current on every replica,
@@ -653,6 +691,7 @@ impl<S: StateMachine> Replica<S> {
                 if record.executed(request.timestamp) {
                     continue;
                 }
+                barrier |= self.app.is_barrier(&request.operation);
                 let result = self.app.execute(&request.operation);
                 let reply = Reply {
                     view,
@@ -661,10 +700,12 @@ impl<S: StateMachine> Replica<S> {
                     replica: self.id,
                     result: result.clone(),
                 };
-                self.client_table
-                    .entry(request.client)
-                    .or_default()
-                    .record(request.timestamp, reply.clone());
+                let window = self.config.client_reply_window;
+                self.client_table.entry(request.client).or_default().record(
+                    request.timestamp,
+                    reply.clone(),
+                    window,
+                );
                 self.obs.incr("bft.executed", &labels);
                 self.outputs
                     .push(Output::ToClient(request.client, Message::Reply(reply)));
@@ -674,7 +715,11 @@ impl<S: StateMachine> Replica<S> {
                     result,
                 });
             }
-            if next.0 % self.config.checkpoint_interval == 0 {
+            if barrier {
+                // membership-change barrier: checkpoint immediately so a
+                // joiner can state-transfer from a quorum at this exact seq
+                self.emit_checkpoint(next);
+            } else if next.0 % self.config.checkpoint_interval == 0 {
                 self.emit_checkpoint(next);
             }
         }
@@ -694,10 +739,12 @@ impl<S: StateMachine> Replica<S> {
 
     fn emit_checkpoint(&mut self, seq: SeqNo) {
         // checkpoint digests use the canonical snapshot digest so state
-        // transfer can verify a received snapshot against checkpoint votes
-        let snapshot = self.app.snapshot();
-        let state_digest = snapshot_digest(&snapshot);
-        self.log.store_own_checkpoint(seq, state_digest, snapshot);
+        // transfer can verify a received snapshot against checkpoint votes;
+        // the payload carries the reply cache alongside the application
+        // snapshot so a transferred replica keeps exactly-once semantics
+        let payload = encode_transfer_payload(&self.app.snapshot(), &self.client_table);
+        let state_digest = snapshot_digest(&payload);
+        self.log.store_own_checkpoint(seq, state_digest, payload);
         self.obs.incr("bft.checkpoints", &self.obs_label());
         self.obs.event(
             "bft.checkpoint",
@@ -829,6 +876,42 @@ impl<S: StateMachine> Replica<S> {
         self.recovering
     }
 
+    /// Begins replacement onboarding: a fresh (empty-state) replica
+    /// admitted into a running group stays quiescent — processing only
+    /// checkpoint and state-transfer traffic — until a trusted transfer
+    /// lands it at the group's current state; it then adopts the (f+1)-th
+    /// highest view observed from peers and resumes normal participation.
+    /// The admission barrier ([`StateMachine::is_barrier`]) guarantees a
+    /// checkpoint quorum exists at the joiner's admission point, even when
+    /// the group is still near genesis.
+    pub fn begin_onboarding(&mut self) {
+        self.joining = true;
+        self.recovering = true;
+        self.obs.incr("bft.onboardings", &self.obs_label());
+        self.obs
+            .span_begin("bft.state_transfer_us", u64::from(self.id.0));
+        self.fetching = Some(SeqNo(self.log.low().0.max(1)));
+        self.state_offers.clear();
+        self.outputs
+            .push(Output::ToAllReplicas(Message::StateFetch(StateFetch {
+                seq: self.log.low(),
+                replica: self.id,
+            })));
+    }
+
+    /// True while replacement onboarding is in flight.
+    pub fn is_joining(&self) -> bool {
+        self.joining
+    }
+
+    fn note_peer_view(&mut self, sender: ReplicaId, view: View) {
+        if sender.0 >= self.config.n as u32 {
+            return;
+        }
+        let entry = self.peer_views.entry(sender).or_insert(0);
+        *entry = (*entry).max(view.0);
+    }
+
     fn on_state_data(&mut self, data: StateData) {
         if self.fetching.is_none() {
             return;
@@ -847,6 +930,16 @@ impl<S: StateMachine> Replica<S> {
         //  (b) f+1 distinct replicas offering byte-identical snapshots —
         //      at least one of them is correct
         let digest = snapshot_digest(&data.snapshot);
+        // an offer is an implicit checkpoint attestation by its
+        // envelope-verified sender; absorbing it as a vote keeps a
+        // checkpoint certificate assemblable for a stable seq reached via
+        // state transfer (the embedded proof field is NOT absorbed — its
+        // entries carry no per-entry authentication at this layer)
+        self.log.add_checkpoint(&Checkpoint {
+            seq: data.seq,
+            state_digest: digest,
+            replica: data.replica,
+        });
         let offers = self.state_offers.entry((data.seq, digest)).or_default();
         offers.insert(data.replica);
         let trusted = self.log.checkpoint_votes(data.seq, digest) >= self.config.quorum()
@@ -854,10 +947,68 @@ impl<S: StateMachine> Replica<S> {
         if !trusted {
             return;
         }
-        self.app.restore(&data.snapshot);
+        // the payload is a correct replica's bytes (trust implies at least
+        // one honest attester), so a decode failure means corruption below
+        // the trust rules — refuse rather than restore garbage
+        let Ok((app_snapshot, reply_cache)) = decode_transfer_payload(&data.snapshot) else {
+            return;
+        };
+        self.app.restore(&app_snapshot);
+        if self.joining {
+            self.joining = false;
+            // adopt the (f+1)-th highest view observed while quiescent:
+            // at least one correct replica vouches for it
+            let mut views: Vec<u64> = self.peer_views.values().copied().collect();
+            views.sort_unstable_by(|a, b| b.cmp(a));
+            if let Some(v) = views.get(self.config.f) {
+                self.view = self.view.max(View(*v));
+            }
+            self.peer_views.clear();
+            self.obs.event(
+                "bft.onboarded",
+                &[
+                    ("replica", LabelValue::U64(u64::from(self.id.0))),
+                    ("seq", LabelValue::U64(data.seq.0)),
+                    ("view", LabelValue::U64(self.view.0)),
+                ],
+            );
+        }
+        // rebuild the duplicate-suppression table from the transferred
+        // cache; view/replica are local presentation fields on resend
+        self.client_table.clear();
+        for (client, floor, replies) in reply_cache {
+            let mut record = ClientRecord {
+                replies: BTreeMap::new(),
+                floor,
+            };
+            for (timestamp, result) in replies {
+                let reply = Reply {
+                    view: self.view,
+                    timestamp,
+                    client,
+                    replica: self.id,
+                    result,
+                };
+                record.replies.insert(timestamp, reply);
+            }
+            self.client_table.insert(client, record);
+        }
         self.last_executed = data.seq;
         self.next_seq = self.next_seq.max(data.seq);
         self.log.stabilize(data.seq);
+        // own the restored checkpoint: retain the snapshot for serving
+        // later transfers and vote for it so the stable certificate
+        // survives garbage collection
+        self.log
+            .store_own_checkpoint(data.seq, digest, data.snapshot.clone());
+        let own = Checkpoint {
+            seq: data.seq,
+            state_digest: digest,
+            replica: self.id,
+        };
+        self.log.add_checkpoint(&own);
+        self.outputs
+            .push(Output::ToAllReplicas(Message::Checkpoint(own)));
         self.fetching = None;
         self.state_offers.clear();
         self.recovering = false;
@@ -922,9 +1073,10 @@ impl<S: StateMachine> Replica<S> {
         let vc = ViewChange {
             new_view: target,
             stable_seq: self.log.low(),
-            checkpoint_proof: Vec::new(), // adapter-level signatures make
-            // the stable_seq claim accountable; full checkpoint certificates
-            // add bytes without changing behaviour under our fault model
+            // the real f+1 checkpoint certificate proving stable_seq; at
+            // genesis (stable_seq 0) there is no checkpoint and nothing to
+            // prove, so the certificate is empty
+            checkpoint_proof: self.log.stable_certificate(self.config.f + 1),
             prepared: self.log.prepared_proofs(&self.config),
             replica: self.id,
         };
@@ -1080,6 +1232,29 @@ impl<S: StateMachine> Replica<S> {
 
 /// Structural validation of a view-change message.
 fn validate_view_change(vc: &ViewChange, config: &GroupConfig) -> bool {
+    // a claimed stable checkpoint must carry its certificate: f+1 distinct
+    // in-group replicas checkpointing the same digest at stable_seq (at
+    // least one is correct, so the watermark claim is real). Genesis
+    // (stable_seq 0) is exempt — there is no checkpoint to prove.
+    if vc.stable_seq.0 > 0 {
+        let Some(digest) = vc.checkpoint_proof.first().map(|c| c.state_digest) else {
+            return false;
+        };
+        let attesters = vc
+            .checkpoint_proof
+            .iter()
+            .filter(|c| {
+                c.seq == vc.stable_seq
+                    && c.state_digest == digest
+                    && (c.replica.0 as usize) < config.n
+            })
+            .map(|c| c.replica)
+            .collect::<BTreeSet<_>>()
+            .len();
+        if attesters < config.f + 1 {
+            return false;
+        }
+    }
     for proof in &vc.prepared {
         if proof.pre_prepare.digest != proof.pre_prepare.batch.digest() {
             return false;
@@ -1160,9 +1335,72 @@ fn compute_new_view_pre_prepares(view_changes: &[ViewChange], view: View) -> Vec
 
 /// Canonical digest rule binding checkpoints to snapshots: replicas
 /// checkpoint `H("bft-snapshot" ‖ snapshot)` so state transfer can verify a
-/// snapshot against checkpoint votes without re-executing.
+/// snapshot against checkpoint votes without re-executing. The digested
+/// bytes are the full transfer payload (application snapshot plus reply
+/// cache), so the duplicate-suppression table is covered by agreement too.
 pub fn snapshot_digest(snapshot: &[u8]) -> Digest {
     Digest::of_parts(&[b"bft-snapshot", snapshot])
+}
+
+/// Bound on decoded table lengths (hostile-length defence).
+const MAX_TABLE: u32 = 1 << 16;
+
+/// Encodes the state-transfer payload: the application snapshot plus the
+/// per-client reply cache, so a transferred replica keeps suppressing
+/// duplicates and resending cached replies. Only order-determined fields
+/// (client, floor, timestamp, result) are encoded — `Reply::view` and
+/// `Reply::replica` vary across correct replicas and would break
+/// byte-identical checkpoints.
+fn encode_transfer_payload(
+    app_snapshot: &[u8],
+    table: &BTreeMap<ClientId, ClientRecord>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(app_snapshot);
+    w.u32(table.len() as u32);
+    for (client, record) in table {
+        w.u64(client.0);
+        w.u64(record.floor);
+        w.u32(record.replies.len() as u32);
+        for (timestamp, reply) in &record.replies {
+            w.u64(*timestamp);
+            w.bytes(&reply.result);
+        }
+    }
+    w.finish()
+}
+
+/// One decoded reply-cache record: (client, floor, [(timestamp, result)]).
+type DecodedCache = Vec<(ClientId, u64, Vec<(u64, Vec<u8>)>)>;
+
+/// Decodes a transfer payload into the application snapshot and the raw
+/// reply-cache records (the restoring replica rebuilds [`Reply`] values
+/// with its own id and view).
+fn decode_transfer_payload(bytes: &[u8]) -> Result<(Vec<u8>, DecodedCache), WireError> {
+    let mut r = Reader::new(bytes);
+    let app_snapshot = r.bytes()?.to_vec();
+    let n_clients = r.u32()?;
+    if n_clients > MAX_TABLE {
+        return Err(WireError);
+    }
+    let mut cache = Vec::with_capacity(n_clients.min(64) as usize);
+    for _ in 0..n_clients {
+        let client = ClientId(r.u64()?);
+        let floor = r.u64()?;
+        let n_replies = r.u32()?;
+        if n_replies > MAX_TABLE {
+            return Err(WireError);
+        }
+        let mut replies = Vec::with_capacity(n_replies.min(64) as usize);
+        for _ in 0..n_replies {
+            let timestamp = r.u64()?;
+            let result = r.bytes()?.to_vec();
+            replies.push((timestamp, result));
+        }
+        cache.push((client, floor, replies));
+    }
+    r.expect_end()?;
+    Ok((app_snapshot, cache))
 }
 
 #[cfg(test)]
@@ -1784,5 +2022,330 @@ mod tests {
         g.pump(&[]);
         assert_eq!(g.replicas[3].last_executed(), SeqNo(16));
         assert_eq!(g.replicas[3].app().total(), 32, "restored state at seq 16");
+    }
+
+    /// Catches replica 3 up to the group's stable checkpoint by replaying
+    /// peer checkpoint votes and pumping the resulting state transfer.
+    fn transfer_state_to_replica_3(g: &mut Group) {
+        for i in 0..3u32 {
+            let (seq, digest) = {
+                let log = g.replicas[i as usize].log();
+                let (s, d) = log.latest_own_checkpoint().expect("checkpointed");
+                (s, d.0)
+            };
+            let cp = Checkpoint {
+                seq,
+                state_digest: digest,
+                replica: ReplicaId(i),
+            };
+            g.replicas[3].on_message(ReplicaId(i), Message::Checkpoint(cp));
+        }
+        g.pump(&[]);
+    }
+
+    #[test]
+    fn transferred_replica_answers_duplicates_from_its_reply_cache() {
+        let mut g = Group::new();
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 2));
+            g.pump(&[3]);
+        }
+        transfer_state_to_replica_3(&mut g);
+        assert_eq!(g.replicas[3].last_executed(), SeqNo(16));
+        // a duplicate of a timestamp executed BEFORE the transfer must be
+        // answered from the transferred reply cache — not relayed, not
+        // re-executed (the §10 regression: the table used to arrive empty)
+        let total_before = g.replicas[3].app().total();
+        g.replicas[3].on_request(request(16, 2));
+        let outs = g.replicas[3].take_outputs();
+        let cached = outs.iter().any(|o| {
+            matches!(o, Output::ToClient(_, Message::Reply(r))
+                if r.timestamp == 16 && r.result == 32i64.to_le_bytes())
+        });
+        assert!(cached, "cached reply resent from transferred table");
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, Output::ToReplica(_, Message::Request(_)))),
+            "duplicate not relayed for re-ordering"
+        );
+        assert_eq!(g.replicas[3].app().total(), total_before, "no re-execution");
+    }
+
+    #[test]
+    fn view_change_carries_a_real_checkpoint_certificate() {
+        let mut g = Group::new();
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 1));
+            g.pump(&[]);
+        }
+        // the primary goes dark with a request outstanding
+        for i in 1..4 {
+            g.replicas[i].on_request(request(18, 1));
+        }
+        g.pump(&[0]);
+        let epoch = g.replicas[1].timer_epoch;
+        g.replicas[1].on_view_timeout(epoch);
+        let vc = g.replicas[1]
+            .take_outputs()
+            .into_iter()
+            .find_map(|o| match o {
+                Output::ToAllReplicas(Message::ViewChange(vc)) => Some(vc),
+                _ => None,
+            })
+            .expect("view change started");
+        assert_eq!(vc.stable_seq, SeqNo(16));
+        assert!(
+            vc.checkpoint_proof.len() >= 2,
+            "f+1 checkpoint certificate attached, got {}",
+            vc.checkpoint_proof.len()
+        );
+        assert!(vc.checkpoint_proof.iter().all(|c| c.seq == SeqNo(16)));
+        let distinct: BTreeSet<ReplicaId> = vc.checkpoint_proof.iter().map(|c| c.replica).collect();
+        assert!(distinct.len() >= 2, "distinct attesters");
+        // and the certificate passes the receiver-side validation
+        assert!(validate_view_change(&vc, &GroupConfig::for_f(1)));
+    }
+
+    #[test]
+    fn unproven_stable_seq_claim_is_rejected() {
+        let cfg = GroupConfig::for_f(1);
+        // no certificate at all
+        let bare = ViewChange {
+            new_view: View(1),
+            stable_seq: SeqNo(16),
+            checkpoint_proof: Vec::new(),
+            prepared: Vec::new(),
+            replica: ReplicaId(3),
+        };
+        assert!(!validate_view_change(&bare, &cfg));
+        // a certificate at the wrong seq
+        let wrong_seq = ViewChange {
+            checkpoint_proof: vec![
+                Checkpoint {
+                    seq: SeqNo(8),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(0),
+                },
+                Checkpoint {
+                    seq: SeqNo(8),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(1),
+                },
+            ],
+            ..bare.clone()
+        };
+        assert!(!validate_view_change(&wrong_seq, &cfg));
+        // one attester repeated is not f+1 distinct replicas
+        let repeated = ViewChange {
+            checkpoint_proof: vec![
+                Checkpoint {
+                    seq: SeqNo(16),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(0),
+                },
+                Checkpoint {
+                    seq: SeqNo(16),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(0),
+                },
+            ],
+            ..bare.clone()
+        };
+        assert!(!validate_view_change(&repeated, &cfg));
+        // out-of-group replica ids do not count
+        let foreign = ViewChange {
+            checkpoint_proof: vec![
+                Checkpoint {
+                    seq: SeqNo(16),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(7),
+                },
+                Checkpoint {
+                    seq: SeqNo(16),
+                    state_digest: Digest::of(b"s"),
+                    replica: ReplicaId(9),
+                },
+            ],
+            ..bare.clone()
+        };
+        assert!(!validate_view_change(&foreign, &cfg));
+        // a receiving replica drops the unproven message entirely
+        let mut r2 = replica(2);
+        r2.on_message(ReplicaId(3), Message::ViewChange(bare.clone()));
+        assert!(r2.view_changes.get(&View(1)).map_or(true, |m| m.is_empty()));
+        // genesis claims need no certificate
+        let genesis = ViewChange {
+            stable_seq: SeqNo(0),
+            ..bare
+        };
+        assert!(validate_view_change(&genesis, &cfg));
+    }
+
+    #[test]
+    fn barrier_operation_forces_an_off_interval_checkpoint() {
+        use crate::queue::{ElementId, QueueMachine, QueueOp};
+        let queue = QueueMachine::new(1024, (0..4).map(ElementId));
+        let mut r0 = Replica::new(GroupConfig::for_f(1), ReplicaId(0), queue);
+        let req = ClientRequest {
+            client: ClientId(1),
+            timestamp: 1,
+            operation: QueueOp::Join(ElementId(9)).encode(),
+        };
+        r0.on_request(req);
+        let digest = r0
+            .log()
+            .entry_ref(View(0), SeqNo(1))
+            .and_then(|e| e.pre_prepare.as_ref())
+            .map(|pp| pp.digest)
+            .expect("primary proposed the join");
+        for i in 1..=2u32 {
+            r0.on_message(
+                ReplicaId(i),
+                Message::Prepare(Prepare {
+                    view: View(0),
+                    seq: SeqNo(1),
+                    digest,
+                    replica: ReplicaId(i),
+                }),
+            );
+        }
+        for i in 1..=2u32 {
+            r0.on_message(
+                ReplicaId(i),
+                Message::Commit(Commit {
+                    view: View(0),
+                    seq: SeqNo(1),
+                    digest,
+                    replica: ReplicaId(i),
+                }),
+            );
+        }
+        assert_eq!(r0.last_executed(), SeqNo(1));
+        // seq 1 is far from the checkpoint interval (16), yet the Join
+        // forced a checkpoint right at the admission barrier
+        assert!(r0.log().own_checkpoint(SeqNo(1)).is_some());
+        assert!(r0.take_outputs().iter().any(|o| {
+            matches!(o, Output::ToAllReplicas(Message::Checkpoint(c)) if c.seq == SeqNo(1))
+        }));
+    }
+
+    #[test]
+    fn onboarding_replica_stays_quiescent_until_caught_up() {
+        let mut g = Group::new();
+        // exactly one checkpoint interval: the group head IS the stable
+        // checkpoint, so the transferred joiner has no gap to re-order
+        for ts in 1..=16 {
+            g.replicas[0].on_request(request(ts, 2));
+            g.pump(&[3]);
+        }
+        // slot 3 is replaced: a fresh, empty-state instance onboards
+        g.replicas[3] = replica(3);
+        g.replicas[3].begin_onboarding();
+        assert!(g.replicas[3].is_joining());
+        // ordering traffic is ignored while quiescent: no relay, no votes
+        g.replicas[3].on_request(request(99, 1));
+        let outs = g.replicas[3].take_outputs();
+        assert!(
+            !outs.iter().any(|o| matches!(
+                o,
+                Output::ToReplica(..)
+                    | Output::ToAllReplicas(Message::Prepare(_))
+                    | Output::ToAllReplicas(Message::ViewChange(_))
+            )),
+            "joining replica neither relays nor votes"
+        );
+        transfer_state_to_replica_3(&mut g);
+        assert!(!g.replicas[3].is_joining(), "onboarding completed");
+        assert_eq!(g.replicas[3].last_executed(), SeqNo(16));
+        assert_eq!(g.replicas[3].app().total(), 32, "caught up at the barrier");
+        // and it now participates normally
+        g.replicas[0].on_request(request(17, 2));
+        g.pump(&[]);
+        assert_eq!(g.replicas[3].app().total(), 34);
+    }
+
+    #[test]
+    fn onboarding_replica_adopts_a_vouched_view() {
+        let mut r3 = replica(3);
+        r3.begin_onboarding();
+        let d = Digest::of(b"x");
+        // two peers (f+1 for f=1) attest view 2; a lone Byzantine claims 9
+        for (i, v) in [(0u32, 2u64), (1, 2), (2, 9)] {
+            r3.on_message(
+                ReplicaId(i),
+                Message::Commit(Commit {
+                    view: View(v),
+                    seq: SeqNo(1),
+                    digest: d,
+                    replica: ReplicaId(i),
+                }),
+            );
+        }
+        // f+1 byte-identical offers complete the transfer
+        let payload = encode_transfer_payload(&CounterMachine::new().snapshot(), &BTreeMap::new());
+        for i in 0..2u32 {
+            r3.on_message(
+                ReplicaId(i),
+                Message::StateData(StateData {
+                    seq: SeqNo(4),
+                    snapshot: payload.clone(),
+                    proof: Vec::new(),
+                    replica: ReplicaId(i),
+                }),
+            );
+        }
+        assert!(!r3.is_joining());
+        assert_eq!(
+            r3.view(),
+            View(2),
+            "adopts the (f+1)-th highest: the Byzantine outlier is discounted"
+        );
+    }
+
+    #[test]
+    fn byzantine_joiner_lying_about_catchup_cannot_stall_the_group() {
+        let mut g = Group::new();
+        for ts in 1..=17 {
+            g.replicas[0].on_request(request(ts, 5));
+            g.pump(&[3]);
+        }
+        // slot 3's replacement lies about its catch-up point: it claims a
+        // state far ahead of the group instead of onboarding honestly
+        g.replicas[3] = replica(3);
+        let lie = StateFetch {
+            seq: SeqNo(1_000_000),
+            replica: ReplicaId(3),
+        };
+        for i in 0..3usize {
+            g.replicas[i].on_message(ReplicaId(3), Message::StateFetch(lie));
+            assert!(
+                !g.replicas[i]
+                    .take_outputs()
+                    .iter()
+                    .any(|o| matches!(o, Output::ToReplica(ReplicaId(3), Message::StateData(_)))),
+                "no replica serves state it does not have"
+            );
+        }
+        // and it votes garbage from its empty state: the live quorum is
+        // unaffected
+        for ts in 18..=20u64 {
+            g.replicas[0].on_request(request(ts, 5));
+            for i in 0..3usize {
+                g.replicas[i].on_message(
+                    ReplicaId(3),
+                    Message::Prepare(Prepare {
+                        view: View(0),
+                        seq: SeqNo(ts),
+                        digest: Digest::of(b"garbage"),
+                        replica: ReplicaId(3),
+                    }),
+                );
+            }
+            g.pump(&[3]);
+        }
+        for r in &g.replicas[..3] {
+            assert_eq!(r.app().total(), 100, "progress despite the lying joiner");
+        }
     }
 }

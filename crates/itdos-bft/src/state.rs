@@ -24,6 +24,15 @@ pub trait StateMachine {
 
     /// Replaces the state from a snapshot.
     fn restore(&mut self, snapshot: &[u8]);
+
+    /// True when executing `operation` must force an immediate checkpoint
+    /// (a membership-change barrier). Every correct replica answers
+    /// identically for the same bytes, so the forced checkpoint lands at
+    /// the same sequence number group-wide — giving a joining replica a
+    /// checkpoint quorum exactly at its admission point. Default: never.
+    fn is_barrier(&self, _operation: &[u8]) -> bool {
+        false
+    }
 }
 
 /// A trivial counter machine used by tests and benches: the operation is

@@ -26,7 +26,7 @@ use itdos_vote::comparator::Comparator;
 use itdos_vote::detector::{verify_proof, FaultProof, ProofError};
 use itdos_vote::vote::{SenderId, Thresholds};
 
-use crate::membership::{DomainId, Endpoint, Membership};
+use crate::membership::{DomainId, ElementRecord, Endpoint, Membership};
 
 /// Identifies an established virtual connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,6 +113,53 @@ pub struct Expulsion {
     /// Its domain.
     pub domain: DomainId,
     /// Rekeyings to perform (one per affected connection).
+    pub rekeys: Vec<KeyDistribution>,
+}
+
+/// Why an admission request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The named domain is not registered.
+    UnknownDomain(DomainId),
+    /// The element to replace is not an expelled member of the domain, or
+    /// its slot was already refilled.
+    NotReplaceable(SenderId),
+    /// The replacement's id is already known (member, retired, or in
+    /// another domain).
+    AlreadyKnown(SenderId),
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::UnknownDomain(d) => write!(f, "unknown {d}"),
+            AdmitError::NotReplaceable(s) => {
+                write!(f, "element {} has no vacant expelled slot", s.0)
+            }
+            AdmitError::AlreadyKnown(s) => write!(f, "element id {} is already taken", s.0),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Result of a successful admission: a fresh element now holds the
+/// expelled element's slot and every touching connection is rekeyed so the
+/// newcomer can participate (and so pre-admission keys are retired).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// The freshly admitted element.
+    pub admitted: SenderId,
+    /// The expelled element it replaces.
+    pub replaced: SenderId,
+    /// The domain rejoined.
+    pub domain: DomainId,
+    /// The slot index reused within the domain's roster.
+    pub slot: usize,
+    /// The domain's new membership epoch.
+    pub epoch: u64,
+    /// Rekeyings to perform (one per affected connection), each including
+    /// the admitted element among its recipients.
     pub rekeys: Vec<KeyDistribution>,
 }
 
@@ -367,13 +414,77 @@ impl GroupManager {
         }
         self.change_votes.remove(&element);
         // rekey every connection touching this domain (as server or client)
+        let rekeys = self.rekey_touching(domain_id, Some(Endpoint::Element(element)));
+        Ok(Expulsion {
+            expelled: element,
+            domain: domain_id,
+            rekeys,
+        })
+    }
+
+    /// Handles an admission request: a fresh element (new key, empty
+    /// state) takes the slot vacated by the expelled `replaced`, restoring
+    /// the domain to full strength. The domain's membership epoch is
+    /// bumped and every connection touching the domain is rekeyed with the
+    /// newcomer among the recipients — the distributed-PRF path hands it
+    /// the per-association keys it was never given at enrollment.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError`] when the domain is unknown, `replaced` has no vacant
+    /// expelled slot, or the replacement id is already taken.
+    pub fn admit(
+        &mut self,
+        domain_id: DomainId,
+        replacement: ElementRecord,
+        replaced: SenderId,
+    ) -> Result<Admission, AdmitError> {
+        // the id must be globally fresh: an id seen anywhere (any domain's
+        // roster or retired history) could alias an existing key holder
+        if self.membership.element_key(replacement.id).is_some() {
+            return Err(AdmitError::AlreadyKnown(replacement.id));
+        }
+        let Some(domain) = self.membership.domain_mut(domain_id) else {
+            return Err(AdmitError::UnknownDomain(domain_id));
+        };
+        let Some(slot) = domain.admit(replacement, replaced) else {
+            return Err(AdmitError::NotReplaceable(replaced));
+        };
+        let epoch = domain.epoch();
+        // drop any expulsion votes the retired element had cast or drawn
+        self.change_votes.remove(&replaced);
+        for votes in self.change_votes.values_mut() {
+            votes.retain(|v| *v != replaced);
+        }
+        let rekeys = self.rekey_touching(domain_id, None);
+        Ok(Admission {
+            admitted: replacement.id,
+            replaced,
+            domain: domain_id,
+            slot,
+            epoch,
+            rekeys,
+        })
+    }
+
+    /// Bumps the epoch of, and rebuilds the key distribution for, every
+    /// connection touching `domain_id` (as server or client domain), plus
+    /// any connection whose singleton-style client endpoint is
+    /// `extra_client` — the recipient lists reflect the *current* active
+    /// roster, so expelled elements are keyed out and admitted elements
+    /// keyed in.
+    fn rekey_touching(
+        &mut self,
+        domain_id: DomainId,
+        extra_client: Option<Endpoint>,
+    ) -> Vec<KeyDistribution> {
         let affected: Vec<ConnectionId> = self
             .connections
             .iter()
             .filter(|(_, rec)| {
                 rec.server == domain_id
                     || rec.client_domain == Some(domain_id)
-                    || rec.client == Endpoint::Element(element)
+                    || extra_client.is_some_and(|c| rec.client == c)
             })
             .map(|(id, _)| *id)
             .collect();
@@ -416,11 +527,7 @@ impl GroupManager {
                 recipients,
             });
         }
-        Ok(Expulsion {
-            expelled: element,
-            domain: domain_id,
-            rekeys,
-        })
+        rekeys
     }
 }
 
@@ -751,6 +858,128 @@ mod tests {
         assert!(!expulsion.rekeys[0]
             .recipients
             .contains(&Endpoint::Element(SenderId(13))));
+    }
+
+    #[test]
+    fn admission_restores_the_domain_and_rekeys_with_the_newcomer() {
+        let mut gm = manager();
+        let dist = gm
+            .open_request(Endpoint::Singleton(100), None, DomainId(1))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(1), SenderId(3))
+            .unwrap();
+        assert_eq!(
+            gm.membership().domain(DomainId(1)).unwrap().active_count(),
+            3
+        );
+        let admission = gm.admit(DomainId(1), element(50), SenderId(3)).unwrap();
+        assert_eq!(admission.admitted, SenderId(50));
+        assert_eq!(admission.replaced, SenderId(3));
+        assert_eq!(admission.slot, 3);
+        assert_eq!(admission.epoch, 1);
+        let domain = gm.membership().domain(DomainId(1)).unwrap();
+        assert_eq!(domain.active_count(), 4, "restored to n elements");
+        assert_eq!(domain.max_tolerable_faults(), 1, "tolerates f again");
+        // the touching connection rekeyed past both the expulsion epoch
+        // and with the newcomer keyed in
+        assert_eq!(admission.rekeys.len(), 1);
+        let rekey = &admission.rekeys[0];
+        assert_eq!(rekey.connection, dist.connection);
+        assert_eq!(rekey.epoch, 2, "expulsion bumped to 1, admission to 2");
+        assert!(rekey.recipients.contains(&Endpoint::Element(SenderId(50))));
+        assert!(
+            !rekey.recipients.contains(&Endpoint::Element(SenderId(3))),
+            "replaced element stays keyed out"
+        );
+    }
+
+    #[test]
+    fn admission_validation() {
+        let mut gm = manager();
+        assert_eq!(
+            gm.admit(DomainId(9), element(50), SenderId(3)),
+            Err(AdmitError::UnknownDomain(DomainId(9)))
+        );
+        assert_eq!(
+            gm.admit(DomainId(1), element(50), SenderId(3)),
+            Err(AdmitError::NotReplaceable(SenderId(3))),
+            "element 3 is not expelled"
+        );
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(1), SenderId(3))
+            .unwrap();
+        assert_eq!(
+            gm.admit(DomainId(1), element(10), SenderId(3)),
+            Err(AdmitError::AlreadyKnown(SenderId(10))),
+            "id 10 belongs to domain 2"
+        );
+        gm.admit(DomainId(1), element(50), SenderId(3)).unwrap();
+        assert_eq!(
+            gm.admit(DomainId(1), element(51), SenderId(3)),
+            Err(AdmitError::NotReplaceable(SenderId(3))),
+            "slot already refilled"
+        );
+        assert_eq!(
+            gm.admit(DomainId(1), element(3), SenderId(3)),
+            Err(AdmitError::AlreadyKnown(SenderId(3))),
+            "a retired id can never rejoin"
+        );
+    }
+
+    #[test]
+    fn admitted_element_participates_in_later_votes_and_expulsions() {
+        let mut gm = manager();
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(1), SenderId(3))
+            .unwrap();
+        gm.admit(DomainId(1), element(50), SenderId(3)).unwrap();
+        // the replacement's accusations count toward its new domain's f+1
+        assert_eq!(
+            gm.change_request_from_domain(SenderId(50), SenderId(2))
+                .unwrap(),
+            None
+        );
+        let expulsion = gm
+            .change_request_from_domain(SenderId(0), SenderId(2))
+            .unwrap()
+            .expect("newcomer's vote counted");
+        assert_eq!(expulsion.expelled, SenderId(2));
+        // and if the replacement itself turns faulty it can be expelled —
+        // and replaced again, each admission bumping the epoch
+        gm.change_request_from_domain(SenderId(0), SenderId(50))
+            .unwrap();
+        let e = gm
+            .change_request_from_domain(SenderId(1), SenderId(50))
+            .unwrap()
+            .expect("replacement expelled in turn");
+        assert_eq!(e.expelled, SenderId(50));
+        let again = gm.admit(DomainId(1), element(51), SenderId(50)).unwrap();
+        assert_eq!(again.epoch, 2);
+        assert_eq!(again.slot, 3, "the same physical slot cycles");
+    }
+
+    #[test]
+    fn stale_votes_from_a_replaced_element_are_discarded() {
+        let mut gm = manager();
+        // element 3 accuses element 2 (one vote), then is itself expelled
+        // and replaced: its pending vote must not linger
+        gm.change_request_from_domain(SenderId(3), SenderId(2))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(0), SenderId(3))
+            .unwrap();
+        gm.change_request_from_domain(SenderId(1), SenderId(3))
+            .unwrap();
+        gm.admit(DomainId(1), element(50), SenderId(3)).unwrap();
+        assert_eq!(
+            gm.change_request_from_domain(SenderId(0), SenderId(2))
+                .unwrap(),
+            None,
+            "the retired element's vote no longer counts toward f+1"
+        );
     }
 
     #[test]

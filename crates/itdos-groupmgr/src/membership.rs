@@ -48,6 +48,11 @@ pub struct DomainRecord {
     pub f: usize,
     elements: Vec<ElementRecord>,
     expelled: BTreeSet<SenderId>,
+    /// Membership epoch: bumped once per admission. Carried on the wire so
+    /// peers, clients, and voters can order roster updates.
+    epoch: u64,
+    /// Elements replaced by an admission, kept for forensic lookup.
+    retired: Vec<ElementRecord>,
 }
 
 impl DomainRecord {
@@ -66,7 +71,41 @@ impl DomainRecord {
             f,
             elements,
             expelled: BTreeSet::new(),
+            epoch: 0,
+            retired: Vec::new(),
         }
+    }
+
+    /// The current membership epoch (number of admissions so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Elements replaced by past admissions (forensic history).
+    pub fn retired(&self) -> &[ElementRecord] {
+        &self.retired
+    }
+
+    /// Admits `replacement` into the slot vacated by the expelled element
+    /// `replaced`, bumping the membership epoch. Returns the reused slot
+    /// index, or `None` when `replaced` is not an expelled member here or
+    /// `replacement` is already known to this domain (member or retired).
+    pub fn admit(&mut self, replacement: ElementRecord, replaced: SenderId) -> Option<usize> {
+        if !self.expelled.contains(&replaced) {
+            return None;
+        }
+        let known = |id: SenderId| {
+            self.elements.iter().any(|e| e.id == id) || self.retired.iter().any(|e| e.id == id)
+        };
+        if known(replacement.id) {
+            return None;
+        }
+        let slot = self.elements.iter().position(|e| e.id == replaced)?;
+        let old = self.elements[slot];
+        self.elements[slot] = replacement;
+        self.retired.push(old);
+        self.epoch += 1;
+        Some(slot)
     }
 
     /// All originally registered elements.
@@ -107,12 +146,18 @@ impl DomainRecord {
 
     /// Number of still-active elements.
     pub fn active_count(&self) -> usize {
-        self.elements.len() - self.expelled.len()
+        // replaced elements stay in `expelled` (they are still expelled)
+        // but no longer occupy a slot, so count the live roster directly
+        self.elements
+            .iter()
+            .filter(|e| !self.expelled.contains(&e.id))
+            .count()
     }
 
     /// The number of *further* faults the shrunken domain can mask:
-    /// `⌊(active − 1) / 3⌋`. The paper does not replace expelled elements
-    /// ("replacement remains to be implemented"), so this only shrinks.
+    /// `⌊(active − 1) / 3⌋`. The paper left replacement unimplemented, so
+    /// its domains only shrink; here [`DomainRecord::admit`] restores the
+    /// count, and with it the original fault tolerance.
     pub fn max_tolerable_faults(&self) -> usize {
         self.active_count().saturating_sub(1) / 3
     }
@@ -156,11 +201,14 @@ impl Membership {
         self.domains.values().find(|d| d.contains(element))
     }
 
-    /// The verifying key of an element, searched across domains.
+    /// The verifying key of an element, searched across domains. Retired
+    /// (replaced) elements are included so pre-replacement signatures can
+    /// still be verified forensically.
     pub fn element_key(&self, element: SenderId) -> Option<VerifyingKey> {
         self.domains.values().find_map(|d| {
             d.elements
                 .iter()
+                .chain(d.retired.iter())
                 .find(|e| e.id == element)
                 .map(|e| e.verifying_key)
         })
@@ -241,6 +289,76 @@ mod tests {
         assert!(m.endpoint_valid(Endpoint::Singleton(77)));
         assert!(!m.endpoint_valid(Endpoint::Singleton(78)));
         assert!(m.endpoint_valid(Endpoint::Element(SenderId(0))));
+    }
+
+    #[test]
+    fn admission_reuses_the_expelled_slot_and_bumps_the_epoch() {
+        let mut d = domain(1, 1, 0);
+        assert!(d.expel(SenderId(2)));
+        assert_eq!(d.active_count(), 3);
+        assert_eq!(d.max_tolerable_faults(), 0, "degraded: no margin left");
+        let slot = d.admit(element(9), SenderId(2)).expect("admitted");
+        assert_eq!(slot, 2, "replacement takes the vacated slot");
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(d.active_count(), 4, "back to full strength");
+        assert_eq!(d.max_tolerable_faults(), 1, "tolerates f faults again");
+        assert!(d.is_active(SenderId(9)));
+        assert!(!d.is_active(SenderId(2)), "replaced stays expelled");
+        assert_eq!(d.retired().len(), 1);
+        assert_eq!(d.retired()[0].id, SenderId(2));
+        let active: Vec<u32> = d.active_elements().map(|e| e.id.0).collect();
+        assert_eq!(active, vec![0, 1, 9, 3]);
+    }
+
+    #[test]
+    fn admission_requires_an_expelled_slot_and_a_fresh_id() {
+        let mut d = domain(1, 1, 0);
+        assert!(
+            d.admit(element(9), SenderId(2)).is_none(),
+            "cannot replace an element that was never expelled"
+        );
+        d.expel(SenderId(2));
+        assert!(
+            d.admit(element(1), SenderId(2)).is_none(),
+            "replacement id already a member"
+        );
+        assert!(d.admit(element(9), SenderId(2)).is_some());
+        assert!(
+            d.admit(element(9), SenderId(2)).is_none(),
+            "slot already refilled"
+        );
+        // the new element can itself be expelled and replaced, but the
+        // retired id can never rejoin
+        d.expel(SenderId(9));
+        assert!(
+            d.admit(element(2), SenderId(9)).is_none(),
+            "retired ids never come back"
+        );
+        assert!(d.admit(element(10), SenderId(9)).is_some());
+        assert_eq!(d.epoch(), 2);
+    }
+
+    #[test]
+    fn retired_element_keys_remain_resolvable() {
+        let mut m = Membership::new();
+        m.register_domain(domain(1, 1, 0));
+        let old_key = m.element_key(SenderId(2)).unwrap();
+        m.domain_mut(DomainId(1)).unwrap().expel(SenderId(2));
+        m.domain_mut(DomainId(1))
+            .unwrap()
+            .admit(element(9), SenderId(2))
+            .unwrap();
+        assert_eq!(
+            m.element_key(SenderId(2)),
+            Some(old_key),
+            "forensic verification of pre-replacement signatures"
+        );
+        assert!(m.element_key(SenderId(9)).is_some());
+        assert!(
+            !m.endpoint_valid(Endpoint::Element(SenderId(2))),
+            "retired endpoint stays invalid"
+        );
+        assert!(m.endpoint_valid(Endpoint::Element(SenderId(9))));
     }
 
     #[test]

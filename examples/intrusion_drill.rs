@@ -8,6 +8,9 @@
 //! Pass a path argument to also write the first drill's JSONL dump
 //! (metrics + flight events + embedded topology) there, ready for the
 //! offline audit CLI: `cargo run -p itdos-bench --bin audit -- FILE`.
+//! A second path argument writes the replacement drill's dump too — CI
+//! runs the drill twice and byte-compares that dump to prove the whole
+//! expel→replace→re-intrude timeline replays deterministically.
 
 use itdos::fault::Behavior;
 use itdos::system::SystemBuilder;
@@ -112,8 +115,154 @@ fn drill(title: &str, behavior: Behavior, seed: u64, dump_to: Option<&str>) {
     }
 }
 
+/// The replacement drill runs on a *stateless* servant: replies depend
+/// only on the request arguments. The paper's §3.1 model synchronizes the
+/// replicated message queue, not application object state, so a freshly
+/// admitted element converges with its peers from its admission point
+/// onward (DESIGN.md §14 spells out this boundary).
+fn sensor_servant() -> Box<dyn Servant> {
+    Box::new(FnServant::new("Sensor", move |_, args| {
+        let Value::Sequence(samples) = &args[0] else {
+            return Ok(Value::Double(0.0));
+        };
+        let values: Vec<f64> = samples
+            .iter()
+            .filter_map(|v| match v {
+                Value::Double(d) => Some(*d),
+                _ => None,
+            })
+            .collect();
+        let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        Ok(Value::Double(mean))
+    }))
+}
+
+/// Expel → replace → re-intrude: after an intrusion consumes the domain's
+/// fault budget, a GM-brokered replacement (§14) restores it to `n`
+/// elements — and a scripted *second* f-fault intrusion is masked,
+/// detected, and expelled just like the first.
+fn replacement_drill(seed: u64, dump_to: Option<&str>) {
+    println!("\n=== drill: expel, replace, re-intrude (replica replacement) ===");
+    let mut builder = SystemBuilder::new(seed);
+    builder.obs(itdos::ObsConfig::forensic());
+    let mut repo = InterfaceRepository::new();
+    repo.register(
+        InterfaceDef::new("Sensor").with_operation(OperationDef::new(
+            "read_average",
+            vec![(
+                "samples".into(),
+                TypeDesc::Sequence(Box::new(TypeDesc::Double)),
+            )],
+            TypeDesc::Double,
+        )),
+    );
+    builder.repository(repo);
+    builder.comparator(
+        "Sensor",
+        itdos_vote::comparator::Comparator::InexactRel(1e-6),
+    );
+    builder.add_domain(
+        LEDGER,
+        1,
+        Box::new(|_| vec![(ObjectKey::from_name("sensor"), sensor_servant())]),
+    );
+    builder.behavior(LEDGER, 2, Behavior::CorruptValue);
+    builder.add_client(CLIENT);
+    let mut system = builder.build();
+    let read = |system: &mut itdos::System| {
+        system.invoke(
+            CLIENT,
+            itdos::Invocation::of(LEDGER)
+                .object(b"sensor")
+                .interface("Sensor")
+                .operation("read_average")
+                .arg(Value::Sequence(vec![
+                    Value::Double(1.0),
+                    Value::Double(3.0),
+                ])),
+        )
+    };
+    let active = |system: &itdos::System| {
+        system
+            .gm_element(0)
+            .replica()
+            .app()
+            .manager()
+            .membership()
+            .domain(LEDGER)
+            .unwrap()
+            .active_count()
+    };
+
+    // act 1: the intrusion is masked, proven, and the culprit expelled
+    let compromised = system.fabric.domain(LEDGER).elements[2];
+    let done = read(&mut system);
+    println!("read_average([1,3]) -> {:?}", done.result);
+    println!("suspects: {:?}", done.suspects);
+    system.settle();
+    println!(
+        "active elements after expulsion: {} of 4 (f exhausted)",
+        active(&system)
+    );
+    assert_eq!(active(&system), 3);
+
+    // act 2: a freshly keyed element is admitted into the vacated slot
+    let admitted = system.spawn_replacement(LEDGER, compromised);
+    system.settle();
+    println!(
+        "element {:?} admitted into slot 2; active elements: {} of 4",
+        admitted,
+        active(&system)
+    );
+    assert_eq!(active(&system), 4);
+    let joiner = system.element(LEDGER, 2);
+    println!(
+        "joiner onboarded via state transfer: {}",
+        !joiner.is_onboarding()
+    );
+    assert!(!joiner.is_onboarding());
+
+    // act 3: a second intrusion on a different slot — the restored
+    // domain tolerates its full f faults again
+    let second = system.fabric.domain(LEDGER).elements[1];
+    let node = system.fabric.domain(LEDGER).nodes[1];
+    system
+        .sim
+        .fault_ledger_mut()
+        .mark(u64::from(second.0), Behavior::CorruptValue.kind());
+    system
+        .sim
+        .process_mut::<itdos::ServerElement>(node)
+        .set_behavior(Behavior::CorruptValue);
+    let done = read(&mut system);
+    println!(
+        "second intrusion: read_average -> {:?}, suspects {:?}",
+        done.result, done.suspects
+    );
+    assert_eq!(done.suspects, vec![second]);
+    system.settle();
+    println!(
+        "second intruder expelled; active elements: {} of 4",
+        active(&system)
+    );
+    assert_eq!(active(&system), 3);
+
+    println!("\n-- forensic audit across the replacement --");
+    print!("{}", system.audit_report());
+
+    if let Some(path) = dump_to {
+        let dump = system.audit_jsonl();
+        std::fs::write(path, &dump).expect("write dump");
+        println!(
+            "(replacement dump written to {path}: {} lines)",
+            dump.lines().count()
+        );
+    }
+}
+
 fn main() {
     let dump_path = std::env::args().nth(1);
+    let replacement_dump_path = std::env::args().nth(2);
     println!("== ITDOS intrusion drill: one compromised element out of four ==");
     drill(
         "value corruption (detected by the vote, expelled via proof)",
@@ -139,5 +288,6 @@ fn main() {
         44,
         None,
     );
+    replacement_drill(45, replacement_dump_path.as_deref());
     println!("\nall drills complete: integrity and availability held throughout.");
 }
