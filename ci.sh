@@ -14,8 +14,10 @@ cargo build --release --offline
 echo '== cargo test -q --offline'
 cargo test -q --offline
 
-echo '== cargo run -p itdos-lint'
-cargo run -q --release --offline -p itdos-lint
+echo '== cargo run -p itdos-lint (waiver ledger + budget gate)'
+# fails on any active finding, and also if the waiver count grows past
+# the checked-in budget — new waivers must be paid for in the same PR
+cargo run -q --release --offline -p itdos-lint -- --waivers --budget lint-waivers.budget
 
 echo '== exp_report --metrics (observability smoke)'
 # runs a faulty deployment with the recorder on; the binary validates that

@@ -84,7 +84,7 @@ impl Envelope {
     pub fn decode(bytes: &[u8]) -> Result<Envelope, WireError> {
         let mut r = Reader::new(bytes);
         let sender = match r.u8()? {
-            0 => Peer::Replica(ReplicaId(r.u64()? as u32)),
+            0 => Peer::Replica(ReplicaId(u32::try_from(r.u64()?).map_err(|_| WireError)?)),
             1 => Peer::Client(ClientId(r.u64()?)),
             _ => return Err(WireError),
         };
@@ -148,7 +148,8 @@ impl KeyProvisioner {
 
     /// All replicas' verifying keys for a group of size `n`.
     pub fn verifying_keys(&self, n: usize) -> BTreeMap<ReplicaId, VerifyingKey> {
-        (0..n as u32)
+        (0u32..)
+            .take(n)
             .map(|i| (ReplicaId(i), self.signing_key(ReplicaId(i)).verifying_key()))
             .collect()
     }

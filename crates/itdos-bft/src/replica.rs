@@ -1420,6 +1420,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn transfer_payload_round_trips() {
+        let mut table = BTreeMap::new();
+        table.insert(
+            ClientId(7),
+            ClientRecord {
+                floor: 3,
+                replies: BTreeMap::from([(
+                    4u64,
+                    Reply {
+                        view: View(1),
+                        timestamp: 4,
+                        client: ClientId(7),
+                        replica: ReplicaId(0),
+                        result: vec![9, 9],
+                    },
+                )]),
+            },
+        );
+        let payload = encode_transfer_payload(b"snapshot-bytes", &table);
+        let (snapshot, cache) = decode_transfer_payload(&payload).unwrap();
+        assert_eq!(snapshot, b"snapshot-bytes");
+        assert_eq!(cache, vec![(ClientId(7), 3, vec![(4, vec![9, 9])])]);
+
+        // hostile inputs surface WireError, never a panic
+        assert!(decode_transfer_payload(&payload[..payload.len() - 1]).is_err());
+        assert!(decode_transfer_payload(&[0xFF; 6]).is_err());
+    }
+
     /// Drives a full in-memory group of 4 replicas by relaying outputs.
     struct Group {
         replicas: Vec<Replica<CounterMachine>>,

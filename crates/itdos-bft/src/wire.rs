@@ -37,7 +37,8 @@ impl Writer {
 
     /// Appends raw bytes with a u32 length prefix.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Writer {
-        self.u32(v.len() as u32);
+        // encoder input is locally built, never a hostile length
+        self.u32(v.len() as u32); // itdos-lint: allow(hostile-arith) -- encode-side length of a local buffer; protocol frames are bounded far below u32::MAX and the decode side enforces it
         self.buffer.extend_from_slice(v);
         self
     }
@@ -90,11 +91,10 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.position + n > self.bytes.len() {
-            return Err(WireError);
-        }
-        let s = &self.bytes[self.position..self.position + n];
-        self.position += n;
+        // checked: `position + n` must not wrap when `n` is hostile
+        let end = self.position.checked_add(n).ok_or(WireError)?;
+        let s = self.bytes.get(self.position..end).ok_or(WireError)?;
+        self.position = end;
         Ok(s)
     }
 

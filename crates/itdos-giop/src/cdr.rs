@@ -284,13 +284,17 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
-        if self.position + n > self.bytes.len() {
+        // checked: `position + n` must not wrap when `n` is hostile
+        let slice = self
+            .position
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.position..end));
+        let Some(slice) = slice else {
             return Err(CdrError::Truncated {
                 needed: n,
                 remaining: self.bytes.len().saturating_sub(self.position),
             });
-        }
-        let slice = &self.bytes[self.position..self.position + n];
+        };
         self.position += n;
         Ok(slice)
     }
@@ -334,10 +338,13 @@ impl<'a> Decoder<'a> {
             return Err(CdrError::BadString);
         }
         let raw = self.take(len)?;
-        if raw[len - 1] != 0 {
+        let Some((&nul, body)) = raw.split_last() else {
+            return Err(CdrError::BadString);
+        };
+        if nul != 0 {
             return Err(CdrError::BadString);
         }
-        String::from_utf8(raw[..len - 1].to_vec()).map_err(|_| CdrError::BadString)
+        String::from_utf8(body.to_vec()).map_err(|_| CdrError::BadString)
     }
 
     /// Decodes one value according to `desc`.

@@ -298,26 +298,29 @@ fn encode_reply(
 /// Any [`GiopError`] on malformed frames or unknown interfaces; Byzantine
 /// peers control these bytes, so every failure is non-panicking.
 pub fn decode_message(bytes: &[u8], repo: &InterfaceRepository) -> Result<GiopMessage, GiopError> {
-    if bytes.len() < 12 {
+    // destructure the 12-byte header without indexing: a short or hostile
+    // frame surfaces Truncated, never a panic
+    let Some((header, rest)) = bytes.split_at_checked(12) else {
         return Err(GiopError::Truncated);
-    }
-    if bytes[..4] != MAGIC {
+    };
+    let &[m0, m1, m2, m3, vmaj, vmin, flags, msg_type, s0, s1, s2, s3] = header else {
+        return Err(GiopError::Truncated);
+    };
+    if [m0, m1, m2, m3] != MAGIC {
         return Err(GiopError::BadMagic);
     }
-    if (bytes[4], bytes[5]) != VERSION {
-        return Err(GiopError::BadVersion(bytes[4], bytes[5]));
+    if (vmaj, vmin) != VERSION {
+        return Err(GiopError::BadVersion(vmaj, vmin));
     }
-    let endianness = Endianness::from_flag_bit(bytes[6]);
-    let msg_type = bytes[7];
-    let size_bytes: [u8; 4] = bytes[8..12].try_into().expect("4 bytes");
+    let endianness = Endianness::from_flag_bit(flags);
+    let size_bytes = [s0, s1, s2, s3];
     let size = match endianness {
         Endianness::Big => u32::from_be_bytes(size_bytes),
         Endianness::Little => u32::from_le_bytes(size_bytes),
     } as usize;
-    if bytes.len() < 12 + size {
+    let Some(body) = rest.get(..size) else {
         return Err(GiopError::Truncated);
-    }
-    let body = &bytes[12..12 + size];
+    };
     match msg_type {
         MSG_REQUEST => decode_request(body, repo, endianness).map(GiopMessage::Request),
         MSG_REPLY => decode_reply(body, repo, endianness).map(GiopMessage::Reply),

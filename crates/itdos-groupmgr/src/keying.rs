@@ -45,9 +45,11 @@ impl ThresholdKeying {
         self.holders.len()
     }
 
-    /// GM element `index` evaluates its key share on the connection input.
-    pub fn share_for(&self, index: usize, input: &[u8]) -> KeyShare {
-        self.holders[index].evaluate(input)
+    /// GM element `index` evaluates its key share on the connection input,
+    /// or `None` when `index` is out of range (indices can arrive from
+    /// untrusted admission paths).
+    pub fn share_for(&self, index: usize, input: &[u8]) -> Option<KeyShare> {
+        Some(self.holders.get(index)?.evaluate(input))
     }
 
     /// The public verifier endpoints use to check shares.
@@ -175,7 +177,7 @@ mod tests {
     fn threshold_endpoints_derive_same_key_from_any_f_plus_1() {
         let k = ThresholdKeying::deal(1, 4, &mut rng());
         let input = b"conn-1";
-        let shares: Vec<KeyShare> = (0..4).map(|i| k.share_for(i, input)).collect();
+        let shares: Vec<KeyShare> = (0..4).map(|i| k.share_for(i, input).unwrap()).collect();
         let a = k.combine(input, &shares[0..2]).unwrap();
         let b = k.combine(input, &shares[2..4]).unwrap();
         assert_eq!(a, b);
@@ -193,7 +195,7 @@ mod tests {
             "f+1 elements break it"
         );
         // and the broken key is the real one (soundness of the model)
-        let shares: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"x")).collect();
+        let shares: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"x").unwrap()).collect();
         assert_eq!(
             k.attacker_key(&[0, 1], b"x").unwrap(),
             k.combine(b"x", &shares).unwrap()
@@ -236,8 +238,8 @@ mod tests {
         let t = TraditionalKeying::new(4, &mut r);
         assert_ne!(t.key_for(b"a"), t.key_for(b"b"));
         let k = ThresholdKeying::deal(1, 4, &mut r);
-        let sa: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"a")).collect();
-        let sb: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"b")).collect();
+        let sa: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"a").unwrap()).collect();
+        let sb: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, b"b").unwrap()).collect();
         assert_ne!(k.combine(b"a", &sa).unwrap(), k.combine(b"b", &sb).unwrap());
     }
 
@@ -245,8 +247,8 @@ mod tests {
     fn corrupt_share_detected_at_endpoint() {
         let k = ThresholdKeying::deal(1, 4, &mut rng());
         let input = b"conn";
-        let mut shares: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, input)).collect();
-        shares[0] = k.share_for(0, b"other-input"); // corrupt element reuses an old share
+        let mut shares: Vec<KeyShare> = (0..2).map(|i| k.share_for(i, input).unwrap()).collect();
+        shares[0] = k.share_for(0, b"other-input").unwrap(); // corrupt element reuses an old share
         assert!(k.combine(input, &shares).is_err());
     }
 }

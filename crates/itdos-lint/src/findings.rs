@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The four ITDOS invariant classes (see DESIGN.md "Static analysis &
+/// The seven ITDOS invariant classes (see DESIGN.md "Static analysis &
 /// invariants").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
@@ -17,6 +17,15 @@ pub enum Rule {
     PanicFreedom,
     /// L4 — secret-bearing byte buffers must be compared in constant time.
     CtCrypto,
+    /// L5 — decode paths that parse attacker-controlled lengths must not
+    /// index, cast, or do arithmetic on them unchecked.
+    HostileArith,
+    /// L6 — every wire type's encode/decode pair must stay field-symmetric
+    /// and be registered in a round-trip property test.
+    WireSymmetry,
+    /// L7 — nested lock acquisitions must follow one global order and no
+    /// lock may be held across a send/recv call.
+    LockOrder,
 }
 
 impl Rule {
@@ -27,6 +36,9 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicFreedom => "panic-freedom",
             Rule::CtCrypto => "ct-crypto",
+            Rule::HostileArith => "hostile-arith",
+            Rule::WireSymmetry => "wire-symmetry",
+            Rule::LockOrder => "lock-order",
         }
     }
 
@@ -37,6 +49,9 @@ impl Rule {
             Rule::Determinism => "L2",
             Rule::PanicFreedom => "L3",
             Rule::CtCrypto => "L4",
+            Rule::HostileArith => "L5",
+            Rule::WireSymmetry => "L6",
+            Rule::LockOrder => "L7",
         }
     }
 
@@ -47,16 +62,22 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "panic-freedom" => Some(Rule::PanicFreedom),
             "ct-crypto" => Some(Rule::CtCrypto),
+            "hostile-arith" => Some(Rule::HostileArith),
+            "wire-symmetry" => Some(Rule::WireSymmetry),
+            "lock-order" => Some(Rule::LockOrder),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Hermeticity,
         Rule::Determinism,
         Rule::PanicFreedom,
         Rule::CtCrypto,
+        Rule::HostileArith,
+        Rule::WireSymmetry,
+        Rule::LockOrder,
     ];
 }
 

@@ -18,6 +18,16 @@
 //!   ([`rules::check_panic_freedom`]).
 //! * **L4 constant-time crypto** — `itdos-crypto` never compares MAC/digest/
 //!   key material with `==`/`!=` ([`rules::check_ct_crypto`]).
+//! * **L5 hostile arithmetic** — Byzantine-facing decode paths never index,
+//!   narrow-cast, or do unchecked arithmetic on attacker-controlled lengths;
+//!   a token-level taint pass tracks decode inputs through bindings
+//!   ([`hostile_arith::check_hostile_arith`]).
+//! * **L6 wire symmetry** — every wire type's encode/decode pair stays
+//!   field-symmetric, rejects unknown enum tags, and is registered in a
+//!   round-trip test ([`wire_symmetry::check_wire_symmetry`]).
+//! * **L7 lock order** — nested lock acquisitions follow one global order
+//!   and no lock is held across a send/recv call
+//!   ([`lock_order::scan_file`]).
 //!
 //! Any finding can be waived **in place** with a justified comment:
 //!
@@ -32,12 +42,17 @@
 //! invariant regresses.
 
 pub mod findings;
+pub mod hostile_arith;
+pub mod lock_order;
 pub mod manifest;
 pub mod rules;
 pub mod source;
+pub mod tokens;
+pub mod wire_symmetry;
 
 use findings::{Finding, Rule};
 use source::SourceFile;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Result of linting a workspace.
@@ -103,36 +118,49 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
         findings.extend(manifest::check_manifest(&rel(root, path), &text, &ws_paths));
     }
 
+    // every .rs file, keyed by workspace-relative path; the crate name is
+    // empty for files outside a crate's src/ tree (integration tests stay
+    // visible for L6 round-trip lookups but out of scope for per-crate
+    // rules and pair discovery)
+    let mut files: BTreeMap<String, (String, SourceFile)> = BTreeMap::new();
+    let mut lock_edges = Vec::new();
+
     for path in &sources {
-        let Some(crate_name) = owning_crate(root, path) else {
-            continue;
-        };
-        // integration tests, benches, and examples of a crate are not
-        // replica code; only its src/ tree is in scope
-        if !under_src(root, path) {
-            continue;
-        }
-        let deterministic = rules::DETERMINISTIC_CRATES.contains(&crate_name.as_str());
-        let panic_free = rules::PANIC_FREE_CRATES.contains(&crate_name.as_str());
-        let ct = rules::CT_CRATES.contains(&crate_name.as_str());
-        if !(deterministic || panic_free || ct) {
-            continue;
-        }
+        let crate_name = owning_crate(root, path).unwrap_or_default();
+        let in_src = !crate_name.is_empty() && under_src(root, path);
         let text = std::fs::read_to_string(path)?;
         let file = SourceFile::scan(&text);
         let rp = rel(root, path);
-        if deterministic {
-            findings.extend(rules::check_determinism(&rp, &file));
+
+        if in_src {
+            if rules::DETERMINISTIC_CRATES.contains(&crate_name.as_str()) {
+                findings.extend(rules::check_determinism(&rp, &file));
+            }
+            if rules::PANIC_FREE_CRATES.contains(&crate_name.as_str()) {
+                findings.extend(rules::check_panic_freedom(&rp, &file));
+            }
+            if rules::CT_CRATES.contains(&crate_name.as_str()) {
+                findings.extend(rules::check_ct_crypto(&rp, &file));
+            }
+            if hostile_arith::in_scope(&crate_name, &rp) {
+                findings.extend(hostile_arith::check_hostile_arith(&rp, &file));
+            }
+            // L7 runs over every crate's src tree: the acquisition graph is
+            // global by definition
+            let (lock_findings, edges) = lock_order::scan_file(&rp, &file);
+            findings.extend(lock_findings);
+            lock_edges.extend(edges);
         }
-        if panic_free {
-            findings.extend(rules::check_panic_freedom(&rp, &file));
-        }
-        if ct {
-            findings.extend(rules::check_ct_crypto(&rp, &file));
-        }
+
+        let key = if in_src { crate_name } else { String::new() };
+        files.insert(rp, (key, file));
     }
 
+    findings.extend(lock_order::order_findings(&lock_edges));
+    findings.extend(wire_symmetry::check_wire_symmetry(&files));
+
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings.dedup();
     Ok(Report { findings })
 }
 

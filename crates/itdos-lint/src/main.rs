@@ -1,6 +1,7 @@
 //! CLI driver: `cargo run -p itdos-lint [-- --json] [--root PATH]`.
 //!
-//! Exit codes: 0 — no unwaived findings; 1 — unwaived findings present;
+//! Exit codes: 0 — no unwaived findings (and the waiver budget holds);
+//! 1 — unwaived findings present or the waiver budget is exceeded;
 //! 2 — usage or I/O error.
 
 use itdos_lint::run_workspace;
@@ -9,12 +10,26 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "itdos-lint: ITDOS workspace invariant checker\n\n\
-         USAGE: itdos-lint [--json] [--root PATH] [--all]\n\n\
-         --json   emit findings as JSON lines on stdout\n\
-         --root   workspace root (default: nearest ancestor with a [workspace] Cargo.toml)\n\
-         --all    also print waived findings in human output"
+         USAGE: itdos-lint [--json] [--root PATH] [--all] [--waivers] [--budget FILE]\n\n\
+         --json     emit findings as JSON lines on stdout\n\
+         --root     workspace root (default: nearest ancestor with a [workspace] Cargo.toml)\n\
+         --all      also print waived findings in human output\n\
+         --waivers  print the waiver ledger (rule, site, justification)\n\
+         --budget   fail (exit 1) when live waivers exceed the count in FILE"
     );
     std::process::exit(2);
+}
+
+/// Parses the waiver budget file: the first non-comment, non-blank line
+/// must be the maximum number of live waivers.
+fn read_budget(path: &std::path::Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| format!("{}: no budget line found", path.display()))?
+        .parse::<usize>()
+        .map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Nearest ancestor of cwd whose Cargo.toml declares `[workspace]`.
@@ -38,12 +53,19 @@ fn discover_root() -> Option<PathBuf> {
 fn main() {
     let mut json = false;
     let mut show_waived = false;
+    let mut ledger = false;
+    let mut budget_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--all" => show_waived = true,
+            "--waivers" => ledger = true,
+            "--budget" => match args.next() {
+                Some(p) => budget_path = Some(PathBuf::from(p)),
+                None => usage(),
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => usage(),
@@ -85,6 +107,14 @@ fn main() {
                 println!("{f}\n");
             }
         }
+        if ledger {
+            println!("waiver ledger:");
+            for f in report.findings.iter().filter(|f| !f.is_active()) {
+                let why = f.waiver.as_deref().unwrap_or("(no justification)");
+                println!("  {} {}:{} -- {}", f.rule.key(), f.path, f.line, why);
+            }
+            println!("  total: {} waived", report.waived_count());
+        }
         println!(
             "itdos-lint: {} active, {} waived",
             report.active_count(),
@@ -95,5 +125,28 @@ fn main() {
         }
     }
 
-    std::process::exit(if report.active_count() == 0 { 0 } else { 1 });
+    let mut failed = report.active_count() != 0;
+    if let Some(path) = budget_path {
+        match read_budget(&path) {
+            Ok(budget) => {
+                let waived = report.waived_count();
+                if waived > budget {
+                    eprintln!(
+                        "itdos-lint: waiver budget exceeded: {waived} waived > {budget} \
+                         allowed by {} — fix the finding or justify raising the budget",
+                        path.display()
+                    );
+                    failed = true;
+                } else if !json {
+                    println!("waiver budget: {waived}/{budget} used");
+                }
+            }
+            Err(e) => {
+                eprintln!("itdos-lint: budget file: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    std::process::exit(if failed { 1 } else { 0 });
 }

@@ -181,16 +181,19 @@ pub fn check_ct_crypto(rel_path: &str, file: &SourceFile) -> Vec<Finding> {
         if file.in_test[idx] {
             continue;
         }
-        let Some(cmp) = find_comparison(masked) else {
-            continue;
-        };
-        // only the comparison's expression text matters, not e.g. a type
-        // annotation elsewhere on the line
-        let (lhs, rhs) = masked.split_at(cmp);
-        let rhs = &rhs[2..];
-        let touches_secret = SECRET_TOKENS
-            .iter()
-            .any(|t| has_word_ci(lhs, t) || has_word_ci(rhs, t));
+        let cmps = find_comparisons(masked);
+        // every comparison on the line is checked independently: each one's
+        // operands run from the previous operator to the next, so a secret
+        // compare hiding behind an innocent `&&`-chained one still fires
+        let touches_secret = cmps.iter().enumerate().any(|(j, &cmp)| {
+            let lhs_start = if j == 0 { 0 } else { cmps[j - 1] + 2 };
+            let rhs_end = cmps.get(j + 1).copied().unwrap_or(masked.len());
+            let lhs = &masked[lhs_start..cmp];
+            let rhs = &masked[cmp + 2..rhs_end];
+            SECRET_TOKENS
+                .iter()
+                .any(|t| has_word_ci(lhs, t) || has_word_ci(rhs, t))
+        });
         if !touches_secret {
             continue;
         }
@@ -206,19 +209,18 @@ pub fn check_ct_crypto(rel_path: &str, file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
-/// Byte offset of the first `==` or `!=` comparison operator in `line`,
+/// Byte offsets of every `==` / `!=` comparison operator in `line`,
 /// skipping `<=`, `>=`, `=>`, and plain assignment.
-fn find_comparison(line: &str) -> Option<usize> {
+fn find_comparisons(line: &str) -> Vec<usize> {
     let bytes = line.as_bytes();
+    let mut out = Vec::new();
     let mut i = 0;
     while i + 1 < bytes.len() {
         let pair = &bytes[i..i + 2];
-        if pair == b"==" {
-            // reject `<==`? not valid rust; reject `===`? not valid either
-            return Some(i);
-        }
-        if pair == b"!=" {
-            return Some(i);
+        if pair == b"==" || pair == b"!=" {
+            out.push(i);
+            i += 2;
+            continue;
         }
         // skip over two-char operators containing '=' so `<=`, `>=`, `=>`
         // don't confuse the scan; also skip single `=` (assignment)
@@ -228,7 +230,7 @@ fn find_comparison(line: &str) -> Option<usize> {
         }
         i += 1;
     }
-    None
+    out
 }
 
 /// Case-insensitive word-bounded containment (ASCII).
@@ -293,6 +295,17 @@ mod tests {
         let findings = check_ct_crypto("x.rs", &f);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn ct_crypto_checks_every_comparison_on_a_line() {
+        // the secret compare hides behind an innocent first comparison
+        let f = scan("if idx == 0 && mac == expected { }");
+        assert_eq!(check_ct_crypto("x.rs", &f).len(), 1);
+        // and stays quiet when no comparison touches a secret, even with
+        // several operators on the line
+        let f = scan("if idx == 0 && count != limit { }");
+        assert!(check_ct_crypto("x.rs", &f).is_empty());
     }
 
     #[test]

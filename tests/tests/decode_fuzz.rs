@@ -1,0 +1,306 @@
+//! Adversarial decode fuzz for the Byzantine-facing wire formats.
+//!
+//! The JSONL forensic parser already gets this treatment in
+//! `properties.rs`; here the same three attack modes — random bytes,
+//! truncation at every boundary, and bit flips inside valid encodings —
+//! hit the protocol decoders themselves: `core::wire` (CoreMsg, SmiopFrame,
+//! GmOp, directives, fault proofs) and the GIOP/CDR unmarshallers. Every
+//! case must return a typed error or a value; a panic is an availability
+//! attack a single hostile peer could mount on demand (L5's dynamic twin).
+//!
+//! Runs on the in-tree deterministic harness (`itdos_tests::prop`): every
+//! case derives from the property name and case index, so failures replay
+//! bit-for-bit on any machine.
+
+use itdos::wire::{
+    decode_directives, decode_proof, encode_directives, encode_proof, AdmitNoticeMsg,
+    ConnectionMeta, CoreMsg, DirectReplyMsg, Directive, FrameKind, GmOp, KeyShareMsg, NoticeMsg,
+    SmiopFrame,
+};
+use itdos_crypto::sign::{Signature, VerifyingKey};
+use itdos_giop::cdr::{Decoder, Encoder, Endianness};
+use itdos_giop::giop::{decode_message, encode_message, GiopMessage, RequestMessage};
+use itdos_giop::idl::{InterfaceDef, InterfaceRepository, OperationDef};
+use itdos_giop::types::{TypeDesc, Value};
+use itdos_groupmgr::manager::ConnectionId;
+use itdos_groupmgr::membership::{DomainId, Endpoint};
+use itdos_tests::{arbitrary, prop};
+use itdos_vote::detector::FaultProof;
+use itdos_vote::vote::SenderId;
+use xrand::rngs::SmallRng;
+use xrand::Rng;
+
+const CASES: usize = prop::DEFAULT_CASES;
+
+fn meta() -> ConnectionMeta {
+    ConnectionMeta {
+        connection: ConnectionId(9),
+        epoch: 3,
+        client_code: 77,
+        client_domain: Some(DomainId(2)),
+        server_domain: DomainId(5),
+    }
+}
+
+/// Valid encodings of every core wire shape — the corpus the mutating
+/// modes start from.
+fn core_corpus() -> Vec<Vec<u8>> {
+    let msgs = [
+        CoreMsg::Bft {
+            domain: DomainId(4),
+            envelope: vec![1, 2, 3, 4, 5],
+        },
+        CoreMsg::KeyShare(KeyShareMsg {
+            meta: meta(),
+            gm_code: 11,
+            sealed: vec![9; 24],
+        }),
+        CoreMsg::DirectReply(DirectReplyMsg {
+            connection: ConnectionId(9),
+            epoch: 3,
+            sender: SenderId(6),
+            sequence: 41,
+            sealed: vec![7; 12],
+            signature: Signature::from_bytes([5; 16]),
+        }),
+        CoreMsg::Notice(NoticeMsg {
+            gm_code: 12,
+            domain: DomainId(5),
+            expelled: SenderId(2),
+            sealed: vec![3; 8],
+        }),
+        CoreMsg::AdmitNotice(AdmitNoticeMsg {
+            gm_code: 13,
+            domain: DomainId(5),
+            admitted: SenderId(30),
+            replaced: SenderId(2),
+            slot: 1,
+            node: 99,
+            epoch: 7,
+            verifying_key: VerifyingKey::from_bytes([8; 8]),
+            sealed: vec![4; 8],
+        }),
+    ];
+    let mut corpus: Vec<Vec<u8>> = msgs.iter().map(CoreMsg::encode).collect();
+    corpus.push(
+        SmiopFrame {
+            connection: ConnectionId(9),
+            epoch: 3,
+            kind: FrameKind::Request,
+            sender_code: 77,
+            request_id: 5,
+            sequence: 19,
+            sealed: vec![6; 16],
+            signature: Signature::from_bytes([2; 16]),
+        }
+        .encode(),
+    );
+    corpus.push(
+        GmOp::Open {
+            client: Endpoint::Singleton(77),
+            client_domain: None,
+            target: DomainId(5),
+        }
+        .encode(),
+    );
+    corpus.push(
+        GmOp::Admit {
+            domain: DomainId(5),
+            replacement: SenderId(30),
+            replaced: SenderId(2),
+            node: 99,
+            verifying_key: VerifyingKey::from_bytes([8; 8]),
+        }
+        .encode(),
+    );
+    corpus.push(encode_proof(&FaultProof {
+        accused: vec![SenderId(2)],
+        request_id: 5,
+        messages: Vec::new(),
+    }));
+    corpus.push(encode_directives(&[
+        Directive::Refused(2),
+        Directive::KeyDist {
+            meta: meta(),
+            input: [1; 32],
+            recipients: vec![11, 12, 13],
+        },
+        Directive::Expelled {
+            domain: DomainId(5),
+            element: SenderId(2),
+        },
+    ]));
+    corpus
+}
+
+/// Runs every core decoder on one buffer; all of them must return.
+fn decode_all_core(bytes: &[u8]) {
+    let _ = CoreMsg::decode(bytes);
+    let _ = SmiopFrame::decode(bytes);
+    let _ = GmOp::decode(bytes);
+    let _ = decode_proof(bytes);
+    let _ = decode_directives(bytes);
+}
+
+/// Core wire decoders are total on random bytes.
+#[test]
+fn core_wire_decoders_total_on_random_bytes() {
+    prop::check("core wire total on random bytes", CASES, |rng, _| {
+        let bytes = arbitrary::bytes(rng, 96);
+        decode_all_core(&bytes);
+    });
+}
+
+/// Core wire decoders are total on truncated valid encodings — including
+/// cuts that land mid-length-field, the classic hostile-length seam.
+#[test]
+fn core_wire_decoders_total_on_truncation() {
+    let corpus = core_corpus();
+    prop::check("core wire total on truncation", CASES, |rng, _| {
+        let buf = &corpus[rng.gen_range(0..corpus.len())];
+        let cut = rng.gen_range(0..=buf.len());
+        decode_all_core(&buf[..cut]);
+    });
+}
+
+/// Core wire decoders are total on bit-flipped valid encodings. Flips that
+/// hit a length prefix forge hostile lengths; flips that hit a tag forge
+/// unknown variants. Either decodes to a different value or errs — no
+/// panic, no wrap.
+#[test]
+fn core_wire_decoders_total_on_bit_flips() {
+    let corpus = core_corpus();
+    prop::check("core wire total on bit flips", CASES, |rng, _| {
+        let mut buf = corpus[rng.gen_range(0..corpus.len())].clone();
+        for _ in 0..rng.gen_range(1..6usize) {
+            let at = rng.gen_range(0..buf.len());
+            buf[at] ^= 1 << rng.gen_range(0..8u32);
+        }
+        decode_all_core(&buf);
+    });
+}
+
+/// A random schema to decode hostile bytes against.
+fn random_desc(rng: &mut SmallRng, depth: usize) -> TypeDesc {
+    let variants: u32 = if depth == 0 { 8 } else { 10 };
+    match rng.gen_range(0..variants) {
+        0 => TypeDesc::Octet,
+        1 => TypeDesc::Boolean,
+        2 => TypeDesc::Short,
+        3 => TypeDesc::UShort,
+        4 => TypeDesc::ULong,
+        5 => TypeDesc::ULongLong,
+        6 => TypeDesc::Double,
+        7 => TypeDesc::String,
+        8 => TypeDesc::sequence_of(random_desc(rng, depth - 1)),
+        _ => TypeDesc::Struct {
+            name: "S".into(),
+            fields: (0..rng.gen_range(1..3usize))
+                .map(|i| (format!("f{i}"), random_desc(rng, depth - 1)))
+                .collect(),
+        },
+    }
+}
+
+/// A value conforming to `desc`, for building valid CDR corpora.
+fn value_for(rng: &mut SmallRng, desc: &TypeDesc) -> Value {
+    match desc {
+        TypeDesc::Octet => Value::Octet(rng.gen()),
+        TypeDesc::Boolean => Value::Boolean(rng.gen()),
+        TypeDesc::Short => Value::Short(rng.gen::<u16>() as i16),
+        TypeDesc::UShort => Value::UShort(rng.gen()),
+        TypeDesc::ULong => Value::ULong(rng.gen()),
+        TypeDesc::ULongLong => Value::ULongLong(rng.gen()),
+        TypeDesc::Double => Value::Double(f64::from_bits(rng.gen())),
+        TypeDesc::String => Value::String(arbitrary::ascii_string(rng, 10)),
+        TypeDesc::Sequence(elem) => {
+            let n = rng.gen_range(0..4usize);
+            Value::Sequence((0..n).map(|_| value_for(rng, elem)).collect())
+        }
+        TypeDesc::Struct { fields, .. } => {
+            Value::Struct(fields.iter().map(|(_, t)| value_for(rng, t)).collect())
+        }
+        _ => Value::Void,
+    }
+}
+
+/// CDR decode is total on truncated and bit-flipped valid encodings, in
+/// both byte orders (random-bytes totality already lives in
+/// `properties.rs::cdr_decoder_is_total`).
+#[test]
+fn cdr_decoder_total_on_truncation_and_flips() {
+    prop::check("cdr total on mutation", CASES, |rng, _| {
+        let desc = random_desc(rng, 2);
+        let value = value_for(rng, &desc);
+        for endianness in [Endianness::Big, Endianness::Little] {
+            let mut enc = Encoder::new(endianness);
+            enc.encode(&value, &desc).expect("generated pair conforms");
+            let mut bytes = enc.into_bytes();
+            if bytes.is_empty() {
+                continue;
+            }
+            // truncate ...
+            let cut = rng.gen_range(0..bytes.len());
+            let _ = Decoder::new(&bytes[..cut], endianness).decode(&desc);
+            // ... and independently flip bits in the full buffer
+            for _ in 0..rng.gen_range(1..5usize) {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let _ = Decoder::new(&bytes, endianness).decode(&desc);
+        }
+    });
+}
+
+fn giop_repo() -> InterfaceRepository {
+    let mut repo = InterfaceRepository::new();
+    repo.register(InterfaceDef::new("Echo").with_operation(OperationDef::new(
+        "echo",
+        vec![("s".into(), TypeDesc::String)],
+        TypeDesc::String,
+    )));
+    repo
+}
+
+/// GIOP message decode is total on random, truncated, and bit-flipped
+/// frames — the header parse, the hostile size field, and the typed body
+/// unmarshal all surface typed errors only.
+#[test]
+fn giop_decoder_total_on_hostile_frames() {
+    let repo = giop_repo();
+    let valid = encode_message(
+        &GiopMessage::Request(RequestMessage {
+            request_id: 1,
+            response_expected: true,
+            object_key: b"obj".to_vec(),
+            interface: "Echo".into(),
+            operation: "echo".into(),
+            args: vec![Value::String("hi".into())],
+        }),
+        &repo,
+        Endianness::Little,
+    )
+    .expect("valid request encodes");
+    assert!(decode_message(&valid, &repo).is_ok());
+
+    prop::check("giop total on hostile frames", CASES, |rng, _| {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let bytes = arbitrary::bytes(rng, 64);
+                let _ = decode_message(&bytes, &repo);
+            }
+            1 => {
+                let cut = rng.gen_range(0..valid.len());
+                let _ = decode_message(&valid[..cut], &repo);
+            }
+            _ => {
+                let mut buf = valid.clone();
+                for _ in 0..rng.gen_range(1..6usize) {
+                    let at = rng.gen_range(0..buf.len());
+                    buf[at] ^= 1 << rng.gen_range(0..8u32);
+                }
+                let _ = decode_message(&buf, &repo);
+            }
+        }
+    });
+}
